@@ -1,0 +1,80 @@
+// Command fasm assembles and disassembles programs for the fastflip ISA.
+//
+// Usage:
+//
+//	fasm -dump-bench lud                 # disassemble a benchmark to stdout
+//	fasm prog.fasm                       # assemble, report sizes
+//	fasm -run -entry main -mem 64 prog.fasm
+//	                                     # assemble and execute, dump memory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fastflip/internal/asm"
+	"fastflip/internal/bench"
+	"fastflip/internal/vm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fasm: ")
+	var (
+		dumpBench = flag.String("dump-bench", "", "disassemble a built-in benchmark (with -variant)")
+		variant   = flag.String("variant", "none", "benchmark variant for -dump-bench")
+		run       = flag.Bool("run", false, "execute the assembled program")
+		entry     = flag.String("entry", "main", "entry function for -run")
+		mem       = flag.Int("mem", 1024, "memory words for -run")
+		dump      = flag.Int("dump", 8, "memory words to print after -run")
+	)
+	flag.Parse()
+
+	if *dumpBench != "" {
+		p, err := bench.Build(*dumpBench, bench.Variant(*variant))
+		if err != nil {
+			log.Fatal(err)
+		}
+		mod, err := asm.ModuleOf(p.Linked)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(asm.DisassembleProgram(mod))
+		return
+	}
+
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mod, err := asm.Assemble(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	linked, err := mod.Link(*entry)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d functions, %d instructions\n", flag.Arg(0), len(linked.FuncNames), len(linked.Code))
+	for i, name := range linked.FuncNames {
+		fmt.Printf("  %-20s at pc %d (hash %x)\n", name, linked.FuncStarts[i], linked.FuncHashes[i][:6])
+	}
+	if !*run {
+		return
+	}
+	m := vm.New(linked.Code, linked.Entry, *mem)
+	ev := m.Run()
+	fmt.Printf("execution: %v after %d instructions\n", ev.Kind, m.Dyn)
+	if m.Status == vm.Crashed {
+		fmt.Printf("crash: %v at pc %d\n", m.Crash, m.PC)
+	}
+	for i := 0; i < *dump && i < len(m.Mem); i++ {
+		fmt.Printf("  mem[%d] = %#x\n", i, m.Mem[i])
+	}
+}

@@ -1,0 +1,151 @@
+// Command fastflip analyzes one benchmark version with the FastFlip
+// pipeline, optionally reusing and updating a persistent section store —
+// the workflow a developer would run from CI after each commit.
+//
+// Usage:
+//
+//	fastflip -bench lud                       # analyze the original version
+//	fastflip -bench lud -store lud.ffs        # ... and persist section results
+//	fastflip -bench lud -variant small -store lud.ffs -modified
+//	                                          # re-analyze after a change, reusing the store
+//	fastflip -bench lud -list                 # print the selected instructions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fastflip"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fastflip: ")
+	var (
+		benchName = flag.String("bench", "", "benchmark to analyze (required; one of "+strings.Join(fastflip.Benchmarks(), ", ")+")")
+		variant   = flag.String("variant", "none", "benchmark version: none, small, large")
+		storePath = flag.String("store", "", "path of the persistent section store (loaded if present, saved after)")
+		modified  = flag.Bool("modified", false, "treat this version as a modification of the last stored analysis (§4.10)")
+		targets   = flag.String("targets", "0.90,0.95,0.99", "comma-separated protection value targets")
+		eps       = flag.Float64("eps", 0, "SDC-Bad threshold ε (SDCs up to ε are acceptable)")
+		workers   = flag.Int("workers", 0, "injection worker goroutines (0 = GOMAXPROCS)")
+		baseline  = flag.Bool("baseline", true, "also run the monolithic baseline (needed for utility comparison)")
+		list      = flag.Bool("list", false, "print the selected instructions for the first target")
+		spec      = flag.Bool("spec", false, "print the composed end-to-end SDC specification")
+		report    = flag.Bool("report", false, "print the per-instruction vulnerability report")
+	)
+	flag.Parse()
+	if *benchName == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := fastflip.DefaultConfig()
+	cfg.Workers = *workers
+	cfg.Targets = nil
+	for _, f := range strings.Split(*targets, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			log.Fatalf("bad target %q: %v", f, err)
+		}
+		cfg.Targets = append(cfg.Targets, v)
+	}
+
+	a := fastflip.NewAnalyzer(cfg)
+	if *storePath != "" {
+		if st, err := fastflip.LoadStore(*storePath); err == nil {
+			a.Store = st
+			fmt.Printf("loaded store %s (%d sections)\n", *storePath, len(st.Sections))
+		} else if !os.IsNotExist(err) {
+			// A missing store is the first-run case; anything else is real.
+			if !strings.Contains(err.Error(), "no such file") {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	p, err := fastflip.BuildBenchmark(*benchName, fastflip.Variant(*variant))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *modified {
+		a.NoteModification()
+	}
+
+	r, err := a.Analyze(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s/%s: %d error sites, %d dynamic instructions, %d section instances\n",
+		*benchName, *variant, r.SiteCount, r.Trace.TotalDyn, len(r.Trace.Instances))
+	exec, total := r.Trace.Coverage()
+	fmt.Printf("static coverage: %d/%d instructions of interest executed\n", exec, total)
+	fmt.Printf("FastFlip: %d experiments, %.1f Mi simulated instructions, %v wall (%d sections reused)\n",
+		r.FFInject.Experiments, float64(r.FFCost())/1e6, r.FFWall.Round(1e6), r.ReusedInstances)
+	st := r.FFOutcomeStats(*eps)
+	fmt.Printf("outcomes (FastFlip labels): masked %.1f%%, detected %.1f%%, SDC-good %.1f%%, SDC-bad %.1f%%, untested %.1f%%\n",
+		pct(st.Masked, st.Total()), pct(st.Detected, st.Total()),
+		pct(st.SDCGood, st.Total()), pct(st.SDCBad, st.Total()), pct(st.Untested, st.Total()))
+
+	if *spec {
+		for λ, out := range p.FinalOutputs {
+			fmt.Printf("d(%s) <= %s\n", out.Name, r.FormatSpec(λ))
+		}
+	}
+
+	if *baseline {
+		a.RunBaseline(r)
+		fmt.Printf("baseline: %d experiments, %.1f Mi simulated instructions, %v wall (%.1fx)\n",
+			r.BaseInject.Experiments, float64(r.BaseCost())/1e6, r.BaseWall.Round(1e6),
+			float64(r.BaseCost())/float64(r.FFCost()))
+		evals, err := a.Evaluate(r, *eps, *modified)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ev := range evals {
+			fmt.Printf("target %.3f (adjusted %.4f): achieved %.4f, cost %.3f vs baseline %.3f (diff %+.4f)\n",
+				ev.Target, ev.Adjusted, ev.Achieved, ev.FFCostFrac, ev.BaseCostFrac, ev.CostDiff)
+		}
+		if *list && len(evals) > 0 {
+			sel := evals[0].FF
+			ids := append([]fastflip.StaticID(nil), sel.IDs...)
+			sort.Slice(ids, func(i, j int) bool {
+				if ids[i].Func != ids[j].Func {
+					return ids[i].Func < ids[j].Func
+				}
+				return ids[i].Local < ids[j].Local
+			})
+			fmt.Printf("\nselected instructions for target %.3f (%d instructions, cost %d):\n",
+				evals[0].Target, len(ids), sel.Cost)
+			for _, id := range ids {
+				fmt.Printf("  %s\n", id)
+			}
+		}
+	}
+
+	if *report {
+		fmt.Println()
+		if err := r.WriteReport(os.Stdout, *eps); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *storePath != "" {
+		if err := a.Store.Save(*storePath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved store %s (%d sections)\n", *storePath, len(a.Store.Sections))
+	}
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}

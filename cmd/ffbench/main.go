@@ -1,0 +1,86 @@
+// Command ffbench runs the FastFlip evaluation and regenerates the paper's
+// tables and figures (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	ffbench                         # everything, all benchmarks
+//	ffbench -benchmarks lud,sha2    # a subset
+//	ffbench -artifact table3        # one artifact
+//	ffbench -quick                  # fewer sensitivity samples
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fastflip/internal/sens"
+	"fastflip/internal/tables"
+)
+
+func main() {
+	var (
+		benchmarks = flag.String("benchmarks", "", "comma-separated benchmark subset (default all)")
+		artifact   = flag.String("artifact", "all", "one of: all, table1, table2, table3, table4, table6.4, figure1, eq2")
+		workers    = flag.Int("workers", 0, "injection worker goroutines (0 = GOMAXPROCS)")
+		quick      = flag.Bool("quick", false, "fewer sensitivity samples for a faster run")
+		quiet      = flag.Bool("quiet", false, "suppress per-version progress lines")
+	)
+	flag.Parse()
+
+	opts := tables.DefaultOptions()
+	opts.Workers = *workers
+	if *benchmarks != "" {
+		opts.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+	if *quick {
+		cfg := sens.DefaultConfig()
+		cfg.Samples = 16
+		opts.Sens = cfg
+	}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+
+	suite, err := tables.RunSuite(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffbench:", err)
+		os.Exit(1)
+	}
+
+	emit := func(name string, body string, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ffbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(body)
+	}
+
+	want := func(name string) bool { return *artifact == "all" || *artifact == name }
+
+	if want("table1") {
+		fmt.Println(suite.Table1())
+	}
+	hasLUD := suite.Get("lud", "none") != nil
+	if want("eq2") && hasLUD {
+		body, err := suite.Eq2("lud")
+		emit("eq2", body, err)
+	}
+	if want("figure1") && hasLUD {
+		body, err := suite.Figure1("lud")
+		emit("figure1", body, err)
+	}
+	if want("table2") {
+		fmt.Println(suite.Table2())
+	}
+	if want("table3") {
+		fmt.Println(suite.Table3())
+	}
+	if want("table4") {
+		fmt.Println(suite.Table4())
+	}
+	if want("table6.4") {
+		fmt.Println(suite.Table64())
+	}
+}

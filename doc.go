@@ -1,0 +1,35 @@
+// Package fastflip is a compositional SDC (silent data corruption)
+// resiliency analysis toolkit — a from-scratch implementation of the
+// FastFlip approach (Joshi et al., CGO 2025) together with every substrate
+// it needs: a small register ISA with an architectural simulator, an
+// Approxilyzer-style per-instruction error injection analysis, a local
+// sensitivity analysis, a Chisel-style symbolic SDC propagation analysis,
+// and a knapsack-based protection selector.
+//
+// # What it does
+//
+// Transient hardware errors (bitflips in CPU registers) can silently
+// corrupt program outputs. Selective instruction duplication can detect
+// them, but deciding *which* instructions to protect requires an error
+// injection analysis that is expensive and, classically, monolithic: any
+// code change invalidates all of it. FastFlip partitions an execution into
+// developer-declared sections, injects errors into each section in
+// isolation, symbolically propagates each section's possible corruption to
+// the program outputs, and recombines the pieces. When the program is
+// modified, only the modified sections (and sections whose inputs changed)
+// are re-injected; everything else is reused from a store.
+//
+// # Layout
+//
+// The root package re-exports the public surface:
+//
+//   - building programs: NewModule, NewFunc, Module, FuncBuilder
+//   - describing workloads: Program, Section, InstanceIO, Buffer
+//   - running analyses: NewAnalyzer, Analyzer, Config, Result, TargetEval
+//   - persisting results: Store, LoadStore
+//   - the paper's benchmarks: Benchmarks, BuildBenchmark
+//   - the paper's evaluation: RunEvaluation, EvalOptions, Suite
+//
+// See examples/quickstart for a complete end-to-end walkthrough and
+// DESIGN.md for the mapping from the paper to the implementation.
+package fastflip

@@ -1,0 +1,73 @@
+// Campipe masking: demonstrates the paper's inter-section masking effect
+// (§4.9, §6.3) and how adaptive target adjustment compensates for it.
+//
+// The camera pipeline's final tonemap stage clamps and quantizes pixels to
+// 8-bit levels, silently absorbing many small corruptions introduced
+// upstream. FastFlip's conservative propagation cannot see that masking, so
+// without adjustment it misranks instructions and undershoots the
+// protection target; with adjustment (§4.10) it raises its internal target
+// until the externally-measured protection meets the requested one.
+//
+// Run with: go run ./examples/campipe-masking
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fastflip"
+)
+
+func main() {
+	p, err := fastflip.BuildBenchmark("campipe", fastflip.None)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := fastflip.DefaultConfig()
+	cfg.Targets = []float64{0.90, 0.95, 0.99}
+
+	// Analyze once; evaluate both with and without target adjustment
+	// (evaluation reuses the injection results, so the second pass is
+	// nearly free — the paper's §6.4 observation).
+	withAdj := fastflip.NewAnalyzer(cfg)
+	r, err := withAdj.Analyze(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	withAdj.RunBaseline(r)
+
+	adjEvals, err := withAdj.Evaluate(r, 0, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	noAdjCfg := cfg
+	noAdjCfg.AdjustTargets = false
+	noAdj := &fastflip.Analyzer{Cfg: noAdjCfg, Store: withAdj.Store}
+	rawEvals, err := noAdj.Evaluate(r, 0, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("campipe: %d error sites, %d section instances\n\n", r.SiteCount, len(r.Trace.Instances))
+	fmt.Println("target   without adjustment        with adjustment")
+	fmt.Println("         achieved   (cost)         v'_trgt  achieved   (cost)")
+	for i := range adjEvals {
+		raw, adj := rawEvals[i], adjEvals[i]
+		fmt.Printf("%.2f     %.4f %s  (%.3f)        %.4f   %.4f %s  (%.3f)\n",
+			adj.Target,
+			raw.Achieved, mark(raw), raw.FFCostFrac,
+			adj.Adjusted, adj.Achieved, mark(adj), adj.FFCostFrac)
+	}
+	fmt.Println("\n(x = achieved value outside the pruning error range, * = within)")
+	fmt.Println("The unadjusted analysis undershoots because the tonemap stage masks")
+	fmt.Println("upstream SDCs that FastFlip conservatively counts as harmful.")
+}
+
+func mark(ev fastflip.TargetEval) string {
+	if ev.WithinRange {
+		return "*"
+	}
+	return "x"
+}

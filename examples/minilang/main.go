@@ -1,0 +1,120 @@
+// Minilang: write program sections in the high-level kernel language,
+// compile them to the ISA, and run the FastFlip analysis on the result.
+//
+// The pipeline normalizes a vector in two sections:
+//
+//	norm:  n = sqrt(Σ v[i]²)
+//	scale: out[i] = v[i] / n
+//
+// Run with: go run ./examples/minilang
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"fastflip"
+)
+
+const (
+	addrV   = 0 // 8 input elements
+	addrN   = 8 // the norm
+	addrOut = 9 // 8 normalized outputs
+)
+
+const kernels = `
+kernel norm(v: float[8], n: float[1]) {
+    var acc: float = 0.0;
+    for i = 0 to 8 {
+        acc = acc + v[i] * v[i];
+    }
+    n[0] = sqrt(acc);
+}
+
+kernel scale(v: float[8], n: float[1], out: float[8]) {
+    for i = 0 to 8 {
+        out[i] = v[i] / n[0];
+    }
+}
+`
+
+func main() {
+	fns, err := fastflip.CompileKernels(kernels, fastflip.KernelBindings{
+		"v": addrV, "n": addrN, "out": addrOut,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mod := fastflip.NewModule()
+	main := fastflip.NewFunc("main")
+	main.RoiBeg()
+	for sec, fn := range fns {
+		main.SecBeg(sec)
+		main.Call(fn.Name)
+		main.SecEnd(sec)
+	}
+	main.RoiEnd()
+	main.Halt()
+	mod.MustAdd(main.MustBuild())
+	for _, fn := range fns {
+		mod.MustAdd(fn)
+	}
+	linked, err := mod.Link("main")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	v := fastflip.Buffer{Name: "v", Addr: addrV, Len: 8, Kind: fastflip.Float}
+	n := fastflip.Buffer{Name: "n", Addr: addrN, Len: 1, Kind: fastflip.Float}
+	out := fastflip.Buffer{Name: "out", Addr: addrOut, Len: 8, Kind: fastflip.Float}
+	live := []fastflip.Buffer{v, n, out}
+
+	p := &fastflip.Program{
+		Name:     "normalize",
+		Linked:   linked,
+		MemWords: 32,
+		Init: func(m *fastflip.Machine) {
+			for i, x := range []float64{3, -1, 4, 1, -5, 9, 2, -6} {
+				m.Mem[addrV+i] = math.Float64bits(x)
+			}
+		},
+		Sections: []fastflip.Section{
+			{ID: 0, Name: "norm", Instances: []fastflip.InstanceIO{
+				{Inputs: []fastflip.Buffer{v}, Outputs: []fastflip.Buffer{n}, Live: live},
+			}},
+			{ID: 1, Name: "scale", Instances: []fastflip.InstanceIO{
+				{Inputs: []fastflip.Buffer{v, n}, Outputs: []fastflip.Buffer{out}, Live: live},
+			}},
+		},
+		FinalOutputs: []fastflip.Buffer{out},
+	}
+
+	tr, err := fastflip.RecordTrace(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := 0.0
+	for i := 0; i < 8; i++ {
+		x := math.Float64frombits(tr.Final.Mem[addrOut+i])
+		sum += x * x
+	}
+	fmt.Printf("‖out‖² = %.15f (want 1), trace %d instructions\n", sum, tr.TotalDyn)
+
+	cfg := fastflip.DefaultConfig()
+	cfg.Targets = []float64{0.95}
+	cfg.CoRunBaseline = true // self-contained ground truth (§4.10 co-run)
+	a := fastflip.NewAnalyzer(cfg)
+	r, err := a.Analyze(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	evals, err := a.Evaluate(r, 0, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sites=%d, end-to-end spec: d(out) <= %s\n", r.SiteCount, r.FormatSpec(0))
+	fmt.Printf("protect %d instructions (%.0f%% of dynamic instructions) to cover %.1f%% of SDC-causing flips\n",
+		len(evals[0].FF.IDs), evals[0].FFCostFrac*100, evals[0].Achieved*100)
+}

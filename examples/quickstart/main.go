@@ -1,0 +1,161 @@
+// Quickstart: build a tiny two-section program with the public API, run
+// the full FastFlip pipeline on it, and print the instructions that should
+// be protected against silent data corruptions.
+//
+// The program computes, over a 4-element vector v stored in memory:
+//
+//	section 0 "sumsq": s = Σ v[i]²
+//	section 1 "root":  r = sqrt(s)
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"fastflip"
+)
+
+const (
+	addrV = 0 // 4 input words
+	addrS = 4 // sum of squares
+	addrR = 5 // final output
+)
+
+func buildProgram() (*fastflip.Program, error) {
+	mod := fastflip.NewModule()
+
+	// main: run both sections inside the region of interest.
+	main := fastflip.NewFunc("main")
+	main.RoiBeg()
+	main.SecBeg(0)
+	main.Call("sumsq")
+	main.SecEnd(0)
+	main.SecBeg(1)
+	main.Call("root")
+	main.SecEnd(1)
+	main.RoiEnd()
+	main.Halt()
+	mod.MustAdd(main.MustBuild())
+
+	// sumsq: s = Σ v[i]² over a counted loop.
+	sumsq := fastflip.NewFunc("sumsq")
+	sumsq.Fli(0, 0) // accumulator
+	sumsq.Li(1, 0)  // i
+	sumsq.Li(2, 4)  // n
+	sumsq.Label("loop")
+	sumsq.Bge(1, 2, "done")
+	sumsq.Fld(1, 1, addrV) // v[i] (base register r1 carries the index)
+	sumsq.Fmul(1, 1, 1)
+	sumsq.Fadd(0, 0, 1)
+	sumsq.Addi(1, 1, 1)
+	sumsq.Jmp("loop")
+	sumsq.Label("done")
+	sumsq.Li(1, 0)
+	sumsq.Fst(0, 1, addrS)
+	sumsq.Ret()
+	mod.MustAdd(sumsq.MustBuild())
+
+	// root: r = sqrt(s).
+	root := fastflip.NewFunc("root")
+	root.Li(1, 0)
+	root.Fld(0, 1, addrS)
+	root.Fsqrt(0, 0)
+	root.Fst(0, 1, addrR)
+	root.Ret()
+	mod.MustAdd(root.MustBuild())
+
+	linked, err := mod.Link("main")
+	if err != nil {
+		return nil, err
+	}
+
+	v := fastflip.Buffer{Name: "v", Addr: addrV, Len: 4, Kind: fastflip.Float}
+	s := fastflip.Buffer{Name: "s", Addr: addrS, Len: 1, Kind: fastflip.Float}
+	r := fastflip.Buffer{Name: "r", Addr: addrR, Len: 1, Kind: fastflip.Float}
+	live := []fastflip.Buffer{v, s, r}
+
+	return &fastflip.Program{
+		Name:     "quickstart",
+		Version:  "none",
+		Linked:   linked,
+		MemWords: 16,
+		Init: func(m *fastflip.Machine) {
+			for i, x := range []float64{1.5, -2.25, 0.5, 3.0} {
+				m.Mem[addrV+i] = math.Float64bits(x)
+			}
+		},
+		Sections: []fastflip.Section{
+			{ID: 0, Name: "sumsq", Instances: []fastflip.InstanceIO{
+				{Inputs: []fastflip.Buffer{v}, Outputs: []fastflip.Buffer{s}, Live: live},
+			}},
+			{ID: 1, Name: "root", Instances: []fastflip.InstanceIO{
+				{Inputs: []fastflip.Buffer{s}, Outputs: []fastflip.Buffer{r}, Live: live},
+			}},
+		},
+		FinalOutputs: []fastflip.Buffer{r},
+	}, nil
+}
+
+func main() {
+	p, err := buildProgram()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Clean run: record the trace and show the program works.
+	tr, err := fastflip.RecordTrace(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clean output r = %v (%d dynamic instructions, %d section instances)\n",
+		math.Float64frombits(tr.Final.Mem[addrR]), tr.TotalDyn, len(tr.Instances))
+
+	// 2. FastFlip analysis: per-section injection, sensitivity, and the
+	//    composed end-to-end SDC specification.
+	cfg := fastflip.DefaultConfig()
+	cfg.Targets = []float64{0.90, 0.99}
+	a := fastflip.NewAnalyzer(cfg)
+	r, err := a.Analyze(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nerror sites |J| = %d, injection experiments = %d (%.2f M simulated instructions)\n",
+		r.SiteCount, r.FFInject.Experiments, float64(r.FFCost())/1e6)
+	fmt.Printf("end-to-end SDC bound: d(r) <= %s\n", r.FormatSpec(0))
+
+	// 3. Baseline co-run and protection selection.
+	a.RunBaseline(r)
+	evals, err := a.Evaluate(r, 0, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range evals {
+		fmt.Printf("\ntarget %.0f%%: protect %d static instructions "+
+			"(%.1f%% of dynamic instructions), achieves %.1f%% of SDC-causing bitflips\n",
+			ev.Target*100, len(ev.FF.IDs), ev.FFCostFrac*100, ev.Achieved*100)
+	}
+
+	// 4. Show the most valuable instructions to protect.
+	bad := r.FFBadCounts(0)
+	type row struct {
+		id fastflip.StaticID
+		n  int
+	}
+	var rows []row
+	for id, n := range bad.PerStatic {
+		rows = append(rows, row{id, n})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	fmt.Println("\nmost SDC-vulnerable static instructions:")
+	for i, rw := range rows {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %-12s  %5d SDC-causing bitflips, %d dynamic instances\n",
+			rw.id, rw.n, r.Costs[rw.id])
+	}
+}

@@ -1,0 +1,3 @@
+module fastflip
+
+go 1.22

@@ -1,0 +1,370 @@
+// Package asm implements a textual assembly format for the fastflip ISA:
+// an assembler (text → prog.Program) and a disassembler (prog → text).
+//
+// Format:
+//
+//	; line comment (also //)
+//	func main {
+//	    roibeg
+//	    li r15, 2
+//	loop:
+//	    secbeg 0
+//	    call lud.sec1
+//	    fli f0, 3.25
+//	    blt r14, r15, loop
+//	    halt
+//	}
+//
+// Mnemonics and operand order match isa.Instr.String. Registers are rN
+// (integer) and fN (float); branch targets are labels; call targets are
+// function names; integer immediates accept decimal and 0x hex; fli takes
+// a float literal.
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"fastflip/internal/isa"
+	"fastflip/internal/prog"
+)
+
+// Assemble parses the full program text into a module.
+func Assemble(src string) (*prog.Program, error) {
+	p := prog.New()
+	var cur *funcAsm
+	for ln, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+		switch {
+		case strings.HasPrefix(line, "func "):
+			if cur != nil {
+				return nil, fmt.Errorf("asm:%d: func inside func %q", lineNo, cur.name)
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "func "))
+			name, ok := strings.CutSuffix(rest, "{")
+			if !ok {
+				return nil, fmt.Errorf("asm:%d: expected 'func NAME {'", lineNo)
+			}
+			cur = newFuncAsm(strings.TrimSpace(name))
+		case line == "}":
+			if cur == nil {
+				return nil, fmt.Errorf("asm:%d: '}' outside func", lineNo)
+			}
+			fn, err := cur.finish()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.Add(fn); err != nil {
+				return nil, fmt.Errorf("asm:%d: %v", lineNo, err)
+			}
+			cur = nil
+		case strings.HasSuffix(line, ":"):
+			if cur == nil {
+				return nil, fmt.Errorf("asm:%d: label outside func", lineNo)
+			}
+			label := strings.TrimSuffix(line, ":")
+			if err := cur.label(label); err != nil {
+				return nil, fmt.Errorf("asm:%d: %v", lineNo, err)
+			}
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("asm:%d: instruction outside func", lineNo)
+			}
+			if err := cur.instruction(line); err != nil {
+				return nil, fmt.Errorf("asm:%d: %v", lineNo, err)
+			}
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("asm: unterminated func %q", cur.name)
+	}
+	return p, nil
+}
+
+func stripComment(line string) string {
+	if i := strings.IndexAny(line, ";"); i >= 0 {
+		line = line[:i]
+	}
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	return line
+}
+
+type fixup struct {
+	instr int
+	label string
+}
+
+type funcAsm struct {
+	name    string
+	instrs  []isa.Instr
+	labels  map[string]int
+	fixups  []fixup
+	calls   []string
+	callIdx map[string]int
+}
+
+func newFuncAsm(name string) *funcAsm {
+	return &funcAsm{
+		name:    name,
+		labels:  map[string]int{},
+		callIdx: map[string]int{},
+	}
+}
+
+func (f *funcAsm) label(name string) error {
+	if _, dup := f.labels[name]; dup {
+		return fmt.Errorf("duplicate label %q", name)
+	}
+	f.labels[name] = len(f.instrs)
+	return nil
+}
+
+func (f *funcAsm) instruction(line string) error {
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	op, ok := isa.OpByName(mnemonic)
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	var fields []string
+	if rest = strings.TrimSpace(rest); rest != "" {
+		for _, fl := range strings.Split(rest, ",") {
+			fields = append(fields, strings.TrimSpace(fl))
+		}
+	}
+	info := isa.Info(op)
+	in := isa.Instr{Op: op}
+	idx := 0
+	next := func() (string, error) {
+		if idx >= len(fields) {
+			return "", fmt.Errorf("%s: missing operand %d", mnemonic, idx+1)
+		}
+		fl := fields[idx]
+		idx++
+		return fl, nil
+	}
+	reg := func(class isa.RegClass, dst *uint8) error {
+		fl, err := next()
+		if err != nil {
+			return err
+		}
+		want := byte('r')
+		if class == isa.RegFloat {
+			want = 'f'
+		}
+		if len(fl) < 2 || fl[0] != want {
+			return fmt.Errorf("%s: expected %c-register, got %q", mnemonic, want, fl)
+		}
+		n, err := strconv.Atoi(fl[1:])
+		if err != nil || n < 0 || n >= isa.NumRegs {
+			return fmt.Errorf("%s: bad register %q", mnemonic, fl)
+		}
+		*dst = uint8(n)
+		return nil
+	}
+	if info.Dst != isa.RegNone {
+		if err := reg(info.Dst, &in.Rd); err != nil {
+			return err
+		}
+	}
+	if info.SrcA != isa.RegNone {
+		if err := reg(info.SrcA, &in.Ra); err != nil {
+			return err
+		}
+	}
+	if info.SrcB != isa.RegNone {
+		if err := reg(info.SrcB, &in.Rb); err != nil {
+			return err
+		}
+	}
+	switch info.Imm {
+	case isa.ImmNone:
+	case isa.ImmFloat:
+		fl, err := next()
+		if err != nil {
+			return err
+		}
+		v, err := strconv.ParseFloat(fl, 64)
+		if err != nil {
+			return fmt.Errorf("%s: bad float %q", mnemonic, fl)
+		}
+		in.Imm = int64(math.Float64bits(v))
+	case isa.ImmTarget:
+		fl, err := next()
+		if err != nil {
+			return err
+		}
+		f.fixups = append(f.fixups, fixup{instr: len(f.instrs), label: fl})
+	case isa.ImmCallee:
+		fl, err := next()
+		if err != nil {
+			return err
+		}
+		ci, ok := f.callIdx[fl]
+		if !ok {
+			ci = len(f.calls)
+			f.callIdx[fl] = ci
+			f.calls = append(f.calls, fl)
+		}
+		in.Imm = int64(ci)
+	default: // ImmInt, ImmSec, ImmOffset
+		fl, err := next()
+		if err != nil {
+			return err
+		}
+		v, err := strconv.ParseInt(fl, 0, 64)
+		if err != nil {
+			return fmt.Errorf("%s: bad immediate %q", mnemonic, fl)
+		}
+		in.Imm = v
+	}
+	if idx != len(fields) {
+		return fmt.Errorf("%s: %d extra operand(s)", mnemonic, len(fields)-idx)
+	}
+	f.instrs = append(f.instrs, in)
+	return nil
+}
+
+func (f *funcAsm) finish() (*prog.Function, error) {
+	for _, fx := range f.fixups {
+		target, ok := f.labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: %s: undefined label %q", f.name, fx.label)
+		}
+		f.instrs[fx.instr].Imm = int64(target)
+	}
+	return &prog.Function{Name: f.name, Instrs: f.instrs, Calls: f.calls}, nil
+}
+
+// Disassemble renders one function in assembler syntax with synthesized
+// labels at branch targets.
+func Disassemble(fn *prog.Function) string {
+	// Collect branch targets in order of appearance in the code.
+	targets := map[int]string{}
+	order := []int{}
+	for _, in := range fn.Instrs {
+		if isa.Info(in.Op).Imm == isa.ImmTarget {
+			t := int(in.Imm)
+			if _, seen := targets[t]; !seen {
+				targets[t] = ""
+				order = append(order, t)
+			}
+		}
+	}
+	// Name labels by target position so output is stable.
+	sortInts(order)
+	for i, t := range order {
+		targets[t] = fmt.Sprintf("L%d", i)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s {\n", fn.Name)
+	for i, in := range fn.Instrs {
+		if lbl, ok := targets[i]; ok {
+			fmt.Fprintf(&b, "%s:\n", lbl)
+		}
+		info := isa.Info(in.Op)
+		switch info.Imm {
+		case isa.ImmTarget:
+			base := in
+			base.Imm = 0
+			text := strings.TrimSuffix(base.String(), ", 0")
+			text = strings.TrimSuffix(text, " 0")
+			sep := ", "
+			if text == info.Name { // jmp has no registers
+				sep = " "
+			}
+			fmt.Fprintf(&b, "    %s%s%s\n", text, sep, targets[int(in.Imm)])
+		case isa.ImmCallee:
+			callee := "?"
+			if int(in.Imm) < len(fn.Calls) {
+				callee = fn.Calls[in.Imm]
+			}
+			fmt.Fprintf(&b, "    call %s\n", callee)
+		default:
+			fmt.Fprintf(&b, "    %s\n", in.String())
+		}
+	}
+	// A label may point one past the last instruction (loop exits).
+	if lbl, ok := targets[len(fn.Instrs)]; ok {
+		fmt.Fprintf(&b, "%s:\n", lbl)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ModuleOf reconstructs a pre-link module from a linked program: function
+// bodies are split at function starts, branch targets are relativized, and
+// call targets are resolved back to callee names. It is the inverse of
+// Link for programs produced by the prog package, enabling disassembly of
+// linked code.
+func ModuleOf(l *prog.Linked) (*prog.Program, error) {
+	mod := prog.New()
+	for i, name := range l.FuncNames {
+		start := l.FuncStarts[i]
+		end := len(l.Code)
+		for _, s := range l.FuncStarts {
+			if s > start && s < end {
+				end = s
+			}
+		}
+		fn := &prog.Function{Name: name}
+		callIdx := map[string]int{}
+		for _, in := range l.Code[start:end] {
+			switch isa.Info(in.Op).Imm {
+			case isa.ImmTarget:
+				in.Imm -= int64(start)
+			case isa.ImmCallee:
+				callee := ""
+				for j, s := range l.FuncStarts {
+					if int64(s) == in.Imm {
+						callee = l.FuncNames[j]
+					}
+				}
+				if callee == "" {
+					return nil, fmt.Errorf("asm: call target %d is not a function entry", in.Imm)
+				}
+				ci, ok := callIdx[callee]
+				if !ok {
+					ci = len(fn.Calls)
+					callIdx[callee] = ci
+					fn.Calls = append(fn.Calls, callee)
+				}
+				in.Imm = int64(ci)
+			}
+			fn.Instrs = append(fn.Instrs, in)
+		}
+		if err := mod.Add(fn); err != nil {
+			return nil, err
+		}
+	}
+	return mod, nil
+}
+
+// DisassembleProgram renders all functions of a module.
+func DisassembleProgram(p *prog.Program) string {
+	var b strings.Builder
+	for i, fn := range p.Funcs() {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(Disassemble(fn))
+	}
+	return b.String()
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

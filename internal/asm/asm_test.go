@@ -1,0 +1,177 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"fastflip/internal/bench"
+	"fastflip/internal/isa"
+	"fastflip/internal/vm"
+)
+
+const sample = `
+; a loop that sums 0..4 into r1 and stores it
+func main {
+    li r1, 0
+    li r2, 0
+    li r3, 5
+loop:
+    add r1, r1, r2
+    addi r2, r2, 1
+    blt r2, r3, loop
+    call store
+    halt
+}
+
+func store {
+    li r4, 0
+    st r1, r4, 0
+    ret
+}
+`
+
+func TestAssembleAndRun(t *testing.T) {
+	p, err := Assemble(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := p.Link("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(l.Code, l.Entry, 4)
+	if ev := m.Run(); ev.Kind != vm.EvHalt {
+		t.Fatalf("run ended with %v", ev.Kind)
+	}
+	if m.Mem[0] != 10 {
+		t.Errorf("mem[0] = %d, want 10", m.Mem[0])
+	}
+}
+
+func TestAssembleOperandKinds(t *testing.T) {
+	p, err := Assemble(`
+func f {
+    fli f1, 3.25
+    fli f2, -0.5
+    li r1, 0x10
+    li r2, -7
+    fadd f3, f1, f2
+    fst f3, r1, 2
+    secbeg 1
+    secend 1
+    roibeg
+    roiend
+    ret
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := p.Func("f")
+	if fn.Instrs[0].FloatImm() != 3.25 || fn.Instrs[1].FloatImm() != -0.5 {
+		t.Errorf("float immediates: %v, %v", fn.Instrs[0].FloatImm(), fn.Instrs[1].FloatImm())
+	}
+	if fn.Instrs[2].Imm != 16 || fn.Instrs[3].Imm != -7 {
+		t.Errorf("int immediates: %d, %d", fn.Instrs[2].Imm, fn.Instrs[3].Imm)
+	}
+	if fn.Instrs[5].Op != isa.FST || fn.Instrs[5].Ra != 3 || fn.Instrs[5].Rb != 1 || fn.Instrs[5].Imm != 2 {
+		t.Errorf("fst = %+v", fn.Instrs[5])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic":    "func f {\n frob r1\n}",
+		"bad register":        "func f {\n add r1, r99, r2\n}",
+		"float reg for int":   "func f {\n add r1, f2, r3\n}",
+		"missing operand":     "func f {\n add r1, r2\n}",
+		"extra operand":       "func f {\n ret r1\n}",
+		"undefined label":     "func f {\n jmp nowhere\n}",
+		"duplicate label":     "func f {\nx:\nx:\n ret\n}",
+		"instruction outside": "add r1, r2, r3",
+		"label outside":       "x:",
+		"unterminated func":   "func f {\n ret",
+		"nested func":         "func f {\nfunc g {\n}\n}",
+		"duplicate func":      "func f {\n ret\n}\nfunc f {\n ret\n}",
+		"bad float":           "func f {\n fli f1, abc\n}",
+		"bad int":             "func f {\n li r1, zz\n}",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Assemble(src); err == nil {
+				t.Errorf("Assemble accepted %q", src)
+			}
+		})
+	}
+}
+
+func TestComments(t *testing.T) {
+	p, err := Assemble(`
+// file comment
+func f { ; trailing comment
+    ret ; done
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Func("f").Instrs) != 1 {
+		t.Errorf("instrs = %d", len(p.Func("f").Instrs))
+	}
+}
+
+func TestDisassembleLabels(t *testing.T) {
+	p, err := Assemble(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Disassemble(p.Func("main"))
+	if !strings.Contains(text, "L0:") || !strings.Contains(text, "blt r2, r3, L0") {
+		t.Errorf("disassembly:\n%s", text)
+	}
+	if !strings.Contains(text, "call store") {
+		t.Errorf("missing call:\n%s", text)
+	}
+}
+
+// TestRoundTripBenchmarks disassembles and reassembles every benchmark and
+// checks the functions are hash-identical — the assembler and disassembler
+// are exact inverses on real programs.
+func TestRoundTripBenchmarks(t *testing.T) {
+	for _, name := range bench.Names() {
+		for _, variant := range bench.Variants {
+			t.Run(name+"/"+string(variant), func(t *testing.T) {
+				p, err := bench.Build(name, variant)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mod, err := ModuleOf(p.Linked)
+				if err != nil {
+					t.Fatal(err)
+				}
+				text := DisassembleProgram(mod)
+				back, err := Assemble(text)
+				if err != nil {
+					t.Fatalf("reassembly failed: %v\n%s", err, firstLines(text, 30))
+				}
+				for _, fn := range mod.Funcs() {
+					got := back.Func(fn.Name)
+					if got == nil {
+						t.Fatalf("function %q lost in round trip", fn.Name)
+					}
+					if got.Hash() != fn.Hash() {
+						t.Errorf("function %q changed in round trip", fn.Name)
+					}
+				}
+			})
+		}
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,94 @@
+package asm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastflip/internal/isa"
+	"fastflip/internal/prog"
+)
+
+// randFunction generates a structurally valid random function: a mix of
+// ALU ops, memory ops, float ops, in-range branches, and calls.
+func randFunction(r *rand.Rand) *prog.Function {
+	n := 4 + r.Intn(24)
+	fn := &prog.Function{Name: "f"}
+	callees := []string{"g", "h"}
+	reg := func() uint8 { return uint8(r.Intn(isa.NumRegs)) }
+	for i := 0; i < n; i++ {
+		var in isa.Instr
+		switch r.Intn(8) {
+		case 0:
+			in = isa.Instr{Op: isa.ADD, Rd: reg(), Ra: reg(), Rb: reg()}
+		case 1:
+			in = isa.Instr{Op: isa.FMUL, Rd: reg(), Ra: reg(), Rb: reg()}
+		case 2:
+			in = isa.Instr{Op: isa.LI, Rd: reg(), Imm: int64(r.Intn(2048) - 1024)}
+		case 3:
+			in = isa.Instr{Op: isa.FLI, Rd: reg(),
+				Imm: int64(math.Float64bits(float64(r.Intn(512))/8 - 32))}
+		case 4:
+			in = isa.Instr{Op: isa.LD, Rd: reg(), Ra: reg(), Imm: int64(r.Intn(64))}
+		case 5:
+			in = isa.Instr{Op: isa.ST, Ra: reg(), Rb: reg(), Imm: int64(r.Intn(64))}
+		case 6:
+			// Branch to an in-range local index.
+			in = isa.Instr{Op: isa.BLT, Ra: reg(), Rb: reg(), Imm: int64(r.Intn(n))}
+		default:
+			callee := callees[r.Intn(len(callees))]
+			ci := -1
+			for j, c := range fn.Calls {
+				if c == callee {
+					ci = j
+				}
+			}
+			if ci < 0 {
+				ci = len(fn.Calls)
+				fn.Calls = append(fn.Calls, callee)
+			}
+			in = isa.Instr{Op: isa.CALL, Imm: int64(ci)}
+		}
+		fn.Instrs = append(fn.Instrs, in)
+	}
+	fn.Instrs = append(fn.Instrs, isa.Instr{Op: isa.RET})
+	return fn
+}
+
+// Property: Assemble(Disassemble(fn)) is the identity (up to hash) for
+// arbitrary well-formed functions, not just the curated benchmarks.
+func TestRoundTripRandomFunctionsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fn := randFunction(r)
+		text := Disassemble(fn)
+		back, err := Assemble(text)
+		if err != nil {
+			t.Logf("seed %d: reassembly failed: %v\n%s", seed, err, text)
+			return false
+		}
+		got := back.Func("f")
+		if got == nil || got.Hash() != fn.Hash() {
+			t.Logf("seed %d: hash mismatch\n%s", seed, text)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: disassembly is stable — rendering the same function twice
+// produces identical text (label naming must be deterministic).
+func TestDisassembleStableQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fn := randFunction(r)
+		return Disassemble(fn) == Disassemble(fn)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

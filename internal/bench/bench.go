@@ -1,0 +1,130 @@
+// Package bench implements the five evaluation benchmarks of the FastFlip
+// paper (Table 1) as programs for the fastflip ISA, each in three versions:
+//
+//	none  — the original program
+//	small — a small semantics-preserving change (§5.5): common-subexpression
+//	        elimination, a removed redundant operation, or a specialized
+//	        loop with fewer bounds checks
+//	large — one section replaced by a lookup table mapping the section's
+//	        concrete inputs to its outputs (§5.5)
+//
+// Register discipline (so that no register is live across a section
+// boundary, which the side-effect analysis relies on):
+//
+//	r14, r15   — reserved for the benchmark main (outer loop state)
+//	r12, r13   — reserved for section-level loop state
+//	r0..r11    — scratch for leaf kernels; clobbered by calls
+//	f0..f15    — scratch; never live across calls or sections
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"fastflip/internal/spec"
+	"fastflip/internal/vm"
+)
+
+// Variant selects a benchmark version.
+type Variant string
+
+const (
+	None  Variant = "none"
+	Small Variant = "small"
+	Large Variant = "large"
+)
+
+// Variants lists all versions in evaluation order.
+var Variants = []Variant{None, Small, Large}
+
+// Builder constructs one benchmark version.
+type Builder func(v Variant) (*spec.Program, error)
+
+var registry = map[string]Builder{}
+
+// PilotInaccuracies are the per-benchmark pilot misprediction rates used
+// for the value error range (§5.6: FFT 3%, LUD 4%, BScholes 10%, and the
+// Approxilyzer average 4% for Campipe and SHA2).
+var PilotInaccuracies = map[string]float64{
+	"bscholes": 0.10,
+	"campipe":  0.04,
+	"fft":      0.03,
+	"lud":      0.04,
+	"sha2":     0.04,
+}
+
+func register(name string, b Builder) {
+	if _, dup := registry[name]; dup {
+		panic("bench: duplicate benchmark " + name)
+	}
+	registry[name] = b
+}
+
+// Names returns the registered benchmark names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Build constructs the given benchmark version.
+func Build(name string, v Variant) (*spec.Program, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown benchmark %q (have %v)", name, Names())
+	}
+	switch v {
+	case None, Small, Large:
+	default:
+		return nil, fmt.Errorf("bench: unknown variant %q", v)
+	}
+	return b(v)
+}
+
+// MustBuild is Build but panics on error, for tests and benchmarks.
+func MustBuild(name string, v Variant) *spec.Program {
+	p, err := Build(name, v)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// writeFloats stores vals as float64 bits starting at addr.
+func writeFloats(m *vm.Machine, addr int, vals []float64) {
+	for i, v := range vals {
+		m.Mem[addr+i] = math.Float64bits(v)
+	}
+}
+
+// writeWords stores raw words starting at addr.
+func writeWords(m *vm.Machine, addr int, vals []uint64) {
+	copy(m.Mem[addr:addr+len(vals)], vals)
+}
+
+// floatsOf reads n float64 values starting at addr.
+func floatsOf(m *vm.Machine, addr, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(m.Mem[addr+i])
+	}
+	return out
+}
+
+// rng returns a deterministic random source for benchmark inputs.
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// fbuf declares a float buffer.
+func fbuf(name string, addr, n int) spec.Buffer {
+	return spec.Buffer{Name: name, Addr: addr, Len: n, Kind: spec.Float}
+}
+
+// ibuf declares an integer buffer.
+func ibuf(name string, addr, n int) spec.Buffer {
+	return spec.Buffer{Name: name, Addr: addr, Len: n, Kind: spec.Int}
+}

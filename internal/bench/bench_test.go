@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"testing"
+
+	"fastflip/internal/sites"
+	"fastflip/internal/trace"
+)
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	want := []string{"bscholes", "campipe", "fft", "lud", "sha2"}
+	if len(names) != len(want) {
+		t.Fatalf("benchmarks = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+	if _, err := Build("unknown", None); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := Build("lud", Variant("huge")); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	for _, name := range names {
+		if _, ok := PilotInaccuracies[name]; !ok {
+			t.Errorf("%s has no pilot inaccuracy entry", name)
+		}
+	}
+}
+
+// TestAllVersionsTraceCleanly builds and traces all fifteen benchmark
+// versions and checks structural invariants shared by every benchmark.
+func TestAllVersionsTraceCleanly(t *testing.T) {
+	for _, name := range Names() {
+		for _, v := range Variants {
+			t.Run(name+"/"+string(v), func(t *testing.T) {
+				p, err := Build(name, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := p.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				tr, err := trace.Record(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Every declared instance executed.
+				declared := 0
+				for _, s := range p.Sections {
+					declared += len(s.Instances)
+				}
+				if len(tr.Instances) != declared {
+					t.Errorf("executed %d instances, declared %d", len(tr.Instances), declared)
+				}
+				// Outputs fall inside the live set (side-effect checking
+				// relies on the live set covering all meaningful state).
+				for _, inst := range tr.Instances {
+					for _, out := range inst.IO.Outputs {
+						covered := false
+						for _, lv := range inst.IO.Live {
+							if out.Addr >= lv.Addr && out.Addr+out.Len <= lv.Addr+lv.Len {
+								covered = true
+							}
+						}
+						if !covered {
+							t.Errorf("section %d output %v not covered by live set",
+								inst.Sec, out)
+						}
+					}
+				}
+				if n := sites.Count(tr, sites.Options{}); n == 0 {
+					t.Error("no error sites")
+				}
+			})
+		}
+	}
+}
+
+// TestStaticCoverage checks the Minotaur condition (§5.4): the chosen
+// inputs execute every static instruction of interest, except the
+// large-variant fallback kernels, which are dead when the lookup hits.
+func TestStaticCoverage(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			p := MustBuild(name, None)
+			tr, err := trace.Record(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exec, total := tr.Coverage()
+			// The base versions contain small amounts of defensive dead
+			// code (e.g. bounds-check branches never taken); coverage must
+			// still be near-complete.
+			if float64(exec) < 0.95*float64(total) {
+				t.Errorf("coverage %d/%d below 95%%", exec, total)
+			}
+		})
+	}
+}
+
+// TestVariantsShiftOnlyModifiedFunctions checks the hash discipline that
+// incremental reuse rests on: between the base and each modified version,
+// only the functions the modification touches (plus added ones) change.
+func TestVariantsShiftOnlyModifiedFunctions(t *testing.T) {
+	expectChanged := map[string]map[Variant][]string{
+		"lud":      {Small: {"lud.bmod"}, Large: {"lud.lu0"}},
+		"bscholes": {Small: {"bs.cndf"}, Large: {"bs.dparams"}},
+		"fft":      {Small: {"fft.stage"}, Large: {"fft.bitrev"}},
+		"sha2":     {Small: {"sha.compress"}, Large: {"sha.compress"}},
+		"campipe":  {Small: {"cp.gamma"}, Large: {"cp.demosaic"}},
+	}
+	for name, perVariant := range expectChanged {
+		base := MustBuild(name, None)
+		baseHash := map[string][32]byte{}
+		for i, fn := range base.Linked.FuncNames {
+			baseHash[fn] = base.Linked.FuncHashes[i]
+		}
+		for v, wantChanged := range perVariant {
+			mod := MustBuild(name, v)
+			changed := map[string]bool{}
+			for i, fn := range mod.Linked.FuncNames {
+				if h, ok := baseHash[fn]; ok && h != mod.Linked.FuncHashes[i] {
+					changed[fn] = true
+				}
+			}
+			for _, fn := range wantChanged {
+				if !changed[fn] {
+					t.Errorf("%s/%s: expected %s to change", name, v, fn)
+				}
+				delete(changed, fn)
+			}
+			for fn := range changed {
+				t.Errorf("%s/%s: unexpected change in %s", name, v, fn)
+			}
+		}
+	}
+}
+
+// TestSectionCounts locks in the Table 1 section structure.
+func TestSectionCounts(t *testing.T) {
+	want := map[string]struct{ static, dynamic int }{
+		"bscholes": {4, 2},
+		"campipe":  {5, 1},
+		"fft":      {5, 1},
+		"lud":      {4, 2},
+		"sha2":     {3, 1},
+	}
+	for name, w := range want {
+		p := MustBuild(name, None)
+		if len(p.Sections) != w.static {
+			t.Errorf("%s: %d static sections, want %d", name, len(p.Sections), w.static)
+		}
+		for _, s := range p.Sections {
+			if len(s.Instances) != w.dynamic {
+				t.Errorf("%s section %q: %d instances, want %d", name, s.Name, len(s.Instances), w.dynamic)
+			}
+		}
+	}
+}

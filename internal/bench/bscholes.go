@@ -1,0 +1,404 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"fastflip/internal/prog"
+	"fastflip/internal/spec"
+	"fastflip/internal/vm"
+)
+
+// BScholes: the Black-Scholes option pricing kernel from PARSEC, reduced to
+// two options (§5.4). Four static sections per option (x2 dynamic):
+//
+//	s0 dparams — d1, d2 from (S, X, T, r, v)
+//	s1 cndf1   — N(d1) via the Abramowitz-Stegun polynomial
+//	s2 cndf2   — N(d2)
+//	s3 price   — S·N(d1) − X·e^(−rT)·N(d2)
+//
+// Small modification: the CNDF kernel normally derives 1/√(2π) with a
+// division at run time; the specialized version folds the constant
+// (bit-identical, computed the same way on the host).
+// Large modification: the dparams section is replaced by a lookup table
+// keyed on the option parameters.
+
+const (
+	bsOpts   = 2
+	bsOptW   = 5 // S, X, T, r, v
+	bsIn     = 0
+	bsInW    = bsOpts * bsOptW
+	bsD      = 16 // d1, d2 per option
+	bsDW     = bsOpts * 2
+	bsND     = 24 // N(d1), N(d2) per option
+	bsNDW    = bsOpts * 2
+	bsPrice  = 32
+	bsPriceW = bsOpts
+	bsTab    = 40 // large-variant lookup table: (5 key + 2 value) x 2
+	bsTabW   = bsOpts * (bsOptW + 2)
+	bsMemW   = 128
+)
+
+func init() { register("bscholes", buildBScholes) }
+
+// Abramowitz & Stegun 26.2.17 coefficients.
+const (
+	bsA1 = 0.319381530
+	bsA2 = -0.356563782
+	bsA3 = 1.781477937
+	bsA4 = -1.821255978
+	bsA5 = 1.330274429
+	bsK0 = 0.2316419
+	// bsRoot2Pi is √(2π); the base CNDF divides by it at run time, the
+	// small variant preloads bsInvRoot2Pi.
+	bsRoot2Pi = 2.5066282746310002
+)
+
+// bsInvRoot2Pi is computed with a runtime float64 division so it is
+// bit-identical to what the base variant's FDIV produces.
+var bsInvRoot2Pi = func() float64 {
+	one, root := 1.0, bsRoot2Pi
+	return one / root
+}()
+
+// bsOptions returns the two option parameter sets (S, X, T, r, v).
+func bsOptions() [][bsOptW]float64 {
+	return [][bsOptW]float64{
+		{42, 40, 0.5, 0.1, 0.2},
+		{100, 110, 1.0, 0.05, 0.3},
+	}
+}
+
+// --- host reference ---
+
+func refCNDF(x float64) float64 {
+	ax := math.Abs(x)
+	one := 1.0
+	k := one / (one + float64(bsK0*ax))
+	poly := bsA5
+	poly = float64(poly*k) + bsA4
+	poly = float64(poly*k) + bsA3
+	poly = float64(poly*k) + bsA2
+	poly = float64(poly*k) + bsA1
+	poly = poly * k
+	e := math.Exp(float64(x*x) * -0.5)
+	n := one - float64(float64(bsInvRoot2Pi*e)*poly)
+	if x < 0 {
+		n = one - n
+	}
+	return n
+}
+
+func refDParams(opt [bsOptW]float64) (d1, d2 float64) {
+	s, x, t, r, v := opt[0], opt[1], opt[2], opt[3], opt[4]
+	// float64 conversions force per-operation rounding (no FMA), keeping
+	// the host bit-identical to the VM.
+	lg := math.Log(s / x)
+	hv := float64(v*v) * 0.5
+	num := lg + float64((r+hv)*t)
+	vsqrt := float64(v * math.Sqrt(t))
+	d1 = num / vsqrt
+	d2 = d1 - vsqrt
+	return d1, d2
+}
+
+// RefBScholes prices both options, returning per-option d-params and prices
+// (used to build the large variant's lookup table and by tests).
+func RefBScholes() (d [][2]float64, prices []float64) {
+	for _, opt := range bsOptions() {
+		d1, d2 := refDParams(opt)
+		nd1, nd2 := refCNDF(d1), refCNDF(d2)
+		s, x, t, r := opt[0], opt[1], opt[2], opt[3]
+		disc := math.Exp(-float64(r * t))
+		price := float64(s*nd1) - float64(float64(x*disc)*nd2)
+		d = append(d, [2]float64{d1, d2})
+		prices = append(prices, price)
+	}
+	return d, prices
+}
+
+// --- ISA kernels ---
+
+// bsDParamsBody computes d1, d2: r1 = &opt, r2 = &d.
+func bsDParamsBody(name string) *prog.Function {
+	f := prog.NewFunc(name)
+	f.Fld(0, 1, 0) // S
+	f.Fld(1, 1, 1) // X
+	f.Fld(2, 1, 2) // T
+	f.Fld(3, 1, 3) // r
+	f.Fld(4, 1, 4) // v
+	f.Fdiv(5, 0, 1)
+	f.Fln(5, 5) // ln(S/X)
+	f.Fmul(6, 4, 4)
+	f.Fli(7, 0.5)
+	f.Fmul(6, 6, 7)
+	f.Fadd(6, 3, 6) // r + v²/2
+	f.Fmul(6, 6, 2) // ·T
+	f.Fadd(5, 5, 6) // numerator
+	f.Fsqrt(8, 2)
+	f.Fmul(8, 4, 8)  // v·√T
+	f.Fdiv(9, 5, 8)  // d1
+	f.Fsub(10, 9, 8) // d2
+	f.Fst(9, 2, 0)
+	f.Fst(10, 2, 1)
+	f.Ret()
+	return f.MustBuild()
+}
+
+// bsDParamsLookup is the large-variant dparams: probe the table on the five
+// input words, copy the two result words on a hit, else fall back.
+func bsDParamsLookup() *prog.Function {
+	f := prog.NewFunc("bs.dparams")
+	f.Li(3, bsTab)  // entry cursor
+	f.Li(4, bsOpts) // entries left
+	f.Label("eloop")
+	f.Li(5, 0)
+	f.Beq(4, 5, "miss")
+	f.Li(6, 0) // word index
+	f.Li(7, bsOptW)
+	f.Label("wloop")
+	f.Bge(6, 7, "hit")
+	f.Add(8, 3, 6)
+	f.Ld(9, 8, 0)
+	f.Add(8, 1, 6)
+	f.Ld(10, 8, 0)
+	f.Bne(9, 10, "next")
+	f.Addi(6, 6, 1)
+	f.Jmp("wloop")
+	f.Label("hit")
+	f.Ld(9, 3, bsOptW) // d1 bits
+	f.St(9, 2, 0)
+	f.Ld(9, 3, bsOptW+1) // d2 bits
+	f.St(9, 2, 1)
+	f.Ret()
+	f.Label("next")
+	f.Addi(3, 3, bsOptW+2)
+	f.Addi(4, 4, -1)
+	f.Jmp("eloop")
+	f.Label("miss")
+	f.Call("bs.dparams.slow")
+	f.Ret()
+	return f.MustBuild()
+}
+
+// bsCNDF computes N(x): r1 = &x, r2 = &out. The small variant skips the
+// runtime derivation of 1/√(2π).
+func bsCNDF(small bool) *prog.Function {
+	f := prog.NewFunc("bs.cndf")
+	f.Fld(0, 1, 0) // x
+	f.Fabs(1, 0)
+	f.Fli(2, bsK0)
+	f.Fmul(2, 2, 1)
+	f.Fli(3, 1.0)
+	f.Fadd(2, 3, 2)
+	f.Fdiv(2, 3, 2) // k = 1/(1+k0·|x|)
+	f.Fli(4, bsA5)
+	f.Fmul(4, 4, 2)
+	f.Fli(5, bsA4)
+	f.Fadd(4, 4, 5)
+	f.Fmul(4, 4, 2)
+	f.Fli(5, bsA3)
+	f.Fadd(4, 4, 5)
+	f.Fmul(4, 4, 2)
+	f.Fli(5, bsA2)
+	f.Fadd(4, 4, 5)
+	f.Fmul(4, 4, 2)
+	f.Fli(5, bsA1)
+	f.Fadd(4, 4, 5)
+	f.Fmul(4, 4, 2) // poly
+	f.Fmul(5, 0, 0)
+	f.Fli(6, -0.5)
+	f.Fmul(5, 5, 6)
+	f.Fexp(5, 5) // e^(−x²/2)
+	if small {
+		f.Fli(6, bsInvRoot2Pi)
+	} else {
+		// Redundant runtime division the small modification removes.
+		f.Fli(6, bsRoot2Pi)
+		f.Fli(7, 1.0)
+		f.Fdiv(6, 7, 6)
+	}
+	f.Fmul(7, 6, 5)
+	f.Fmul(7, 7, 4)
+	f.Fli(8, 1.0)
+	f.Fsub(7, 8, 7) // n = 1 − inv·e·poly
+	f.Fli(9, 0.0)
+	f.Fblt(0, 9, "neg")
+	f.Fst(7, 2, 0)
+	f.Ret()
+	f.Label("neg")
+	f.Fsub(7, 8, 7)
+	f.Fst(7, 2, 0)
+	f.Ret()
+	return f.MustBuild()
+}
+
+// bsPriceFn prices one option: r1 = &opt, r2 = &nd, r3 = &price.
+func bsPriceFn() *prog.Function {
+	f := prog.NewFunc("bs.price")
+	f.Fld(0, 1, 0) // S
+	f.Fld(1, 1, 1) // X
+	f.Fld(2, 1, 2) // T
+	f.Fld(3, 1, 3) // r
+	f.Fld(4, 2, 0) // N(d1)
+	f.Fld(5, 2, 1) // N(d2)
+	f.Fmul(6, 3, 2)
+	f.Fneg(6, 6)
+	f.Fexp(6, 6) // e^(−rT)
+	f.Fmul(7, 1, 6)
+	f.Fmul(7, 7, 5) // X·e^(−rT)·N(d2)
+	f.Fmul(8, 0, 4) // S·N(d1)
+	f.Fsub(8, 8, 7)
+	f.Fst(8, 3, 0)
+	f.Ret()
+	return f.MustBuild()
+}
+
+// Section drivers: r1 = option index.
+
+func bsSec(name string, emit func(f *prog.B)) *prog.Function {
+	f := prog.NewFunc(name)
+	emit(f)
+	f.Ret()
+	return f.MustBuild()
+}
+
+// bsAddrs emits r2 = base2 + o*stride2 style address computations; o is in
+// r1 on entry and preserved in r12.
+func buildBScholes(v Variant) (*spec.Program, error) {
+	p := prog.New()
+
+	main := prog.NewFunc("main")
+	main.RoiBeg()
+	main.Li(15, bsOpts)
+	main.Li(14, 0)
+	main.Label("oloop")
+	for sec, name := range []string{"bs.sec1", "bs.sec2", "bs.sec3", "bs.sec4"} {
+		main.SecBeg(sec)
+		main.Mov(1, 14)
+		main.Call(name)
+		main.SecEnd(sec)
+	}
+	main.Addi(14, 14, 1)
+	main.Blt(14, 15, "oloop")
+	main.RoiEnd()
+	main.Halt()
+	p.MustAdd(main.MustBuild())
+
+	p.MustAdd(bsSec("bs.sec1", func(f *prog.B) {
+		f.Muli(2, 1, bsOptW)
+		f.Addi(2, 2, bsIn) // &opt
+		f.Shli(3, 1, 1)
+		f.Addi(3, 3, bsD) // &d
+		f.Mov(1, 2)
+		f.Mov(2, 3)
+		f.Call("bs.dparams")
+	}))
+	p.MustAdd(bsSec("bs.sec2", func(f *prog.B) {
+		f.Shli(2, 1, 1)
+		f.Addi(3, 2, bsD)  // &d1
+		f.Addi(2, 2, bsND) // &nd1
+		f.Mov(1, 3)
+		f.Call("bs.cndf")
+	}))
+	p.MustAdd(bsSec("bs.sec3", func(f *prog.B) {
+		f.Shli(2, 1, 1)
+		f.Addi(3, 2, bsD+1)  // &d2
+		f.Addi(2, 2, bsND+1) // &nd2
+		f.Mov(1, 3)
+		f.Call("bs.cndf")
+	}))
+	p.MustAdd(bsSec("bs.sec4", func(f *prog.B) {
+		f.Muli(2, 1, bsOptW)
+		f.Addi(2, 2, bsIn) // &opt
+		f.Shli(3, 1, 1)
+		f.Addi(3, 3, bsND)    // &nd
+		f.Addi(4, 1, bsPrice) // &price (stride 1)
+		f.Mov(1, 2)
+		f.Mov(2, 3)
+		f.Mov(3, 4)
+		f.Call("bs.price")
+	}))
+
+	if v == Large {
+		p.MustAdd(bsDParamsLookup())
+		p.MustAdd(bsDParamsBody("bs.dparams.slow"))
+	} else {
+		p.MustAdd(bsDParamsBody("bs.dparams"))
+	}
+	p.MustAdd(bsCNDF(v == Small))
+	p.MustAdd(bsPriceFn())
+
+	linked, err := p.Link("main")
+	if err != nil {
+		return nil, err
+	}
+
+	opts := bsOptions()
+	var tab []uint64
+	if v == Large {
+		d, _ := RefBScholes()
+		for o, opt := range opts {
+			for _, x := range opt {
+				tab = append(tab, math.Float64bits(x))
+			}
+			tab = append(tab, math.Float64bits(d[o][0]), math.Float64bits(d[o][1]))
+		}
+	}
+
+	optBuf := func(o int) spec.Buffer { return fbuf(fmt.Sprintf("opt%d", o), bsIn+o*bsOptW, bsOptW) }
+	d1Buf := func(o int) spec.Buffer { return fbuf(fmt.Sprintf("d1_%d", o), bsD+o*2, 1) }
+	d2Buf := func(o int) spec.Buffer { return fbuf(fmt.Sprintf("d2_%d", o), bsD+o*2+1, 1) }
+	dBuf := func(o int) spec.Buffer { return fbuf(fmt.Sprintf("d%d", o), bsD+o*2, 2) }
+	nd1Buf := func(o int) spec.Buffer { return fbuf(fmt.Sprintf("nd1_%d", o), bsND+o*2, 1) }
+	nd2Buf := func(o int) spec.Buffer { return fbuf(fmt.Sprintf("nd2_%d", o), bsND+o*2+1, 1) }
+	ndBuf := func(o int) spec.Buffer { return fbuf(fmt.Sprintf("nd%d", o), bsND+o*2, 2) }
+	priceBuf := func(o int) spec.Buffer { return fbuf(fmt.Sprintf("price%d", o), bsPrice+o, 1) }
+
+	live := []spec.Buffer{
+		fbuf("opts", bsIn, bsInW),
+		fbuf("d", bsD, bsDW),
+		fbuf("nd", bsND, bsNDW),
+		fbuf("price", bsPrice, bsPriceW),
+		ibuf("dtab", bsTab, bsTabW),
+	}
+
+	var s1, s2, s3, s4 []spec.InstanceIO
+	for o := 0; o < bsOpts; o++ {
+		in1 := []spec.Buffer{optBuf(o)}
+		if v == Large {
+			in1 = append(in1, ibuf("dtab", bsTab, bsTabW))
+		}
+		s1 = append(s1, spec.InstanceIO{Inputs: in1, Outputs: []spec.Buffer{dBuf(o)}, Live: live})
+		s2 = append(s2, spec.InstanceIO{Inputs: []spec.Buffer{d1Buf(o)}, Outputs: []spec.Buffer{nd1Buf(o)}, Live: live})
+		s3 = append(s3, spec.InstanceIO{Inputs: []spec.Buffer{d2Buf(o)}, Outputs: []spec.Buffer{nd2Buf(o)}, Live: live})
+		s4 = append(s4, spec.InstanceIO{
+			Inputs:  []spec.Buffer{optBuf(o), ndBuf(o)},
+			Outputs: []spec.Buffer{priceBuf(o)},
+			Live:    live,
+		})
+	}
+
+	sp := &spec.Program{
+		Name:     "bscholes",
+		Version:  string(v),
+		Linked:   linked,
+		MemWords: bsMemW,
+		Init: func(m *vm.Machine) {
+			for o, opt := range opts {
+				writeFloats(m, bsIn+o*bsOptW, opt[:])
+			}
+			if len(tab) > 0 {
+				writeWords(m, bsTab, tab)
+			}
+		},
+		Sections: []spec.Section{
+			{ID: 0, Name: "dparams", Instances: s1},
+			{ID: 1, Name: "cndf1", Instances: s2},
+			{ID: 2, Name: "cndf2", Instances: s3},
+			{ID: 3, Name: "price", Instances: s4},
+		},
+		FinalOutputs: []spec.Buffer{fbuf("price", bsPrice, bsPriceW)},
+	}
+	return sp, nil
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"fastflip/internal/trace"
+)
+
+func bsFinal(t *testing.T, v Variant) []float64 {
+	t.Helper()
+	p, err := Build("bscholes", v)
+	if err != nil {
+		t.Fatalf("Build(bscholes, %s): %v", v, err)
+	}
+	tr, err := trace.Record(p)
+	if err != nil {
+		t.Fatalf("Record(bscholes, %s): %v", v, err)
+	}
+	return floatsOf(tr.Final, bsPrice, bsPriceW)
+}
+
+func TestBScholesMatchesReference(t *testing.T) {
+	got := bsFinal(t, None)
+	_, want := RefBScholes()
+	for o := range want {
+		if got[o] != want[o] {
+			t.Fatalf("price[%d] = %v, reference %v", o, got[o], want[o])
+		}
+	}
+}
+
+func TestBScholesPricesPlausible(t *testing.T) {
+	_, prices := RefBScholes()
+	// Option 0: S=42, X=40, T=0.5, r=0.1, v=0.2 is the classic Hull
+	// example; its Black-Scholes call price is ≈ 4.76.
+	if math.Abs(prices[0]-4.76) > 0.02 {
+		t.Errorf("price[0] = %v, want ≈ 4.76", prices[0])
+	}
+	for o, p := range prices {
+		if p <= 0 || p >= 100 {
+			t.Errorf("price[%d] = %v out of plausible range", o, p)
+		}
+	}
+}
+
+func TestBScholesVariantsPreserveSemantics(t *testing.T) {
+	base := bsFinal(t, None)
+	for _, v := range []Variant{Small, Large} {
+		got := bsFinal(t, v)
+		for o := range base {
+			if got[o] != base[o] {
+				t.Fatalf("%s: price[%d] = %v, none-variant %v", v, o, got[o], base[o])
+			}
+		}
+	}
+}
+
+func TestBScholesTraceShape(t *testing.T) {
+	p := MustBuild("bscholes", None)
+	tr, err := trace.Record(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(tr.Instances), 8; got != want {
+		t.Fatalf("instances = %d, want %d (4 static x 2 options)", got, want)
+	}
+	t.Logf("bscholes trace: %d dynamic instructions", tr.TotalDyn)
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"testing"
+
+	"fastflip/internal/trace"
+)
+
+func cpFinal(t *testing.T, v Variant) []float64 {
+	t.Helper()
+	p, err := Build("campipe", v)
+	if err != nil {
+		t.Fatalf("Build(campipe, %s): %v", v, err)
+	}
+	tr, err := trace.Record(p)
+	if err != nil {
+		t.Fatalf("Record(campipe, %s): %v", v, err)
+	}
+	return floatsOf(tr.Final, cpOut, 3*cpPix)
+}
+
+func TestCampipeMatchesReference(t *testing.T) {
+	got := cpFinal(t, None)
+	_, want := RefCampipe()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frame[%d] = %v, reference %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCampipeOutputQuantized(t *testing.T) {
+	_, out := RefCampipe()
+	for i, x := range out {
+		if x < 0 || x > 1 {
+			t.Fatalf("frame[%d] = %v outside [0,1]", i, x)
+		}
+		q := float64(int64(float64(x*cpLevels) + 0.5))
+		if float64(q)/cpLevels != x {
+			t.Fatalf("frame[%d] = %v not on the 8-bit grid", i, x)
+		}
+	}
+}
+
+func TestCampipeVariantsPreserveSemantics(t *testing.T) {
+	base := cpFinal(t, None)
+	for _, v := range []Variant{Small, Large} {
+		got := cpFinal(t, v)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("%s: frame[%d] = %v, none-variant %v", v, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+func TestCampipeTraceShape(t *testing.T) {
+	p := MustBuild("campipe", None)
+	tr, err := trace.Record(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(tr.Instances), 5; got != want {
+		t.Fatalf("instances = %d, want %d", got, want)
+	}
+	t.Logf("campipe trace: %d dynamic instructions", tr.TotalDyn)
+}

@@ -1,0 +1,413 @@
+package bench
+
+import (
+	"math"
+
+	"fastflip/internal/prog"
+	"fastflip/internal/spec"
+	"fastflip/internal/vm"
+)
+
+// FFT: a 256-point complex radix-2 decimation-in-time transform
+// (Splash-3's FFT at the paper's 256x2 input size, §5.4), in five sections:
+//
+//	s0 bitrev    — bit-reversal permutation into the working buffers
+//	s1 stages1-3 — butterfly stages with half = 1, 2, 4
+//	s2 stages4-6 — half = 8, 16, 32
+//	s3 stages7-8 — half = 64, 128
+//	s4 scale     — normalize by 1/N into the output buffers
+//
+// The three butterfly sections share one stage kernel. That sharing is
+// deliberate: the monolithic baseline prunes the kernel's error sites once
+// across all stages, while FastFlip must re-inject it per section instance
+// — the paper's explanation for FastFlip's slower initial FFT analysis
+// (§6.2, Table 3).
+//
+// Small modification: the butterfly body recomputes each element address
+// for its load and its store; the specialized version computes each address
+// once (the paper's common-subexpression-elimination change).
+// Large modification: the bit-reversal section is replaced by a lookup
+// table keyed on the full input arrays.
+
+const (
+	fftN     = 256
+	fftLogN  = 8
+	fftRe    = 0
+	fftIm    = fftN
+	fftWRe   = 2 * fftN
+	fftWIm   = 3 * fftN
+	fftTwRe  = 4 * fftN // 128 twiddle cosines
+	fftTwIm  = 4*fftN + fftN/2
+	fftOutRe = 5 * fftN
+	fftOutIm = 6 * fftN
+	fftTab   = 7 * fftN // large-variant table: 512 key + 512 value words
+	fftTabW  = 4 * fftN
+	fftMemW  = 12 * fftN
+)
+
+func init() { register("fft", buildFFT) }
+
+// fftScale is 1/N; a power of two, so folding it is exact.
+const fftScale = 1.0 / fftN
+
+// fftInput returns the deterministic complex input signal.
+func fftInput() (re, im []float64) {
+	r := rng(0xff7)
+	re = make([]float64, fftN)
+	im = make([]float64, fftN)
+	for i := range re {
+		re[i] = 2*r.Float64() - 1
+		im[i] = 2*r.Float64() - 1
+	}
+	return re, im
+}
+
+// fftTwiddles returns the shared twiddle table: entry k holds
+// e^(−2πik/N) = (cos, −sin).
+func fftTwiddles() (twRe, twIm []float64) {
+	twRe = make([]float64, fftN/2)
+	twIm = make([]float64, fftN/2)
+	for k := range twRe {
+		ang := -2 * math.Pi * float64(k) / fftN
+		twRe[k] = math.Cos(ang)
+		twIm[k] = math.Sin(ang)
+	}
+	return twRe, twIm
+}
+
+func bitrev8(i int) int {
+	j := 0
+	for b := 0; b < fftLogN; b++ {
+		j = j<<1 | i&1
+		i >>= 1
+	}
+	return j
+}
+
+// --- host reference ---
+
+// refFFTStage applies one butterfly stage in place, mirroring the ISA
+// kernel's operation order.
+func refFFTStage(re, im, twRe, twIm []float64, half int) {
+	stride := (fftN / 2) / half
+	for base := 0; base < fftN; base += 2 * half {
+		for j := 0; j < half; j++ {
+			wre, wim := twRe[j*stride], twIm[j*stride]
+			a, b := base+j, base+j+half
+			tre := float64(wre*re[b]) - float64(wim*im[b])
+			tim := float64(wre*im[b]) + float64(wim*re[b])
+			rea, ima := re[a], im[a]
+			re[b] = rea - tre
+			im[b] = ima - tim
+			re[a] = rea + tre
+			im[a] = ima + tim
+		}
+	}
+}
+
+// RefFFT runs the whole pipeline on host copies, returning the bit-reversed
+// arrays (for the lookup table) and the final scaled outputs.
+func RefFFT() (brRe, brIm, outRe, outIm []float64) {
+	re, im := fftInput()
+	twRe, twIm := fftTwiddles()
+	brRe = make([]float64, fftN)
+	brIm = make([]float64, fftN)
+	for i := 0; i < fftN; i++ {
+		brRe[bitrev8(i)] = re[i]
+		brIm[bitrev8(i)] = im[i]
+	}
+	wr := append([]float64(nil), brRe...)
+	wi := append([]float64(nil), brIm...)
+	for half := 1; half < fftN; half *= 2 {
+		refFFTStage(wr, wi, twRe, twIm, half)
+	}
+	outRe = make([]float64, fftN)
+	outIm = make([]float64, fftN)
+	for i := 0; i < fftN; i++ {
+		outRe[i] = wr[i] * fftScale
+		outIm[i] = wi[i] * fftScale
+	}
+	return brRe, brIm, outRe, outIm
+}
+
+// --- ISA kernels ---
+
+// fftAddr emits reg = base + idxReg.
+func fftAddr(f *prog.B, reg, base, idxReg int) {
+	f.Li(reg, int64(base))
+	f.Add(reg, reg, idxReg)
+}
+
+// fftStage emits the generic butterfly stage kernel; r1 = half.
+func fftStage(small bool) *prog.Function {
+	f := prog.NewFunc("fft.stage")
+	f.Shli(9, 1, 1) // r9 = step = 2*half
+	f.Li(8, fftN/2)
+	f.Div(8, 8, 1) // r8 = twiddle stride
+	f.Li(2, 0)     // base
+	f.Label("baseloop")
+	f.Li(10, fftN)
+	f.Bge(2, 10, "end")
+	f.Li(3, 0) // j
+	f.Label("jloop")
+	f.Bge(3, 1, "jend")
+	f.Mul(4, 8, 3) // twiddle index
+	fftAddr(f, 5, fftTwRe, 4)
+	f.Fld(0, 5, 0) // wre
+	fftAddr(f, 5, fftTwIm, 4)
+	f.Fld(1, 5, 0) // wim
+	f.Add(6, 2, 3) // a
+	f.Add(7, 6, 1) // b
+	if small {
+		// CSE: each address computed once, kept for the matching store.
+		fftAddr(f, 5, fftWRe, 7)  // &re[b]
+		fftAddr(f, 11, fftWIm, 7) // &im[b]
+		fftAddr(f, 0, fftWRe, 6)  // &re[a]
+		fftAddr(f, 4, fftWIm, 6)  // &im[a]
+		f.Fld(2, 5, 0)
+		f.Fld(3, 11, 0)
+		f.Fld(4, 0, 0)
+		f.Fld(5, 4, 0)
+	} else {
+		fftAddr(f, 5, fftWRe, 7)
+		f.Fld(2, 5, 0)
+		fftAddr(f, 5, fftWIm, 7)
+		f.Fld(3, 5, 0)
+		fftAddr(f, 5, fftWRe, 6)
+		f.Fld(4, 5, 0)
+		fftAddr(f, 5, fftWIm, 6)
+		f.Fld(5, 5, 0)
+	}
+	f.Fmul(6, 0, 2)
+	f.Fmul(8, 1, 3)
+	f.Fsub(6, 6, 8) // tre
+	f.Fmul(7, 0, 3)
+	f.Fmul(8, 1, 2)
+	f.Fadd(7, 7, 8) // tim
+	f.Fsub(8, 4, 6) // re[b]'
+	if small {
+		f.Fst(8, 5, 0)
+	} else {
+		fftAddr(f, 5, fftWRe, 7)
+		f.Fst(8, 5, 0)
+	}
+	f.Fsub(8, 5, 7) // im[b]'
+	if small {
+		f.Fst(8, 11, 0)
+	} else {
+		fftAddr(f, 5, fftWIm, 7)
+		f.Fst(8, 5, 0)
+	}
+	f.Fadd(8, 4, 6) // re[a]'
+	if small {
+		f.Fst(8, 0, 0)
+	} else {
+		fftAddr(f, 5, fftWRe, 6)
+		f.Fst(8, 5, 0)
+	}
+	f.Fadd(8, 5, 7) // im[a]'
+	if small {
+		f.Fst(8, 4, 0)
+	} else {
+		fftAddr(f, 5, fftWIm, 6)
+		f.Fst(8, 5, 0)
+	}
+	f.Addi(3, 3, 1)
+	f.Jmp("jloop")
+	f.Label("jend")
+	f.Add(2, 2, 9)
+	f.Jmp("baseloop")
+	f.Label("end")
+	f.Ret()
+	return f.MustBuild()
+}
+
+func fftBitrevBody(name string) *prog.Function {
+	f := prog.NewFunc(name)
+	f.Li(2, 0) // i
+	f.Label("iloop")
+	f.Li(3, fftN)
+	f.Bge(2, 3, "end")
+	f.Li(4, 0) // j
+	f.Mov(5, 2)
+	for b := 0; b < fftLogN; b++ {
+		f.Shli(4, 4, 1)
+		f.Andi(6, 5, 1)
+		f.Or(4, 4, 6)
+		f.Shri(5, 5, 1)
+	}
+	fftAddr(f, 6, fftRe, 2)
+	f.Fld(0, 6, 0)
+	fftAddr(f, 6, fftWRe, 4)
+	f.Fst(0, 6, 0)
+	fftAddr(f, 6, fftIm, 2)
+	f.Fld(0, 6, 0)
+	fftAddr(f, 6, fftWIm, 4)
+	f.Fst(0, 6, 0)
+	f.Addi(2, 2, 1)
+	f.Jmp("iloop")
+	f.Label("end")
+	f.Ret()
+	return f.MustBuild()
+}
+
+// fftBitrevLookup replaces bit-reversal with a table probe on the full
+// input arrays.
+func fftBitrevLookup() *prog.Function {
+	f := prog.NewFunc("fft.bitrev")
+	f.Li(2, 0) // word index over re..im (2N words, contiguous at fftRe)
+	f.Li(3, 2*fftN)
+	f.Label("wloop")
+	f.Bge(2, 3, "hit")
+	f.Ld(4, 2, fftRe)
+	f.Ld(5, 2, fftTab)
+	f.Bne(4, 5, "miss")
+	f.Addi(2, 2, 1)
+	f.Jmp("wloop")
+	f.Label("hit")
+	f.Li(2, 0)
+	f.Label("cloop")
+	f.Bge(2, 3, "done")
+	f.Ld(4, 2, fftTab+2*fftN)
+	f.St(4, 2, fftWRe)
+	f.Addi(2, 2, 1)
+	f.Jmp("cloop")
+	f.Label("done")
+	f.Ret()
+	f.Label("miss")
+	f.Call("fft.bitrev.slow")
+	f.Ret()
+	return f.MustBuild()
+}
+
+func fftScaleFn() *prog.Function {
+	f := prog.NewFunc("fft.scale")
+	f.Fli(1, fftScale)
+	f.Li(2, 0)
+	f.Label("loop")
+	f.Li(3, fftN)
+	f.Bge(2, 3, "end")
+	fftAddr(f, 4, fftWRe, 2)
+	f.Fld(0, 4, 0)
+	f.Fmul(0, 0, 1)
+	fftAddr(f, 4, fftOutRe, 2)
+	f.Fst(0, 4, 0)
+	fftAddr(f, 4, fftWIm, 2)
+	f.Fld(0, 4, 0)
+	f.Fmul(0, 0, 1)
+	fftAddr(f, 4, fftOutIm, 2)
+	f.Fst(0, 4, 0)
+	f.Addi(2, 2, 1)
+	f.Jmp("loop")
+	f.Label("end")
+	f.Ret()
+	return f.MustBuild()
+}
+
+// fftStagesSec builds a section driver running the stage kernel for the
+// given halves.
+func fftStagesSec(name string, halves []int) *prog.Function {
+	f := prog.NewFunc(name)
+	for _, h := range halves {
+		f.Li(1, int64(h))
+		f.Call("fft.stage")
+	}
+	f.Ret()
+	return f.MustBuild()
+}
+
+func buildFFT(v Variant) (*spec.Program, error) {
+	p := prog.New()
+
+	main := prog.NewFunc("main")
+	main.RoiBeg()
+	secFns := []string{"fft.bitrev", "fft.stages13", "fft.stages46", "fft.stages78", "fft.scale"}
+	for sec, name := range secFns {
+		main.SecBeg(sec)
+		main.Call(name)
+		main.SecEnd(sec)
+	}
+	main.RoiEnd()
+	main.Halt()
+	p.MustAdd(main.MustBuild())
+
+	if v == Large {
+		p.MustAdd(fftBitrevLookup())
+		p.MustAdd(fftBitrevBody("fft.bitrev.slow"))
+	} else {
+		p.MustAdd(fftBitrevBody("fft.bitrev"))
+	}
+	p.MustAdd(fftStagesSec("fft.stages13", []int{1, 2, 4}))
+	p.MustAdd(fftStagesSec("fft.stages46", []int{8, 16, 32}))
+	p.MustAdd(fftStagesSec("fft.stages78", []int{64, 128}))
+	p.MustAdd(fftStage(v == Small))
+	p.MustAdd(fftScaleFn())
+
+	linked, err := p.Link("main")
+	if err != nil {
+		return nil, err
+	}
+
+	re, im := fftInput()
+	twRe, twIm := fftTwiddles()
+	var tab []uint64
+	if v == Large {
+		brRe, brIm, _, _ := RefFFT()
+		for _, s := range [][]float64{re, im, brRe, brIm} {
+			for _, x := range s {
+				tab = append(tab, math.Float64bits(x))
+			}
+		}
+	}
+
+	inRe := fbuf("re", fftRe, fftN)
+	inIm := fbuf("im", fftIm, fftN)
+	wre := fbuf("wre", fftWRe, fftN)
+	wim := fbuf("wim", fftWIm, fftN)
+	twReBuf := fbuf("twre", fftTwRe, fftN/2)
+	twImBuf := fbuf("twim", fftTwIm, fftN/2)
+	outRe := fbuf("outre", fftOutRe, fftN)
+	outIm := fbuf("outim", fftOutIm, fftN)
+	tabBuf := ibuf("brtab", fftTab, fftTabW)
+
+	live := []spec.Buffer{inRe, inIm, wre, wim, twReBuf, twImBuf, outRe, outIm, tabBuf}
+
+	brIn := []spec.Buffer{inRe, inIm}
+	if v == Large {
+		brIn = append(brIn, tabBuf)
+	}
+	stageIO := spec.InstanceIO{
+		Inputs:  []spec.Buffer{wre, wim, twReBuf, twImBuf},
+		Outputs: []spec.Buffer{wre, wim},
+		Live:    live,
+	}
+
+	sp := &spec.Program{
+		Name:     "fft",
+		Version:  string(v),
+		Linked:   linked,
+		MemWords: fftMemW,
+		Init: func(m *vm.Machine) {
+			writeFloats(m, fftRe, re)
+			writeFloats(m, fftIm, im)
+			writeFloats(m, fftTwRe, twRe)
+			writeFloats(m, fftTwIm, twIm)
+			if len(tab) > 0 {
+				writeWords(m, fftTab, tab)
+			}
+		},
+		Sections: []spec.Section{
+			{ID: 0, Name: "bitrev", Instances: []spec.InstanceIO{
+				{Inputs: brIn, Outputs: []spec.Buffer{wre, wim}, Live: live},
+			}},
+			{ID: 1, Name: "stages1-3", Instances: []spec.InstanceIO{stageIO}},
+			{ID: 2, Name: "stages4-6", Instances: []spec.InstanceIO{stageIO}},
+			{ID: 3, Name: "stages7-8", Instances: []spec.InstanceIO{stageIO}},
+			{ID: 4, Name: "scale", Instances: []spec.InstanceIO{
+				{Inputs: []spec.Buffer{wre, wim}, Outputs: []spec.Buffer{outRe, outIm}, Live: live},
+			}},
+		},
+		FinalOutputs: []spec.Buffer{outRe, outIm},
+	}
+	return sp, nil
+}

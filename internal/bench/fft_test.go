@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"fastflip/internal/trace"
+)
+
+func fftFinal(t *testing.T, v Variant) (re, im []float64) {
+	t.Helper()
+	p, err := Build("fft", v)
+	if err != nil {
+		t.Fatalf("Build(fft, %s): %v", v, err)
+	}
+	tr, err := trace.Record(p)
+	if err != nil {
+		t.Fatalf("Record(fft, %s): %v", v, err)
+	}
+	return floatsOf(tr.Final, fftOutRe, fftN), floatsOf(tr.Final, fftOutIm, fftN)
+}
+
+func TestFFTMatchesReference(t *testing.T) {
+	gotRe, gotIm := fftFinal(t, None)
+	_, _, wantRe, wantIm := RefFFT()
+	for i := 0; i < fftN; i++ {
+		if gotRe[i] != wantRe[i] || gotIm[i] != wantIm[i] {
+			t.Fatalf("out[%d] = (%v,%v), reference (%v,%v)", i, gotRe[i], gotIm[i], wantRe[i], wantIm[i])
+		}
+	}
+}
+
+// TestFFTMatchesDFT compares against a naive O(N²) DFT: the butterfly
+// network must compute an actual Fourier transform, not merely be
+// deterministic.
+func TestFFTMatchesDFT(t *testing.T) {
+	gotRe, gotIm := fftFinal(t, None)
+	re, im := fftInput()
+	for k := 0; k < fftN; k += 17 { // spot-check a spread of bins
+		var acc complex128
+		for n := 0; n < fftN; n++ {
+			ang := -2 * math.Pi * float64(k) * float64(n) / fftN
+			acc += complex(re[n], im[n]) * cmplx.Exp(complex(0, ang))
+		}
+		acc /= fftN
+		if math.Abs(real(acc)-gotRe[k]) > 1e-9 || math.Abs(imag(acc)-gotIm[k]) > 1e-9 {
+			t.Fatalf("bin %d: fft (%v,%v), dft (%v,%v)", k, gotRe[k], gotIm[k], real(acc), imag(acc))
+		}
+	}
+}
+
+func TestFFTVariantsPreserveSemantics(t *testing.T) {
+	baseRe, baseIm := fftFinal(t, None)
+	for _, v := range []Variant{Small, Large} {
+		gotRe, gotIm := fftFinal(t, v)
+		for i := range baseRe {
+			if gotRe[i] != baseRe[i] || gotIm[i] != baseIm[i] {
+				t.Fatalf("%s: out[%d] differs from none-variant", v, i)
+			}
+		}
+	}
+}
+
+func TestFFTTraceShape(t *testing.T) {
+	p := MustBuild("fft", None)
+	tr, err := trace.Record(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(tr.Instances), 5; got != want {
+		t.Fatalf("instances = %d, want %d", got, want)
+	}
+	t.Logf("fft trace: %d dynamic instructions", tr.TotalDyn)
+}

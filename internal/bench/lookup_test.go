@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"testing"
+
+	"fastflip/internal/trace"
+)
+
+// slowFns names each benchmark's large-variant fallback kernel. On the
+// benchmark's own input the lookup must hit, so the fallback never runs.
+var slowFns = map[string]string{
+	"lud":      "lud.lu0.slow",
+	"bscholes": "bs.dparams.slow",
+	"fft":      "fft.bitrev.slow",
+	"sha2":     "sha.compress.slow",
+	"campipe":  "cp.demosaic.slow",
+}
+
+// TestLargeVariantLookupHits confirms the paper's large-modification
+// semantics: the lookup table maps the concrete section input to its
+// output, so the replaced section's original code is dead on this input.
+func TestLargeVariantLookupHits(t *testing.T) {
+	for name, slow := range slowFns {
+		t.Run(name, func(t *testing.T) {
+			p := MustBuild(name, Large)
+			tr, err := trace.Record(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slowIdx := -1
+			for i, fn := range p.Linked.FuncNames {
+				if fn == slow {
+					slowIdx = i
+				}
+			}
+			if slowIdx < 0 {
+				t.Fatalf("large variant lacks fallback kernel %q", slow)
+			}
+			for _, inst := range tr.Instances {
+				if inst.Funcs[slowIdx] {
+					t.Errorf("fallback %q executed in section %d: lookup missed", slow, inst.Sec)
+				}
+			}
+		})
+	}
+}
+
+// TestLargeVariantShortensOrKeepsReplacedSection sanity-checks that the
+// lookup rewrite targets the intended section: that section's dynamic
+// length changes versus the base version.
+func TestLargeVariantChangesSectionLength(t *testing.T) {
+	replacedSection := map[string]int{
+		"lud": 0, "bscholes": 0, "fft": 0, "sha2": 2, "campipe": 0,
+	}
+	for name, sec := range replacedSection {
+		t.Run(name, func(t *testing.T) {
+			base, err := trace.Record(MustBuild(name, None))
+			if err != nil {
+				t.Fatal(err)
+			}
+			large, err := trace.Record(MustBuild(name, Large))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var baseLen, largeLen uint64
+			for _, inst := range base.Instances {
+				if inst.Sec == sec {
+					baseLen += inst.Len()
+				}
+			}
+			for _, inst := range large.Instances {
+				if inst.Sec == sec {
+					largeLen += inst.Len()
+				}
+			}
+			if baseLen == largeLen {
+				t.Errorf("section %d length unchanged (%d) by the large variant", sec, baseLen)
+			}
+			t.Logf("%s section %d: %d -> %d dynamic instructions", name, sec, baseLen, largeLen)
+		})
+	}
+}
+
+// TestDeterministicBuilds: building the same version twice yields
+// hash-identical functions and identical inputs — the analyses depend on
+// full determinism.
+func TestDeterministicBuilds(t *testing.T) {
+	for _, name := range Names() {
+		p1 := MustBuild(name, None)
+		p2 := MustBuild(name, None)
+		if len(p1.Linked.Code) != len(p2.Linked.Code) {
+			t.Fatalf("%s: code lengths differ", name)
+		}
+		for i := range p1.Linked.FuncHashes {
+			if p1.Linked.FuncHashes[i] != p2.Linked.FuncHashes[i] {
+				t.Errorf("%s: function %s hash differs between builds", name, p1.Linked.FuncNames[i])
+			}
+		}
+		m1, m2 := p1.NewMachine(), p2.NewMachine()
+		for a := range m1.Mem {
+			if m1.Mem[a] != m2.Mem[a] {
+				t.Fatalf("%s: initial memory differs at %d", name, a)
+			}
+		}
+	}
+}
+
+// TestSmallVariantsShrinkOrKeepTrace: the small modifications remove
+// redundant work, so the trace never grows.
+func TestSmallVariantsShrinkTrace(t *testing.T) {
+	for _, name := range Names() {
+		base, err := trace.Record(MustBuild(name, None))
+		if err != nil {
+			t.Fatal(err)
+		}
+		small, err := trace.Record(MustBuild(name, Small))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if small.TotalDyn > base.TotalDyn {
+			t.Errorf("%s: small variant grew the trace: %d -> %d", name, base.TotalDyn, small.TotalDyn)
+		}
+		if small.TotalDyn == base.TotalDyn {
+			t.Errorf("%s: small variant did not change the trace length", name)
+		}
+	}
+}

@@ -1,0 +1,589 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"fastflip/internal/prog"
+	"fastflip/internal/spec"
+	"fastflip/internal/vm"
+)
+
+// LUD: blocked LU decomposition (Splash-3), the paper's running example
+// (§3, Algorithm 1). A 16x16 matrix with 8x8 blocks gives n = 2 blocks per
+// dimension, four static sections, each with two dynamic instances:
+//
+//	for k = 0..n-1:
+//	  s1: LU0(blk[k,k])                         — factor the diagonal block
+//	  s2: for i>k: BDIV(blk[k,i],  blk[k,k])    — row blocks
+//	  s3: for j>k: BMODD(blk[j,k], blk[k,k])    — column blocks
+//	  s4: for i,j>k: BMOD(blk[j,i], blk[k,i], blk[j,k]) — interior update
+//
+// The matrix is stored block-major: block (I,J) occupies 64 contiguous
+// words at (I*2+J)*64, so every section's inputs and outputs are contiguous
+// buffers.
+//
+// Small modification: BMOD normally re-derives its row bound min(B, rem)
+// on every row iteration (the bounds check blocked codes need for edge
+// blocks); the specialized version drops it because 16 is a multiple of 8.
+// Large modification: LU0 is replaced by a lookup table keyed on the
+// concrete input block (§5.5).
+
+const (
+	ludN      = 2 // blocks per dimension
+	ludB      = 8 // block size
+	ludBlkW   = ludB * ludB
+	ludMat    = 0
+	ludMatW   = ludN * ludN * ludBlkW
+	ludTab    = 320 // lookup table for the large variant
+	ludTabW   = 2 * 2 * ludBlkW
+	ludKSpill = 300 // scratch word where sec4 spills k
+	ludMemW   = 1024
+)
+
+func init() { register("lud", buildLUD) }
+
+func ludBlkAddr(i, j int) int { return ludMat + (i*ludN+j)*ludBlkW }
+
+func ludBlkBuf(i, j int) spec.Buffer {
+	return fbuf(fmt.Sprintf("blk%d%d", i, j), ludBlkAddr(i, j), ludBlkW)
+}
+
+// ludInput generates the deterministic, diagonally dominant input matrix in
+// block-major order.
+func ludInput() []float64 {
+	r := rng(0x10d)
+	mat := make([]float64, ludMatW)
+	for i := range mat {
+		mat[i] = 1 + r.Float64()
+	}
+	// Strengthen the diagonal just enough that the pivots stay well away
+	// from zero. Mild dominance keeps the factorization numerically sane
+	// while letting early sections amplify input SDCs noticeably -- the
+	// paper's Equation 2 shows large downstream amplification for LU0.
+	for i := 0; i < ludN*ludB; i++ {
+		bi, ri := i/ludB, i%ludB
+		mat[ludBlkAddr(bi, bi)-ludMat+ri*ludB+ri] += 3.5
+	}
+	return mat
+}
+
+// --- host reference (mirrors the ISA kernels operation for operation) ---
+
+func refLU0(a []float64) {
+	for k := 0; k < ludB; k++ {
+		piv := a[k*ludB+k]
+		for i := k + 1; i < ludB; i++ {
+			a[i*ludB+k] /= piv
+			l := a[i*ludB+k]
+			for j := k + 1; j < ludB; j++ {
+				a[i*ludB+j] -= float64(l * a[k*ludB+j]) // explicit rounding: no FMA, bit-identical to the VM
+			}
+		}
+	}
+}
+
+func refBDIV(a, d []float64) {
+	for r := 1; r < ludB; r++ {
+		for k := 0; k < r; k++ {
+			l := d[r*ludB+k]
+			for c := 0; c < ludB; c++ {
+				a[r*ludB+c] -= float64(l * a[k*ludB+c])
+			}
+		}
+	}
+}
+
+func refBMODD(a, d []float64) {
+	for c := 0; c < ludB; c++ {
+		for k := 0; k < c; k++ {
+			u := d[k*ludB+c]
+			for r := 0; r < ludB; r++ {
+				a[r*ludB+c] -= float64(a[r*ludB+k] * u)
+			}
+		}
+		piv := d[c*ludB+c]
+		for r := 0; r < ludB; r++ {
+			a[r*ludB+c] /= piv
+		}
+	}
+}
+
+func refBMOD(a, b, c []float64) {
+	for r := 0; r < ludB; r++ {
+		for m := 0; m < ludB; m++ {
+			l := c[r*ludB+m]
+			for col := 0; col < ludB; col++ {
+				a[r*ludB+col] -= float64(l * b[m*ludB+col])
+			}
+		}
+	}
+}
+
+// RefLUD runs the whole blocked factorization on a host copy and returns,
+// for each LU0 call, the input and output block contents (used both to
+// build the large variant's lookup table and by tests).
+func RefLUD(mat []float64) (lu0In, lu0Out [][]float64) {
+	blk := func(i, j int) []float64 {
+		base := ludBlkAddr(i, j) - ludMat
+		return mat[base : base+ludBlkW]
+	}
+	for k := 0; k < ludN; k++ {
+		in := append([]float64(nil), blk(k, k)...)
+		refLU0(blk(k, k))
+		out := append([]float64(nil), blk(k, k)...)
+		lu0In = append(lu0In, in)
+		lu0Out = append(lu0Out, out)
+		for i := k + 1; i < ludN; i++ {
+			refBDIV(blk(k, i), blk(k, k))
+		}
+		for j := k + 1; j < ludN; j++ {
+			refBMODD(blk(j, k), blk(k, k))
+		}
+		for i := k + 1; i < ludN; i++ {
+			for j := k + 1; j < ludN; j++ {
+				refBMOD(blk(j, i), blk(k, i), blk(j, k))
+			}
+		}
+	}
+	return lu0In, lu0Out
+}
+
+// --- ISA kernels ---
+
+func ludLU0Body(name string) *prog.Function {
+	f := prog.NewFunc(name)
+	f.Li(5, ludB) // r5 = B
+	f.Li(2, 0)    // r2 = kk
+	f.Label("kloop")
+	f.Muli(6, 2, ludB+1) // r6 = kk*(B+1)
+	f.Add(6, 6, 1)
+	f.Fld(0, 6, 0) // f0 = a[kk][kk]
+	f.Addi(3, 2, 1)
+	f.Label("iloop")
+	f.Bge(3, 5, "iend")
+	f.Shli(7, 3, 3)
+	f.Add(7, 7, 2)
+	f.Add(7, 7, 1)
+	f.Fld(1, 7, 0)
+	f.Fdiv(1, 1, 0) // f1 = a[i][kk] /= pivot
+	f.Fst(1, 7, 0)
+	f.Addi(4, 2, 1)
+	f.Label("jloop")
+	f.Bge(4, 5, "jend")
+	f.Shli(7, 3, 3)
+	f.Add(7, 7, 4)
+	f.Add(7, 7, 1) // &a[i][j]
+	f.Shli(8, 2, 3)
+	f.Add(8, 8, 4)
+	f.Add(8, 8, 1) // &a[kk][j]
+	f.Fld(2, 7, 0)
+	f.Fld(3, 8, 0)
+	f.Fmul(3, 1, 3)
+	f.Fsub(2, 2, 3)
+	f.Fst(2, 7, 0)
+	f.Addi(4, 4, 1)
+	f.Jmp("jloop")
+	f.Label("jend")
+	f.Addi(3, 3, 1)
+	f.Jmp("iloop")
+	f.Label("iend")
+	f.Addi(2, 2, 1)
+	f.Blt(2, 5, "kloop")
+	f.Ret()
+	return f.MustBuild()
+}
+
+// ludLU0Lookup is the large-variant replacement: probe the table; on a hit
+// copy the stored output block, otherwise fall back to the original kernel.
+func ludLU0Lookup() *prog.Function {
+	f := prog.NewFunc("lud.lu0")
+	f.Li(2, ludTab) // r2 = table base
+	f.Li(3, 2)      // r3 = entries
+	f.Li(4, 0)      // r4 = entry index
+	f.Label("eloop")
+	f.Bge(4, 3, "miss")
+	f.Shli(5, 4, 7) // entry stride = 2*64 words
+	f.Add(5, 5, 2)  // r5 = &entry (key at +0, value at +64)
+	f.Li(7, ludBlkW)
+	f.Li(6, 0)
+	f.Label("wloop")
+	f.Bge(6, 7, "hit")
+	f.Add(8, 5, 6)
+	f.Ld(10, 8, 0) // key word
+	f.Add(9, 1, 6)
+	f.Ld(11, 9, 0) // input word
+	f.Bne(10, 11, "next")
+	f.Addi(6, 6, 1)
+	f.Jmp("wloop")
+	f.Label("hit")
+	f.Li(6, 0)
+	f.Label("cloop")
+	f.Bge(6, 7, "done")
+	f.Add(8, 5, 6)
+	f.Ld(10, 8, int64(ludBlkW)) // value word
+	f.Add(9, 1, 6)
+	f.St(10, 9, 0)
+	f.Addi(6, 6, 1)
+	f.Jmp("cloop")
+	f.Label("done")
+	f.Ret()
+	f.Label("next")
+	f.Addi(4, 4, 1)
+	f.Jmp("eloop")
+	f.Label("miss")
+	f.Call("lud.lu0.slow")
+	f.Ret()
+	return f.MustBuild()
+}
+
+func ludBDIV() *prog.Function {
+	f := prog.NewFunc("lud.bdiv")
+	f.Li(6, ludB)
+	f.Li(3, 1) // r
+	f.Label("rloop")
+	f.Bge(3, 6, "end")
+	f.Li(4, 0) // k
+	f.Label("kloop")
+	f.Bge(4, 3, "kend")
+	f.Shli(7, 3, 3)
+	f.Add(7, 7, 4)
+	f.Add(7, 7, 2)
+	f.Fld(0, 7, 0) // f0 = d[r][k]
+	f.Li(5, 0)     // c
+	f.Label("cloop")
+	f.Bge(5, 6, "cend")
+	f.Shli(7, 3, 3)
+	f.Add(7, 7, 5)
+	f.Add(7, 7, 1) // &a[r][c]
+	f.Shli(8, 4, 3)
+	f.Add(8, 8, 5)
+	f.Add(8, 8, 1) // &a[k][c]
+	f.Fld(1, 7, 0)
+	f.Fld(2, 8, 0)
+	f.Fmul(2, 0, 2)
+	f.Fsub(1, 1, 2)
+	f.Fst(1, 7, 0)
+	f.Addi(5, 5, 1)
+	f.Jmp("cloop")
+	f.Label("cend")
+	f.Addi(4, 4, 1)
+	f.Jmp("kloop")
+	f.Label("kend")
+	f.Addi(3, 3, 1)
+	f.Jmp("rloop")
+	f.Label("end")
+	f.Ret()
+	return f.MustBuild()
+}
+
+func ludBMODD() *prog.Function {
+	f := prog.NewFunc("lud.bmodd")
+	f.Li(6, ludB)
+	f.Li(3, 0) // c
+	f.Label("cloop")
+	f.Bge(3, 6, "end")
+	f.Li(4, 0) // k
+	f.Label("kloop")
+	f.Bge(4, 3, "kend")
+	f.Shli(7, 4, 3)
+	f.Add(7, 7, 3)
+	f.Add(7, 7, 2)
+	f.Fld(0, 7, 0) // f0 = d[k][c]
+	f.Li(5, 0)     // r
+	f.Label("rloop")
+	f.Bge(5, 6, "rend")
+	f.Shli(7, 5, 3)
+	f.Add(7, 7, 3)
+	f.Add(7, 7, 1) // &a[r][c]
+	f.Shli(8, 5, 3)
+	f.Add(8, 8, 4)
+	f.Add(8, 8, 1) // &a[r][k]
+	f.Fld(1, 7, 0)
+	f.Fld(2, 8, 0)
+	f.Fmul(2, 2, 0)
+	f.Fsub(1, 1, 2)
+	f.Fst(1, 7, 0)
+	f.Addi(5, 5, 1)
+	f.Jmp("rloop")
+	f.Label("rend")
+	f.Addi(4, 4, 1)
+	f.Jmp("kloop")
+	f.Label("kend")
+	f.Muli(7, 3, ludB+1)
+	f.Add(7, 7, 2)
+	f.Fld(0, 7, 0) // f0 = d[c][c]
+	f.Li(5, 0)
+	f.Label("dloop")
+	f.Bge(5, 6, "dend")
+	f.Shli(7, 5, 3)
+	f.Add(7, 7, 3)
+	f.Add(7, 7, 1)
+	f.Fld(1, 7, 0)
+	f.Fdiv(1, 1, 0)
+	f.Fst(1, 7, 0)
+	f.Addi(5, 5, 1)
+	f.Jmp("dloop")
+	f.Label("dend")
+	f.Addi(3, 3, 1)
+	f.Jmp("cloop")
+	f.Label("end")
+	f.Ret()
+	return f.MustBuild()
+}
+
+// ludBMOD builds the interior update a -= c·b. The base version re-derives
+// the row limit min(B, rem) every row iteration; fast (the small
+// modification) uses the constant block size.
+func ludBMOD(fast bool) *prog.Function {
+	f := prog.NewFunc("lud.bmod")
+	f.Li(10, ludB)
+	f.Li(5, 0) // row
+	f.Label("rloop")
+	if fast {
+		f.Bge(5, 10, "end")
+	} else {
+		// Bounds check: limit = min(B, rem); rem arrives in r4.
+		f.Mov(11, 10)
+		f.Bge(4, 10, "cap")
+		f.Mov(11, 4)
+		f.Label("cap")
+		f.Bge(5, 11, "end")
+	}
+	f.Li(6, 0) // m
+	f.Label("mloop")
+	f.Bge(6, 10, "mend")
+	f.Shli(8, 5, 3)
+	f.Add(8, 8, 6)
+	f.Add(8, 8, 3)
+	f.Fld(0, 8, 0) // f0 = c[row][m]
+	f.Li(7, 0)     // col
+	f.Label("cloop")
+	f.Bge(7, 10, "cend")
+	f.Shli(8, 5, 3)
+	f.Add(8, 8, 7)
+	f.Add(8, 8, 1) // &a[row][col]
+	f.Shli(9, 6, 3)
+	f.Add(9, 9, 7)
+	f.Add(9, 9, 2) // &b[m][col]
+	f.Fld(1, 8, 0)
+	f.Fld(2, 9, 0)
+	f.Fmul(2, 0, 2)
+	f.Fsub(1, 1, 2)
+	f.Fst(1, 8, 0)
+	f.Addi(7, 7, 1)
+	f.Jmp("cloop")
+	f.Label("cend")
+	f.Addi(6, 6, 1)
+	f.Jmp("mloop")
+	f.Label("mend")
+	f.Addi(5, 5, 1)
+	f.Jmp("rloop")
+	f.Label("end")
+	f.Ret()
+	return f.MustBuild()
+}
+
+// --- section drivers ---
+
+// ludBlkAddrInto emits code computing &blk(rI, rJ) into rd (clobbers rd).
+func ludBlkAddrInto(f *prog.B, rd, rI, rJ int) {
+	f.Shli(rd, rI, 1)
+	f.Add(rd, rd, rJ)
+	f.Shli(rd, rd, 6)
+}
+
+func ludSec1() *prog.Function {
+	f := prog.NewFunc("lud.sec1") // r1 = k
+	ludBlkAddrInto(f, 2, 1, 1)
+	f.Mov(1, 2)
+	f.Call("lud.lu0")
+	f.Ret()
+	return f.MustBuild()
+}
+
+func ludSec2() *prog.Function {
+	f := prog.NewFunc("lud.sec2") // r1 = k
+	f.Mov(12, 1)                  // k
+	f.Addi(13, 12, 1)             // i
+	f.Label("loop")
+	f.Li(11, ludN)
+	f.Bge(13, 11, "end")
+	ludBlkAddrInto(f, 2, 12, 13) // a = blk(k,i)
+	ludBlkAddrInto(f, 3, 12, 12) // d = blk(k,k)
+	f.Mov(1, 2)
+	f.Mov(2, 3)
+	f.Call("lud.bdiv")
+	f.Addi(13, 13, 1)
+	f.Jmp("loop")
+	f.Label("end")
+	f.Ret()
+	return f.MustBuild()
+}
+
+func ludSec3() *prog.Function {
+	f := prog.NewFunc("lud.sec3") // r1 = k
+	f.Mov(12, 1)
+	f.Addi(13, 12, 1) // j
+	f.Label("loop")
+	f.Li(11, ludN)
+	f.Bge(13, 11, "end")
+	ludBlkAddrInto(f, 2, 13, 12) // a = blk(j,k)
+	ludBlkAddrInto(f, 3, 12, 12) // d = blk(k,k)
+	f.Mov(1, 2)
+	f.Mov(2, 3)
+	f.Call("lud.bmodd")
+	f.Addi(13, 13, 1)
+	f.Jmp("loop")
+	f.Label("end")
+	f.Ret()
+	return f.MustBuild()
+}
+
+func ludSec4() *prog.Function {
+	f := prog.NewFunc("lud.sec4") // r1 = k
+	f.Li(2, 0)
+	f.St(1, 2, ludKSpill) // spill k; r12/r13 hold the loop counters
+	f.Addi(12, 1, 1)      // i = k+1
+	f.Label("iloop")
+	f.Li(11, ludN)
+	f.Bge(12, 11, "end")
+	f.Li(10, 0)
+	f.Ld(5, 10, ludKSpill)
+	f.Addi(13, 5, 1) // j = k+1
+	f.Label("jloop")
+	f.Li(11, ludN)
+	f.Bge(13, 11, "jend")
+	f.Li(10, 0)
+	f.Ld(5, 10, ludKSpill)       // k
+	ludBlkAddrInto(f, 6, 13, 12) // a = blk(j,i)
+	ludBlkAddrInto(f, 7, 5, 12)  // b = blk(k,i)
+	ludBlkAddrInto(f, 8, 13, 5)  // c = blk(j,k)
+	f.Mov(1, 6)
+	f.Mov(2, 7)
+	f.Mov(3, 8)
+	f.Li(4, ludB) // rem: matrix size is a multiple of the block size
+	f.Call("lud.bmod")
+	f.Addi(13, 13, 1)
+	f.Jmp("jloop")
+	f.Label("jend")
+	f.Addi(12, 12, 1)
+	f.Jmp("iloop")
+	f.Label("end")
+	f.Ret()
+	return f.MustBuild()
+}
+
+func ludMain() *prog.Function {
+	f := prog.NewFunc("main")
+	f.RoiBeg()
+	f.Li(15, ludN)
+	f.Li(14, 0) // k
+	f.Label("kloop")
+	for sec, name := range []string{"lud.sec1", "lud.sec2", "lud.sec3", "lud.sec4"} {
+		f.SecBeg(sec)
+		f.Mov(1, 14)
+		f.Call(name)
+		f.SecEnd(sec)
+	}
+	f.Addi(14, 14, 1)
+	f.Blt(14, 15, "kloop")
+	f.RoiEnd()
+	f.Halt()
+	return f.MustBuild()
+}
+
+func buildLUD(v Variant) (*spec.Program, error) {
+	p := prog.New()
+	p.MustAdd(ludMain())
+	p.MustAdd(ludSec1())
+	p.MustAdd(ludSec2())
+	p.MustAdd(ludSec3())
+	p.MustAdd(ludSec4())
+	p.MustAdd(ludBDIV())
+	p.MustAdd(ludBMODD())
+	p.MustAdd(ludBMOD(v == Small))
+	if v == Large {
+		p.MustAdd(ludLU0Lookup())
+		p.MustAdd(ludLU0Body("lud.lu0.slow"))
+	} else {
+		p.MustAdd(ludLU0Body("lud.lu0"))
+	}
+
+	linked, err := p.Link("main")
+	if err != nil {
+		return nil, err
+	}
+
+	input := ludInput()
+	var tab []uint64
+	if v == Large {
+		lu0In, lu0Out := RefLUD(append([]float64(nil), input...))
+		for e := range lu0In {
+			for _, x := range lu0In[e] {
+				tab = append(tab, math.Float64bits(x))
+			}
+			for _, x := range lu0Out[e] {
+				tab = append(tab, math.Float64bits(x))
+			}
+		}
+	}
+
+	// The live set is identical across variants (the table region is
+	// declared live even when unused) so that section reuse keys survive
+	// the large modification.
+	mat := fbuf("mat", ludMat, ludMatW)
+	live := []spec.Buffer{mat, ibuf("lu0tab", ludTab, ludTabW)}
+	empty := spec.InstanceIO{Live: live}
+	s1in0 := []spec.Buffer{ludBlkBuf(0, 0)}
+	s1in1 := []spec.Buffer{ludBlkBuf(1, 1)}
+	if v == Large {
+		s1in0 = append(s1in0, ibuf("lu0tab", ludTab, ludTabW))
+		s1in1 = append(s1in1, ibuf("lu0tab", ludTab, ludTabW))
+	}
+
+	sp := &spec.Program{
+		Name:     "lud",
+		Version:  string(v),
+		Linked:   linked,
+		MemWords: ludMemW,
+		Init: func(m *vm.Machine) {
+			writeFloats(m, ludMat, input)
+			if len(tab) > 0 {
+				writeWords(m, ludTab, tab)
+			}
+		},
+		Sections: []spec.Section{
+			{ID: 0, Name: "LU0", Instances: []spec.InstanceIO{
+				{Inputs: s1in0, Outputs: []spec.Buffer{ludBlkBuf(0, 0)}, Live: live},
+				{Inputs: s1in1, Outputs: []spec.Buffer{ludBlkBuf(1, 1)}, Live: live},
+			}},
+			{ID: 1, Name: "BDIV", Instances: []spec.InstanceIO{
+				{
+					Inputs:  []spec.Buffer{ludBlkBuf(0, 1), ludBlkBuf(0, 0)},
+					Outputs: []spec.Buffer{ludBlkBuf(0, 1)},
+					Live:    live,
+				},
+				empty,
+			}},
+			{ID: 2, Name: "BMODD", Instances: []spec.InstanceIO{
+				{
+					Inputs:  []spec.Buffer{ludBlkBuf(1, 0), ludBlkBuf(0, 0)},
+					Outputs: []spec.Buffer{ludBlkBuf(1, 0)},
+					Live:    live,
+				},
+				empty,
+			}},
+			{ID: 3, Name: "BMOD", Instances: []spec.InstanceIO{
+				{
+					Inputs:  []spec.Buffer{ludBlkBuf(1, 1), ludBlkBuf(0, 1), ludBlkBuf(1, 0)},
+					Outputs: []spec.Buffer{ludBlkBuf(1, 1)},
+					Live:    live,
+				},
+				empty,
+			}},
+		},
+		FinalOutputs: []spec.Buffer{mat},
+	}
+	return sp, nil
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"fastflip/internal/trace"
+)
+
+// ludFinal runs one LUD variant cleanly and returns the final matrix.
+func ludFinal(t *testing.T, v Variant) []float64 {
+	t.Helper()
+	p, err := Build("lud", v)
+	if err != nil {
+		t.Fatalf("Build(lud, %s): %v", v, err)
+	}
+	tr, err := trace.Record(p)
+	if err != nil {
+		t.Fatalf("Record(lud, %s): %v", v, err)
+	}
+	return floatsOf(tr.Final, ludMat, ludMatW)
+}
+
+func TestLUDMatchesReference(t *testing.T) {
+	got := ludFinal(t, None)
+	ref := ludInput()
+	RefLUD(ref)
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("mat[%d] = %v, reference %v", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestLUDVariantsPreserveSemantics(t *testing.T) {
+	base := ludFinal(t, None)
+	for _, v := range []Variant{Small, Large} {
+		got := ludFinal(t, v)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("%s: mat[%d] = %v, none-variant %v", v, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+// TestLUDFactorization checks L·U reproduces the input matrix: the blocked
+// factorization must be a real LU decomposition, not just deterministic.
+func TestLUDFactorization(t *testing.T) {
+	lu := ludFinal(t, None)
+	orig := ludInput()
+	n := ludN * ludB
+	at := func(m []float64, r, c int) float64 {
+		return m[ludBlkAddr(r/ludB, c/ludB)+(r%ludB)*ludB+(c%ludB)]
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			sum := 0.0
+			for k := 0; k <= r && k <= c; k++ {
+				l := at(lu, r, k)
+				if k == r {
+					l = 1 // unit lower triangle
+				}
+				sum += l * at(lu, k, c)
+			}
+			want := at(orig, r, c)
+			if math.Abs(sum-want) > 1e-9*math.Abs(want) {
+				t.Fatalf("L*U[%d][%d] = %v, want %v", r, c, sum, want)
+			}
+		}
+	}
+}
+
+func TestLUDTraceShape(t *testing.T) {
+	p := MustBuild("lud", None)
+	tr, err := trace.Record(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(tr.Instances), 8; got != want {
+		t.Fatalf("instances = %d, want %d (4 static sections x 2)", got, want)
+	}
+	wantSecs := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	for i, inst := range tr.Instances {
+		if inst.Sec != wantSecs[i] {
+			t.Errorf("instance %d: section %d, want %d", i, inst.Sec, wantSecs[i])
+		}
+	}
+	// The second LU0 instance factors blk(1,1); the empty tail instances
+	// must still be tiny but present.
+	if tr.Instances[5].Len() > 20 {
+		t.Errorf("BDIV#1 should be near-empty, has %d instructions", tr.Instances[5].Len())
+	}
+	t.Logf("lud trace: %d dynamic instructions", tr.TotalDyn)
+}

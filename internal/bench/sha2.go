@@ -1,0 +1,377 @@
+package bench
+
+import (
+	"fastflip/internal/prog"
+	"fastflip/internal/spec"
+	"fastflip/internal/vm"
+)
+
+// SHA2: the SHA-256 hash of a 32-byte message (a common key size, §5.4),
+// in three sections:
+//
+//	s0 pad      — split the packed message into W[0..15] and pad
+//	s1 schedule — expand the message schedule W[16..63]
+//	s2 compress — 64 compression rounds plus digest finalization
+//
+// All sections are Discrete: a bitwise kernel has no meaningful local
+// sensitivity, so the propagation analysis uses the worst-case
+// amplification factor (any propagated corruption is SDC-Bad).
+//
+// Small modification: the compression rounds derive ROTR(e,25) and
+// ROTR(a,22) with two chained rotations; the specialized version uses one
+// (the paper's "eliminate a redundant shift operation").
+// Large modification: the compress section is replaced by a lookup table
+// keyed on the whole message schedule.
+
+const (
+	shaMsg     = 0 // 4 words, 8 message bytes each, big-endian packed
+	shaMsgW    = 4
+	shaW       = 16 // W[t] at shaW + t
+	shaWW      = 64
+	shaK       = 96 // round constants
+	shaKW      = 64
+	shaDigest  = 192
+	shaDigestW = 8
+	shaIV      = 208
+	shaIVW     = 8
+	shaScratch = 220 // compress spills t1 here
+	shaTab     = 256 // large-variant table: 64 key words + 8 value words
+	shaTabW    = shaWW + shaDigestW
+	shaMemW    = 512
+)
+
+func init() { register("sha2", buildSHA2) }
+
+// shaKConst are the SHA-256 round constants (fractional parts of the cube
+// roots of the first 64 primes).
+var shaKConst = [64]uint32{
+	0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+	0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+	0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+	0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+	0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+	0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+	0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+	0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+}
+
+// shaIVConst is the SHA-256 initial hash value.
+var shaIVConst = [8]uint32{
+	0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+}
+
+// ShaMessage is the deterministic 32-byte input message.
+func ShaMessage() []byte {
+	msg := make([]byte, 32)
+	r := rng(0x5a2)
+	for i := range msg {
+		msg[i] = byte(r.Intn(256))
+	}
+	return msg
+}
+
+// shaPackMsg packs the message into 4 big-endian 64-bit words.
+func shaPackMsg(msg []byte) []uint64 {
+	words := make([]uint64, shaMsgW)
+	for i := range words {
+		for b := 0; b < 8; b++ {
+			words[i] = words[i]<<8 | uint64(msg[i*8+b])
+		}
+	}
+	return words
+}
+
+// --- host reference ---
+
+func rotr32(x uint32, n uint) uint32 { return x>>n | x<<(32-n) }
+
+// RefSHA2 computes the message schedule and the digest words for the input
+// message; used for the lookup table and by tests.
+func RefSHA2(msg []byte) (w [64]uint32, digest [8]uint32) {
+	packed := shaPackMsg(msg)
+	for i := 0; i < shaMsgW; i++ {
+		w[2*i] = uint32(packed[i] >> 32)
+		w[2*i+1] = uint32(packed[i])
+	}
+	w[8] = 0x80000000
+	w[15] = 256 // message length in bits
+	for t := 16; t < 64; t++ {
+		s0 := rotr32(w[t-15], 7) ^ rotr32(w[t-15], 18) ^ (w[t-15] >> 3)
+		s1 := rotr32(w[t-2], 17) ^ rotr32(w[t-2], 19) ^ (w[t-2] >> 10)
+		w[t] = w[t-16] + s0 + w[t-7] + s1
+	}
+	a, b, c, d, e, f, g, h := shaIVConst[0], shaIVConst[1], shaIVConst[2], shaIVConst[3],
+		shaIVConst[4], shaIVConst[5], shaIVConst[6], shaIVConst[7]
+	for t := 0; t < 64; t++ {
+		S1 := rotr32(e, 6) ^ rotr32(e, 11) ^ rotr32(e, 25)
+		ch := (e & f) ^ (^e & g)
+		t1 := h + S1 + ch + shaKConst[t] + w[t]
+		S0 := rotr32(a, 2) ^ rotr32(a, 13) ^ rotr32(a, 22)
+		maj := (a & b) ^ (a & c) ^ (b & c)
+		t2 := S0 + maj
+		h, g, f, e, d, c, b, a = g, f, e, d+t1, c, b, a, t1+t2
+	}
+	st := [8]uint32{a, b, c, d, e, f, g, h}
+	for i := range digest {
+		digest[i] = shaIVConst[i] + st[i]
+	}
+	return w, digest
+}
+
+// --- ISA kernels ---
+
+func shaPad() *prog.Function {
+	f := prog.NewFunc("sha.pad")
+	f.Li(1, 0)
+	for i := 0; i < shaMsgW; i++ {
+		f.Ld(2, 1, int64(shaMsg+i))
+		f.Shri(3, 2, 32)
+		f.St(3, 1, int64(shaW+2*i))
+		f.Li(4, 0xffffffff)
+		f.And(3, 2, 4)
+		f.St(3, 1, int64(shaW+2*i+1))
+	}
+	f.Li(2, 0x80000000)
+	f.St(2, 1, shaW+8)
+	f.Li(2, 0)
+	for t := 9; t < 15; t++ {
+		f.St(2, 1, int64(shaW+t))
+	}
+	f.Li(2, 256)
+	f.St(2, 1, shaW+15)
+	f.Ret()
+	return f.MustBuild()
+}
+
+func shaSchedule() *prog.Function {
+	f := prog.NewFunc("sha.schedule")
+	f.Li(9, 16) // t; W[x] lives at address x + shaW = x + 16, so &W[t-16] == r9
+	f.Label("loop")
+	f.Li(0, 64)
+	f.Bge(9, 0, "end")
+	f.Ld(1, 9, 1) // W[t-15]
+	f.Rotr32(2, 1, 7)
+	f.Rotr32(3, 1, 18)
+	f.Xor(2, 2, 3)
+	f.Shri(3, 1, 3)
+	f.Xor(2, 2, 3) // σ0
+	f.Ld(1, 9, 14) // W[t-2]
+	f.Rotr32(4, 1, 17)
+	f.Rotr32(3, 1, 19)
+	f.Xor(4, 4, 3)
+	f.Shri(3, 1, 10)
+	f.Xor(4, 4, 3) // σ1
+	f.Ld(1, 9, 0)  // W[t-16]
+	f.Add32(1, 1, 2)
+	f.Ld(3, 9, 9) // W[t-7]
+	f.Add32(1, 1, 3)
+	f.Add32(1, 1, 4)
+	f.St(1, 9, 16) // W[t]
+	f.Addi(9, 9, 1)
+	f.Jmp("loop")
+	f.Label("end")
+	f.Ret()
+	return f.MustBuild()
+}
+
+// shaCompressBody emits the 64-round compression; a..h live in r1..r8,
+// the round counter in r9, t1 spills to shaScratch. When small is true the
+// wide rotations are single instructions; otherwise they chain two.
+func shaCompressBody(name string, small bool) *prog.Function {
+	f := prog.NewFunc(name)
+	rotr := func(rd, ra int, n int64) {
+		if small || n < 16 {
+			f.Rotr32(rd, ra, n)
+			return
+		}
+		// The redundant split rotation removed by the small modification.
+		f.Rotr32(rd, ra, n-13)
+		f.Rotr32(rd, rd, 13)
+	}
+	f.Li(11, 0)
+	for i := 0; i < 8; i++ {
+		f.Ld(1+i, 11, int64(shaIV+i)) // a..h from the IV
+	}
+	f.Li(9, 0)
+	f.Label("round")
+	// S1 and t1.
+	rotr(10, 5, 6)
+	f.Rotr32(11, 5, 11)
+	f.Xor(10, 10, 11)
+	rotr(11, 5, 25)
+	f.Xor(10, 10, 11)
+	f.Add32(10, 8, 10) // h + S1
+	f.And(11, 5, 6)
+	f.Not32(0, 5)
+	f.And(0, 0, 7)
+	f.Xor(11, 11, 0) // ch
+	f.Add32(10, 10, 11)
+	f.Ld(11, 9, shaK) // K[t]
+	f.Add32(10, 10, 11)
+	f.Ld(11, 9, shaW)   // W[t]
+	f.Add32(10, 10, 11) // t1
+	f.Li(11, 0)
+	f.St(10, 11, shaScratch)
+	// maj and S0.
+	f.And(11, 1, 2)
+	f.And(0, 1, 3)
+	f.Xor(11, 11, 0)
+	f.And(0, 2, 3)
+	f.Xor(11, 11, 0) // maj
+	rotr(0, 1, 2)
+	f.Rotr32(10, 1, 13)
+	f.Xor(0, 0, 10)
+	rotr(10, 1, 22)
+	f.Xor(0, 0, 10)   // S0
+	f.Add32(0, 0, 11) // t2
+	f.Li(11, 0)
+	f.Ld(10, 11, shaScratch) // t1
+	// Rotate the working variables.
+	f.Mov(8, 7)
+	f.Mov(7, 6)
+	f.Mov(6, 5)
+	f.Add32(5, 4, 10) // e = d + t1
+	f.Mov(4, 3)
+	f.Mov(3, 2)
+	f.Mov(2, 1)
+	f.Add32(1, 10, 0) // a = t1 + t2
+	f.Addi(9, 9, 1)
+	f.Li(0, 64)
+	f.Blt(9, 0, "round")
+	// Digest = IV + state.
+	f.Li(11, 0)
+	for i := 0; i < 8; i++ {
+		f.Ld(10, 11, int64(shaIV+i))
+		f.Add32(10, 10, 1+i)
+		f.St(10, 11, int64(shaDigest+i))
+	}
+	f.Ret()
+	return f.MustBuild()
+}
+
+// shaCompressLookup is the large-variant compress: match the schedule
+// against the stored key, copy the digest on a hit, else fall back.
+func shaCompressLookup() *prog.Function {
+	f := prog.NewFunc("sha.compress")
+	f.Li(1, 0) // word index; W[i] at shaW+i, key at shaTab+i
+	f.Li(2, shaWW)
+	f.Label("wloop")
+	f.Bge(1, 2, "hit")
+	f.Ld(3, 1, shaW)
+	f.Ld(4, 1, shaTab)
+	f.Bne(3, 4, "miss")
+	f.Addi(1, 1, 1)
+	f.Jmp("wloop")
+	f.Label("hit")
+	f.Li(1, 0)
+	f.Li(2, shaDigestW)
+	f.Label("cloop")
+	f.Bge(1, 2, "done")
+	f.Ld(3, 1, shaTab+shaWW)
+	f.St(3, 1, shaDigest)
+	f.Addi(1, 1, 1)
+	f.Jmp("cloop")
+	f.Label("done")
+	f.Ret()
+	f.Label("miss")
+	f.Call("sha.compress.slow")
+	f.Ret()
+	return f.MustBuild()
+}
+
+func buildSHA2(v Variant) (*spec.Program, error) {
+	p := prog.New()
+
+	main := prog.NewFunc("main")
+	main.RoiBeg()
+	for sec, name := range []string{"sha.pad", "sha.schedule", "sha.compress"} {
+		main.SecBeg(sec)
+		main.Call(name)
+		main.SecEnd(sec)
+	}
+	main.RoiEnd()
+	main.Halt()
+	p.MustAdd(main.MustBuild())
+
+	p.MustAdd(shaPad())
+	p.MustAdd(shaSchedule())
+	switch v {
+	case Large:
+		p.MustAdd(shaCompressLookup())
+		p.MustAdd(shaCompressBody("sha.compress.slow", false))
+	case Small:
+		p.MustAdd(shaCompressBody("sha.compress", true))
+	default:
+		p.MustAdd(shaCompressBody("sha.compress", false))
+	}
+
+	linked, err := p.Link("main")
+	if err != nil {
+		return nil, err
+	}
+
+	msg := ShaMessage()
+	packed := shaPackMsg(msg)
+	kWords := make([]uint64, shaKW)
+	for i, k := range shaKConst {
+		kWords[i] = uint64(k)
+	}
+	ivWords := make([]uint64, shaIVW)
+	for i, x := range shaIVConst {
+		ivWords[i] = uint64(x)
+	}
+	var tab []uint64
+	if v == Large {
+		w, digest := RefSHA2(msg)
+		for _, x := range w {
+			tab = append(tab, uint64(x))
+		}
+		for _, x := range digest {
+			tab = append(tab, uint64(x))
+		}
+	}
+
+	msgBuf := ibuf("msg", shaMsg, shaMsgW)
+	w015 := ibuf("w0-15", shaW, 16)
+	w1663 := ibuf("w16-63", shaW+16, 48)
+	wAll := ibuf("w", shaW, shaWW)
+	kBuf := ibuf("k", shaK, shaKW)
+	ivBuf := ibuf("iv", shaIV, shaIVW)
+	digBuf := ibuf("digest", shaDigest, shaDigestW)
+	tabBuf := ibuf("ctab", shaTab, shaTabW)
+
+	live := []spec.Buffer{msgBuf, wAll, kBuf, ivBuf, digBuf, tabBuf}
+
+	compressIn := []spec.Buffer{wAll, kBuf, ivBuf}
+	if v == Large {
+		compressIn = append(compressIn, tabBuf)
+	}
+
+	sp := &spec.Program{
+		Name:     "sha2",
+		Version:  string(v),
+		Linked:   linked,
+		MemWords: shaMemW,
+		Init: func(m *vm.Machine) {
+			writeWords(m, shaMsg, packed)
+			writeWords(m, shaK, kWords)
+			writeWords(m, shaIV, ivWords)
+			if len(tab) > 0 {
+				writeWords(m, shaTab, tab)
+			}
+		},
+		Sections: []spec.Section{
+			{ID: 0, Name: "pad", Discrete: true, Instances: []spec.InstanceIO{
+				{Inputs: []spec.Buffer{msgBuf}, Outputs: []spec.Buffer{w015}, Live: live},
+			}},
+			{ID: 1, Name: "schedule", Discrete: true, Instances: []spec.InstanceIO{
+				{Inputs: []spec.Buffer{w015}, Outputs: []spec.Buffer{w1663}, Live: live},
+			}},
+			{ID: 2, Name: "compress", Discrete: true, Instances: []spec.InstanceIO{
+				{Inputs: compressIn, Outputs: []spec.Buffer{digBuf}, Live: live},
+			}},
+		},
+		FinalOutputs: []spec.Buffer{digBuf},
+	}
+	return sp, nil
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"testing"
+
+	"fastflip/internal/trace"
+)
+
+func shaDigestOf(t *testing.T, v Variant) []uint64 {
+	t.Helper()
+	p, err := Build("sha2", v)
+	if err != nil {
+		t.Fatalf("Build(sha2, %s): %v", v, err)
+	}
+	tr, err := trace.Record(p)
+	if err != nil {
+		t.Fatalf("Record(sha2, %s): %v", v, err)
+	}
+	out := make([]uint64, shaDigestW)
+	copy(out, tr.Final.Mem[shaDigest:shaDigest+shaDigestW])
+	return out
+}
+
+// TestSHA2MatchesStdlib checks the simulated hash against crypto/sha256 —
+// an end-to-end validation of the padding, schedule, constants, and rounds.
+func TestSHA2MatchesStdlib(t *testing.T) {
+	got := shaDigestOf(t, None)
+	want := sha256.Sum256(ShaMessage())
+	for i := 0; i < shaDigestW; i++ {
+		w := uint64(want[4*i])<<24 | uint64(want[4*i+1])<<16 | uint64(want[4*i+2])<<8 | uint64(want[4*i+3])
+		if got[i] != w {
+			t.Fatalf("digest[%d] = %08x, want %08x", i, got[i], w)
+		}
+	}
+}
+
+func TestSHA2RefMatchesStdlib(t *testing.T) {
+	_, digest := RefSHA2(ShaMessage())
+	want := sha256.Sum256(ShaMessage())
+	for i := range digest {
+		w := uint32(want[4*i])<<24 | uint32(want[4*i+1])<<16 | uint32(want[4*i+2])<<8 | uint32(want[4*i+3])
+		if digest[i] != w {
+			t.Fatalf("ref digest[%d] = %08x, want %08x", i, digest[i], w)
+		}
+	}
+}
+
+func TestSHA2VariantsPreserveSemantics(t *testing.T) {
+	base := shaDigestOf(t, None)
+	for _, v := range []Variant{Small, Large} {
+		got := shaDigestOf(t, v)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("%s: digest[%d] = %08x, none-variant %08x", v, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+func TestSHA2TraceShape(t *testing.T) {
+	p := MustBuild("sha2", None)
+	tr, err := trace.Record(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(tr.Instances), 3; got != want {
+		t.Fatalf("instances = %d, want %d", got, want)
+	}
+	// Compress dominates the trace, as in the paper's SHA2 discussion.
+	if tr.Instances[2].Len() < tr.Instances[1].Len() {
+		t.Errorf("compress (%d) should be longer than schedule (%d)",
+			tr.Instances[2].Len(), tr.Instances[1].Len())
+	}
+	t.Logf("sha2 trace: %d dynamic instructions", tr.TotalDyn)
+}

@@ -1,0 +1,122 @@
+// Package chisel implements the symbolic SDC propagation analysis (§4.4),
+// modeled on Chisel: it composes per-section total SDC specifications
+//
+//	Δ(o_{s,k}) ≤ Σ_i K[k][i]·Δ(i_{s,i}) + φ_{s,k}
+//
+// along the developer-declared dataflow into a conservative affine
+// end-to-end specification Δ(o_{T,λ}) ≤ f_{T,λ}(φ_{*,*}) — the paper's
+// Equation 2. Dataflow between sections follows from buffer identity:
+// memory words written by one section instance and read by a later one.
+//
+// Conservatism: where several symbolic bounds cover the words of one input
+// buffer, their sum is used (sound because all coefficients are
+// non-negative), and each section is assumed to amplify by its maximum
+// observed factor.
+package chisel
+
+import (
+	"fmt"
+
+	"fastflip/internal/sens"
+	"fastflip/internal/sym"
+	"fastflip/internal/trace"
+)
+
+// Spec is the end-to-end SDC propagation specification for one traced
+// execution.
+type Spec struct {
+	// Final[λ] bounds the SDC in final output λ as an affine expression of
+	// the φ variables: f_{T,λ}(φ_{*,*}).
+	Final []*sym.Expr
+}
+
+// Compose runs the propagation analysis over the trace. amps[i] is the
+// amplification matrix of t.Instances[i].
+func Compose(t *trace.Trace, amps []*sens.Amplification) (*Spec, error) {
+	if len(amps) != len(t.Instances) {
+		return nil, fmt.Errorf("chisel: %d amplification matrices for %d instances", len(amps), len(t.Instances))
+	}
+	// wordExpr[w] bounds the SDC currently present in memory word w; nil
+	// means SDC-free (the paper's assumption for program inputs, §4.1).
+	wordExpr := make([]*sym.Expr, t.Prog.MemWords)
+
+	// exprOver sums the distinct bounds covering a buffer's words.
+	exprOver := func(addr, length int) *sym.Expr {
+		seen := make(map[*sym.Expr]bool)
+		sum := sym.Zero()
+		for w := addr; w < addr+length; w++ {
+			e := wordExpr[w]
+			if e == nil || seen[e] {
+				continue
+			}
+			seen[e] = true
+			sum.AddScaled(1, e)
+		}
+		return sum
+	}
+
+	for idx, inst := range t.Instances {
+		amp := amps[idx]
+		// Input bounds are taken before any of this instance's outputs are
+		// written, so in-place updates (input buffer == output buffer) read
+		// the upstream bound.
+		inBounds := make([]*sym.Expr, len(inst.IO.Inputs))
+		for ii, in := range inst.IO.Inputs {
+			inBounds[ii] = exprOver(in.Addr, in.Len)
+		}
+		outExprs := make([]*sym.Expr, len(inst.IO.Outputs))
+		for oi := range inst.IO.Outputs {
+			e := sym.NewVar(sym.Var{Inst: idx, Out: oi})
+			for ii := range inst.IO.Inputs {
+				e.AddScaled(amp.K[oi][ii], inBounds[ii])
+			}
+			outExprs[oi] = e
+		}
+		for oi, out := range inst.IO.Outputs {
+			for w := out.Addr; w < out.Addr+out.Len; w++ {
+				wordExpr[w] = outExprs[oi]
+			}
+		}
+	}
+
+	s := &Spec{Final: make([]*sym.Expr, len(t.Prog.FinalOutputs))}
+	for λ, out := range t.Prog.FinalOutputs {
+		s.Final[λ] = exprOver(out.Addr, out.Len)
+	}
+	return s, nil
+}
+
+// Bound evaluates the end-to-end bound on every final output for an error
+// inside instance instIdx that introduced SDC magnitudes mags into that
+// instance's outputs (the specialization f_{T,λ,s} of Equation 4: all φ
+// variables of other instances are zero under the single-error model).
+func (s *Spec) Bound(instIdx int, mags []float64) []float64 {
+	bounds := make([]float64, len(s.Final))
+	for λ, e := range s.Final {
+		bounds[λ] = e.Eval(func(v sym.Var) float64 {
+			if v.Inst != instIdx || v.Out >= len(mags) {
+				return 0
+			}
+			return mags[v.Out]
+		})
+	}
+	return bounds
+}
+
+// Bad reports whether an error in instance instIdx with per-output SDC
+// magnitudes mags is SDC-Bad: some final output's bound exceeds its ε.
+// eps must have one entry per final output.
+func (s *Spec) Bad(instIdx int, mags []float64, eps []float64) bool {
+	for λ, b := range s.Bound(instIdx, mags) {
+		if b > eps[λ] {
+			return true
+		}
+	}
+	return false
+}
+
+// Coefficient returns the total downstream amplification of φ_{instIdx,out}
+// into final output λ — the numeric coefficients of Equation 2.
+func (s *Spec) Coefficient(λ, instIdx, out int) float64 {
+	return s.Final[λ].Coef(sym.Var{Inst: instIdx, Out: out})
+}

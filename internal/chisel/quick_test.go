@@ -1,0 +1,96 @@
+package chisel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fastflip/internal/sens"
+	"fastflip/internal/trace"
+)
+
+// composed builds the fixture spec once for the property tests.
+func composed(t *testing.T) (*Spec, *trace.Trace) {
+	t.Helper()
+	tr := recorded(t)
+	s, err := Compose(tr, amps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tr
+}
+
+// Property: Bound is linear and monotone in the injected magnitudes —
+// scaling a section's SDC scales the end-to-end bound by the same factor,
+// and a larger corruption never yields a smaller bound.
+func TestBoundLinearityQuick(t *testing.T) {
+	s, _ := composed(t)
+	f := func(magRaw, scaleRaw uint16) bool {
+		mag := float64(magRaw) / 256
+		scale := float64(scaleRaw)/1024 + 0.5
+		b1 := s.Bound(0, []float64{mag})[0]
+		b2 := s.Bound(0, []float64{float64(mag * scale)})[0]
+		want := float64(b1 * scale)
+		if math.Abs(b2-want) > 1e-9*math.Max(1, want) {
+			return false
+		}
+		bigger := s.Bound(0, []float64{mag + 1})[0]
+		return bigger >= b1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Bad is monotone in ε — relaxing the threshold never turns an
+// acceptable outcome unacceptable.
+func TestBadMonotoneInEpsilonQuick(t *testing.T) {
+	s, _ := composed(t)
+	f := func(magRaw, epsRaw uint16) bool {
+		mag := float64(magRaw) / 512
+		eps := float64(epsRaw) / 512
+		strict := s.Bad(0, []float64{mag}, []float64{eps})
+		relaxed := s.Bad(0, []float64{mag}, []float64{eps * 2})
+		// relaxed implies strict: anything bad at 2ε is bad at ε.
+		return !relaxed || strict
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a masked section outcome (all-zero magnitudes) is never
+// SDC-Bad at any non-negative ε.
+func TestMaskedNeverBadQuick(t *testing.T) {
+	s, tr := composed(t)
+	f := func(instRaw uint8, epsRaw uint16) bool {
+		inst := int(instRaw) % len(tr.Instances)
+		eps := float64(epsRaw) / 512
+		return !s.Bad(inst, []float64{0}, []float64{eps})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: amplification factors scale the composed coefficients
+// multiplicatively — doubling a section's K doubles the upstream
+// coefficient while the section's own φ coefficient stays 1.
+func TestCoefficientScalesWithKQuick(t *testing.T) {
+	tr := recorded(t)
+	f := func(kRaw uint8) bool {
+		k := float64(kRaw)/16 + 0.25
+		a := []*sens.Amplification{
+			{K: [][]float64{{3}}},
+			{K: [][]float64{{k, 1}}},
+		}
+		s, err := Compose(tr, a)
+		if err != nil {
+			return false
+		}
+		return s.Coefficient(0, 0, 0) == k && s.Coefficient(0, 1, 0) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

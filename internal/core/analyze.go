@@ -1,0 +1,335 @@
+// Package core implements the FastFlip analysis pipeline (§4, Figure 2):
+//
+//  1. per-section error injection + local sensitivity analysis, with
+//     store-backed reuse of unmodified sections (§4.2, §4.3, §4.7),
+//  2. symbolic end-to-end SDC propagation (§4.4),
+//  3. per-instruction protection value computation (Algorithm 2),
+//  4. knapsack selection of instructions to protect (§4.6), with adaptive
+//     target adjustment against a monolithic baseline (§4.10).
+//
+// The monolithic Approxilyzer-only baseline the paper compares against is
+// implemented alongside (RunBaseline), sharing the trace and injector.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fastflip/internal/chisel"
+	"fastflip/internal/inject"
+	"fastflip/internal/metrics"
+	"fastflip/internal/prog"
+	"fastflip/internal/sens"
+	"fastflip/internal/sites"
+	"fastflip/internal/spec"
+	"fastflip/internal/store"
+	"fastflip/internal/trace"
+)
+
+// Config are the developer-provided analysis parameters (§4.1, §5.6).
+type Config struct {
+	// Targets are the v_trgt protection values to evaluate.
+	Targets []float64
+	// Epsilon is the SDC-Bad threshold ε, uniform over final outputs
+	// (0 means every SDC is unacceptable).
+	Epsilon float64
+	// Prune enables Approxilyzer-style equivalence-class pruning. The
+	// baseline prunes across the whole trace; FastFlip can only prune
+	// within a section instance (§6.2) — that asymmetry is structural,
+	// not configurable.
+	Prune bool
+	// Sens configures the local sensitivity analysis.
+	Sens sens.Config
+	// Workers bounds injection parallelism (0 = GOMAXPROCS).
+	Workers int
+	// PilotInaccuracy is the benchmark-specific pilot misprediction rate
+	// used for the value error range (§5.6 "Pruning error range").
+	PilotInaccuracy float64
+	// BurstWidth is the error model's burst width in bits: 1 is the
+	// paper's single-event-upset model, larger values flip that many
+	// adjacent bits per injection (§4.8's multi-bit error models).
+	BurstWidth int
+	// CostModel, when non-nil, overrides the protection cost of a static
+	// instruction given its dynamic instance count. The default models
+	// instruction duplication (cost = dynamic instances, §5.3); externally
+	// supplied models can price task-level detectors instead (§4.8).
+	CostModel func(id prog.StaticID, dynCount int) int
+	// CoRunBaseline lets every per-section experiment continue to program
+	// termination and records the end-to-end outcome too (§4.10's
+	// simultaneous monolithic analysis). Evaluate can then use the co-run
+	// labels as ground truth without a separate RunBaseline campaign.
+	CoRunBaseline bool
+	// AdjustTargets enables adaptive target adjustment (§4.10).
+	AdjustTargets bool
+	// PAdj is the number of accumulated modifications after which the
+	// adjusted targets are recomputed from a fresh baseline.
+	PAdj int
+}
+
+// DefaultConfig mirrors the paper's evaluation setup.
+func DefaultConfig() Config {
+	return Config{
+		Targets:         []float64{0.90, 0.95, 0.99},
+		Epsilon:         0,
+		Prune:           true,
+		BurstWidth:      1,
+		Sens:            sens.DefaultConfig(),
+		PilotInaccuracy: 0.04,
+		AdjustTargets:   true,
+		PAdj:            10,
+	}
+}
+
+// classRecord pairs an equivalence class of the current trace with its
+// (possibly reused) injection outcome.
+type classRecord struct {
+	class *sites.Class
+	out   metrics.Outcome
+	// fin is the co-run end-to-end outcome (CoRunBaseline only).
+	fin  *metrics.Outcome
+	inst int // instance index for per-section records; -1 for monolithic
+}
+
+// Result is the analysis of one program version.
+type Result struct {
+	Cfg   Config
+	Prog  *spec.Program
+	Trace *trace.Trace
+
+	// SiteCount is |J|, the number of error sites in the ROI.
+	SiteCount int
+	// Spec is the composed end-to-end SDC propagation specification.
+	Spec *chisel.Spec
+	// Amps holds the per-instance sensitivity matrices (indexed like
+	// Trace.Instances).
+	Amps []*sens.Amplification
+
+	ffClasses []classRecord
+	// untestedBad counts, per static instruction, the sites outside every
+	// section, which FastFlip conservatively labels SDC-Bad (§4.9 s⊥).
+	untestedBad   map[prog.StaticID]int
+	UntestedSites int
+
+	baseClasses []classRecord
+
+	// Costs is c(pc): dynamic instances per static instruction of interest.
+	Costs     map[prog.StaticID]int
+	TotalCost int
+
+	// Cost accounting (the paper's core-hours proxy).
+	FFInject   inject.Stats
+	FFSens     sens.Stats
+	BaseInject inject.Stats
+	FFWall     time.Duration
+	BaseWall   time.Duration
+
+	ReusedInstances   int
+	InjectedInstances int
+}
+
+// FFCost returns FastFlip's total analysis cost in simulated instructions.
+func (r *Result) FFCost() uint64 { return r.FFInject.SimInstrs + r.FFSens.SimInstrs }
+
+// BaseCost returns the monolithic baseline's analysis cost.
+func (r *Result) BaseCost() uint64 { return r.BaseInject.SimInstrs }
+
+// Analyzer runs FastFlip over successive versions of a program, reusing
+// per-section results through its Store.
+type Analyzer struct {
+	Cfg   Config
+	Store *store.Store
+}
+
+// NewAnalyzer returns an analyzer with a fresh store.
+func NewAnalyzer(cfg Config) *Analyzer {
+	return &Analyzer{Cfg: cfg, Store: store.New()}
+}
+
+// Analyze runs the FastFlip per-section analysis of p: trace, per-section
+// injection (with reuse), sensitivity, and symbolic composition.
+func (a *Analyzer) Analyze(p *spec.Program) (*Result, error) {
+	started := time.Now()
+	t, err := trace.Record(p)
+	if err != nil {
+		return nil, err
+	}
+	siteOpts := sites.Options{Prune: a.Cfg.Prune, Width: a.Cfg.BurstWidth}
+	r := &Result{
+		Cfg:         a.Cfg,
+		Prog:        p,
+		Trace:       t,
+		SiteCount:   sites.Count(t, siteOpts),
+		untestedBad: make(map[prog.StaticID]int),
+	}
+	inj := &inject.Injector{T: t, Workers: a.Cfg.Workers}
+
+	r.Amps = make([]*sens.Amplification, len(t.Instances))
+	for idx, inst := range t.Instances {
+		classes := sites.ForInstance(t, inst, siteOpts)
+		key := store.KeyFor(t, inst)
+		if st := a.storeLookup(key, classes); st != nil {
+			for _, c := range classes {
+				rec := classRecord{class: c, out: st.Outcomes[c.Key].ToMetrics(), inst: idx}
+				if st.Final != nil {
+					fin := st.Final[c.Key].ToMetrics()
+					rec.fin = &fin
+				}
+				r.ffClasses = append(r.ffClasses, rec)
+			}
+			r.Amps[idx] = &sens.Amplification{K: st.Amp}
+			r.ReusedInstances++
+			continue
+		}
+
+		var outcomes, fins []metrics.Outcome
+		var stats inject.Stats
+		if a.Cfg.CoRunBaseline {
+			outcomes, fins, stats = inj.RunSectionCoRun(inst, classes)
+		} else {
+			outcomes, stats = inj.RunSection(inst, classes)
+		}
+		r.FFInject.Add(stats)
+		amp, sstats := sens.Analyze(t, inst, a.Cfg.Sens)
+		r.FFSens.Runs += sstats.Runs
+		r.FFSens.SimInstrs += sstats.SimInstrs
+		r.Amps[idx] = amp
+		r.InjectedInstances++
+
+		stored := &store.Section{
+			Outcomes:  make(map[sites.ClassKey]store.Outcome, len(classes)),
+			Amp:       amp.K,
+			SimInstrs: stats.SimInstrs,
+		}
+		if fins != nil {
+			stored.Final = make(map[sites.ClassKey]store.Outcome, len(classes))
+		}
+		for i, c := range classes {
+			rec := classRecord{class: c, out: outcomes[i], inst: idx}
+			if fins != nil {
+				rec.fin = &fins[i]
+				stored.Final[c.Key] = store.FromMetrics(fins[i])
+			}
+			r.ffClasses = append(r.ffClasses, rec)
+			stored.Outcomes[c.Key] = store.FromMetrics(outcomes[i])
+		}
+		if a.Store != nil {
+			a.Store.Put(key, stored)
+		}
+	}
+
+	// Untested sites: conservatively SDC-Bad, no injection cost.
+	dyns, count := sites.Untested(t, siteOpts)
+	r.UntestedSites = count
+	per := sites.SitesPerOperand(a.Cfg.BurstWidth)
+	for _, d := range dyns {
+		in := t.Prog.Linked.Code[t.PCs[d]]
+		n := len(in.Operands(nil)) * per
+		r.untestedBad[t.StaticIDOfDyn(d)] += n
+	}
+
+	if r.Spec, err = chisel.Compose(t, r.Amps); err != nil {
+		return nil, err
+	}
+
+	r.Costs, r.TotalCost = costModel(t, a.Cfg.CostModel)
+	r.FFWall = time.Since(started)
+	return r, nil
+}
+
+// storeLookup returns the stored section for key only if it covers every
+// class of the current enumeration; a partial entry is unusable.
+func (a *Analyzer) storeLookup(key store.Key, classes []*sites.Class) *store.Section {
+	if a.Store == nil {
+		return nil
+	}
+	st := a.Store.Lookup(key)
+	if st == nil {
+		return nil
+	}
+	if a.Cfg.CoRunBaseline && st.Final == nil {
+		return nil // stored without co-run labels; re-analyze to get them
+	}
+	for _, c := range classes {
+		if _, ok := st.Outcomes[c.Key]; !ok {
+			return nil
+		}
+	}
+	return st
+}
+
+// RunBaseline runs the monolithic Approxilyzer-only analysis on the same
+// trace: inject every (pruned) site and compare final outputs.
+func (a *Analyzer) RunBaseline(r *Result) {
+	started := time.Now()
+	inj := &inject.Injector{T: r.Trace, Workers: a.Cfg.Workers}
+	classes := sites.Global(r.Trace, sites.Options{Prune: a.Cfg.Prune, Width: a.Cfg.BurstWidth})
+	outcomes, stats := inj.RunMonolithic(classes)
+	r.BaseInject = stats
+	r.baseClasses = r.baseClasses[:0]
+	for i, c := range classes {
+		r.baseClasses = append(r.baseClasses, classRecord{class: c, out: outcomes[i], inst: -1})
+	}
+	r.BaseWall = time.Since(started)
+}
+
+// NoteModification tells the analyzer that the next Analyze call is for a
+// modified program version; it advances the m_adj counter of §4.10.
+func (a *Analyzer) NoteModification() {
+	if a.Store != nil {
+		a.Store.ModsSinceAdjust++
+	}
+}
+
+// costModel computes c(pc) for every static instruction of interest (those
+// with at least one register operand) in the region of interest. The
+// default prices instruction duplication: cost = dynamic instances. An
+// external model maps (instruction, dynamic count) to a custom cost.
+func costModel(t *trace.Trace, custom func(prog.StaticID, int) int) (map[prog.StaticID]int, int) {
+	counts := make(map[prog.StaticID]int)
+	for d := t.ROIBeg + 1; d < t.ROIEnd; d++ {
+		in := t.Prog.Linked.Code[t.PCs[d]]
+		if len(in.Operands(nil)) == 0 {
+			continue
+		}
+		counts[t.StaticIDOfDyn(d)]++
+	}
+	total := 0
+	costs := make(map[prog.StaticID]int, len(counts))
+	for id, n := range counts {
+		c := n
+		if custom != nil {
+			c = custom(id, n)
+			if c < 0 {
+				c = 0
+			}
+		}
+		costs[id] = c
+		total += c
+	}
+	return costs, total
+}
+
+// FormatSpec renders the end-to-end specification for final output λ in
+// the style of the paper's Equation 2, with φ variables named by section
+// and occurrence, e.g. "4174.8·phi[LU0.1,out0]".
+func (r *Result) FormatSpec(λ int) string {
+	e := r.Spec.Final[λ]
+	out := ""
+	for i, v := range e.Vars() {
+		if i > 0 {
+			out += " + "
+		}
+		inst := r.Trace.Instances[v.Inst]
+		name := r.Prog.Sections[inst.Sec].Name
+		coef := e.Coef(v)
+		if coef == 1 {
+			out += fmt.Sprintf("phi[%s#%d.%d]", name, inst.Occur, v.Out)
+		} else {
+			out += fmt.Sprintf("%.4g*phi[%s#%d.%d]", coef, name, inst.Occur, v.Out)
+		}
+	}
+	if out == "" {
+		out = "0"
+	}
+	return out
+}

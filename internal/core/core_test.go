@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"testing"
+
+	"fastflip/internal/bench"
+	"fastflip/internal/core"
+)
+
+// TestLUDPipeline runs the full FastFlip + baseline pipeline on all three
+// LUD versions and checks the paper's headline properties: targets are met
+// within the error range, costs track the baseline, and the modified
+// versions are much cheaper to analyze than the baseline re-analysis.
+func TestLUDPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full injection campaign")
+	}
+	cfg := core.DefaultConfig()
+	cfg.PilotInaccuracy = 0.04
+	a := core.NewAnalyzer(cfg)
+
+	type versionResult struct {
+		r     *core.Result
+		evals []core.TargetEval
+	}
+	run := func(variant bench.Variant, modified bool) versionResult {
+		p := bench.MustBuild("lud", variant)
+		if modified {
+			a.NoteModification()
+		}
+		r, err := a.Analyze(p)
+		if err != nil {
+			t.Fatalf("%s: %v", variant, err)
+		}
+		a.RunBaseline(r)
+		evals, err := a.Evaluate(r, cfg.Epsilon, modified)
+		if err != nil {
+			t.Fatalf("%s: %v", variant, err)
+		}
+		t.Logf("%s: sites=%d ffPilots=%d ffCost=%d basePilots=%d baseCost=%d reused=%d injected=%d",
+			variant, r.SiteCount, r.FFInject.Experiments, r.FFCost(),
+			r.BaseInject.Experiments, r.BaseCost(), r.ReusedInstances, r.InjectedInstances)
+		for _, ev := range evals {
+			t.Logf("  target=%.2f adj=%.4f achieved=%.4f ffCost=%.3f baseCost=%.3f diff=%+.4f within=%v",
+				ev.Target, ev.Adjusted, ev.Achieved, ev.FFCostFrac, ev.BaseCostFrac, ev.CostDiff, ev.WithinRange)
+		}
+		return versionResult{r, evals}
+	}
+
+	none := run(bench.None, false)
+	if none.r.ReusedInstances != 0 {
+		t.Errorf("none: reused %d instances, want 0", none.r.ReusedInstances)
+	}
+	for _, ev := range none.evals {
+		if !ev.WithinRange {
+			t.Errorf("none: target %.2f achieved %.4f outside error range", ev.Target, ev.Achieved)
+		}
+	}
+
+	small := run(bench.Small, true)
+	if small.r.ReusedInstances < 6 {
+		t.Errorf("small: reused %d instances, want >= 6 (only BMOD changed)", small.r.ReusedInstances)
+	}
+	if small.r.FFCost() >= small.r.BaseCost() {
+		t.Errorf("small: FastFlip cost %d not below baseline %d", small.r.FFCost(), small.r.BaseCost())
+	}
+	for _, ev := range small.evals {
+		if !ev.WithinRange {
+			t.Errorf("small: target %.2f achieved %.4f outside error range", ev.Target, ev.Achieved)
+		}
+	}
+
+	large := run(bench.Large, true)
+	if large.r.ReusedInstances < 6 {
+		t.Errorf("large: reused %d instances, want >= 6 (only LU0 changed)", large.r.ReusedInstances)
+	}
+	if large.r.FFCost() >= large.r.BaseCost() {
+		t.Errorf("large: FastFlip cost %d not below baseline %d", large.r.FFCost(), large.r.BaseCost())
+	}
+
+	// The composed end-to-end spec should amplify early sections more than
+	// late ones (Equation 2's decreasing coefficients).
+	t.Logf("eq2: %s", none.r.FormatSpec(0))
+}

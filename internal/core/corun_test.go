@@ -1,0 +1,120 @@
+package core_test
+
+import (
+	"testing"
+
+	"fastflip/internal/core"
+	"fastflip/internal/testprog"
+)
+
+func TestCoRunProvidesGroundTruth(t *testing.T) {
+	cfg := fixtureConfig()
+	cfg.CoRunBaseline = true
+	a := core.NewAnalyzer(cfg)
+	r, err := a.Analyze(testprog.Pipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasCoRun() {
+		t.Fatal("co-run labels missing")
+	}
+	// Evaluate works without RunBaseline.
+	evals, err := a.Evaluate(r, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evals {
+		if ev.Achieved < ev.Target-ev.ErrRange-0.05 {
+			t.Errorf("co-run target %.2f achieved only %.4f", ev.Target, ev.Achieved)
+		}
+	}
+}
+
+func TestCoRunLabelsMatchMonolithic(t *testing.T) {
+	cfg := fixtureConfig()
+	cfg.CoRunBaseline = true
+	a := core.NewAnalyzer(cfg)
+	r, err := a.Analyze(testprog.Pipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.RunBaseline(r)
+
+	co := r.CoRunBadCounts(0)
+	base := r.BaseBadCounts(0)
+	// The co-run uses FastFlip's per-section pilots while the baseline
+	// picks its own global pilots, so small disagreements are expected —
+	// but the totals must be close on a program where every static
+	// instruction executes once per section (identical pilots here).
+	if co.Total == 0 || base.Total == 0 {
+		t.Fatalf("empty counts: co %d base %d", co.Total, base.Total)
+	}
+	diff := co.Total - base.Total
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.05*float64(base.Total) {
+		t.Errorf("co-run bad total %d deviates from baseline %d by more than 5%%", co.Total, base.Total)
+	}
+}
+
+func TestCoRunCostsMoreThanSectionOnly(t *testing.T) {
+	plain := core.NewAnalyzer(fixtureConfig())
+	rp, err := plain.Analyze(testprog.Pipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fixtureConfig()
+	cfg.CoRunBaseline = true
+	co := core.NewAnalyzer(cfg)
+	rc, err := co.Analyze(testprog.Pipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.FFInject.SimInstrs <= rp.FFInject.SimInstrs {
+		t.Errorf("co-run cost %d not above section-only %d",
+			rc.FFInject.SimInstrs, rp.FFInject.SimInstrs)
+	}
+}
+
+func TestCoRunReuseRoundTrip(t *testing.T) {
+	cfg := fixtureConfig()
+	cfg.CoRunBaseline = true
+	a := core.NewAnalyzer(cfg)
+	if _, err := a.Analyze(testprog.Pipeline()); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Analyze(testprog.Pipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ReusedInstances != 2 {
+		t.Fatalf("reused %d", r2.ReusedInstances)
+	}
+	if !r2.HasCoRun() {
+		t.Error("co-run labels lost through the store")
+	}
+	if _, err := a.Evaluate(r2, 0, true); err != nil {
+		t.Errorf("Evaluate on reused co-run results: %v", err)
+	}
+}
+
+func TestSectionOnlyStoreNotReusedForCoRun(t *testing.T) {
+	// A store populated without co-run labels cannot satisfy a co-run
+	// analysis; the analyzer must re-inject rather than return results
+	// missing the end-to-end outcomes.
+	plain := core.NewAnalyzer(fixtureConfig())
+	if _, err := plain.Analyze(testprog.Pipeline()); err != nil {
+		t.Fatal(err)
+	}
+	cfg := fixtureConfig()
+	cfg.CoRunBaseline = true
+	co := &core.Analyzer{Cfg: cfg, Store: plain.Store}
+	r, err := co.Analyze(testprog.Pipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ReusedInstances != 0 {
+		t.Errorf("reused %d section-only entries for a co-run analysis", r.ReusedInstances)
+	}
+}

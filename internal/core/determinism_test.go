@@ -1,0 +1,82 @@
+package core_test
+
+import (
+	"testing"
+
+	"fastflip/internal/core"
+	"fastflip/internal/prog"
+	"fastflip/internal/testprog"
+)
+
+// TestAnalysisDeterministicAcrossWorkers: the parallel injection executor
+// must produce identical labels regardless of worker count — the store and
+// the evaluation depend on it.
+func TestAnalysisDeterministicAcrossWorkers(t *testing.T) {
+	counts := make([]map[prog.StaticID]int, 0, 3)
+	for _, workers := range []int{1, 2, 7} {
+		cfg := fixtureConfig()
+		cfg.Workers = workers
+		a := core.NewAnalyzer(cfg)
+		r, err := a.Analyze(testprog.Pipeline())
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, r.FFBadCounts(0).PerStatic)
+	}
+	for i := 1; i < len(counts); i++ {
+		if len(counts[i]) != len(counts[0]) {
+			t.Fatalf("worker variant %d: %d bad statics vs %d", i, len(counts[i]), len(counts[0]))
+		}
+		for id, n := range counts[0] {
+			if counts[i][id] != n {
+				t.Errorf("worker variant %d: %v has %d bad sites, want %d", i, id, counts[i][id], n)
+			}
+		}
+	}
+}
+
+// TestEvaluationDeterministic: repeated evaluation of the same result
+// yields byte-identical selections.
+func TestEvaluationDeterministic(t *testing.T) {
+	a := core.NewAnalyzer(fixtureConfig())
+	r, err := a.Analyze(testprog.Pipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.RunBaseline(r)
+	e1, err := a.Evaluate(r, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := a.Evaluate(r, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range e1 {
+		if e1[i].Achieved != e2[i].Achieved || e1[i].FFCostFrac != e2[i].FFCostFrac ||
+			e1[i].Adjusted != e2[i].Adjusted || len(e1[i].FF.IDs) != len(e2[i].FF.IDs) {
+			t.Errorf("evaluation %d differs between runs: %+v vs %+v", i, e1[i], e2[i])
+		}
+		for j := range e1[i].FF.IDs {
+			if e1[i].FF.IDs[j] != e2[i].FF.IDs[j] {
+				t.Fatalf("selection order differs at %d", j)
+			}
+		}
+	}
+}
+
+// TestFormatSpecDeterministic: the Equation 2 rendering must be stable
+// (map iteration order must not leak into the output).
+func TestFormatSpecDeterministic(t *testing.T) {
+	a := core.NewAnalyzer(fixtureConfig())
+	r, err := a.Analyze(testprog.Pipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := r.FormatSpec(0)
+	for i := 0; i < 10; i++ {
+		if got := r.FormatSpec(0); got != first {
+			t.Fatalf("FormatSpec unstable: %q vs %q", got, first)
+		}
+	}
+}

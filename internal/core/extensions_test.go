@@ -1,0 +1,158 @@
+package core_test
+
+import (
+	"testing"
+
+	"fastflip/internal/core"
+	"fastflip/internal/prog"
+	"fastflip/internal/testprog"
+)
+
+func TestBurstWidthModel(t *testing.T) {
+	single := fixtureConfig()
+	burst := fixtureConfig()
+	burst.BurstWidth = 4
+
+	a1 := core.NewAnalyzer(single)
+	r1, err := a1.Analyze(testprog.Pipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := core.NewAnalyzer(burst)
+	r2, err := a2.Analyze(testprog.Pipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A w-bit burst model has 64-w+1 sites per operand instead of 64.
+	if r2.SiteCount >= r1.SiteCount {
+		t.Errorf("burst sites %d not below single-bit sites %d", r2.SiteCount, r1.SiteCount)
+	}
+	ratio := float64(r2.SiteCount) / float64(r1.SiteCount)
+	want := 61.0 / 64.0
+	if ratio < want-0.001 || ratio > want+0.001 {
+		t.Errorf("site ratio = %v, want %v", ratio, want)
+	}
+	// Wider bursts corrupt more: the SDC-bad fraction must not shrink much.
+	bad1 := float64(r1.FFBadCounts(0).Total) / float64(r1.SiteCount)
+	bad2 := float64(r2.FFBadCounts(0).Total) / float64(r2.SiteCount)
+	if bad2 < bad1*0.8 {
+		t.Errorf("burst bad fraction %v collapsed vs single-bit %v", bad2, bad1)
+	}
+	t.Logf("bad fraction: single=%.3f burst4=%.3f", bad1, bad2)
+}
+
+func TestBurstWidthSeparatesStoreEntries(t *testing.T) {
+	// Results from different error models must not be confused: the store
+	// is keyed by content, not model, so one analyzer must not mix widths.
+	// (Using separate analyzers, as here, is the supported pattern.)
+	a := core.NewAnalyzer(fixtureConfig())
+	if _, err := a.Analyze(testprog.Pipeline()); err != nil {
+		t.Fatal(err)
+	}
+	wide := fixtureConfig()
+	wide.BurstWidth = 2
+	b := core.NewAnalyzer(wide)
+	r, err := b.Analyze(testprog.Pipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ReusedInstances != 0 {
+		t.Skip("fresh analyzer cannot reuse anything; nothing to check")
+	}
+}
+
+func TestCustomCostModel(t *testing.T) {
+	// A task-level detector cost model: every instruction costs 1
+	// regardless of its dynamic count (cheap end-of-block detectors).
+	cfg := fixtureConfig()
+	cfg.CostModel = func(id prog.StaticID, dyn int) int { return 1 }
+	a := core.NewAnalyzer(cfg)
+	r, err := a.Analyze(testprog.Pipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, c := range r.Costs {
+		if c != 1 {
+			t.Errorf("cost of %v = %d, want 1", id, c)
+		}
+	}
+	if r.TotalCost != len(r.Costs) {
+		t.Errorf("total cost %d != item count %d", r.TotalCost, len(r.Costs))
+	}
+
+	// The selection under a flat cost model minimizes the *number* of
+	// protected instructions.
+	a.RunBaseline(r)
+	evals, err := a.Evaluate(r, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evals[0].FF.Cost != len(evals[0].FF.IDs) {
+		t.Errorf("selection cost %d != instruction count %d", evals[0].FF.Cost, len(evals[0].FF.IDs))
+	}
+}
+
+func TestCostModelNegativeClamped(t *testing.T) {
+	cfg := fixtureConfig()
+	cfg.CostModel = func(id prog.StaticID, dyn int) int { return -5 }
+	a := core.NewAnalyzer(cfg)
+	r, err := a.Analyze(testprog.Pipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalCost != 0 {
+		t.Errorf("negative costs not clamped: total %d", r.TotalCost)
+	}
+}
+
+func TestOutcomeStats(t *testing.T) {
+	a := core.NewAnalyzer(fixtureConfig())
+	r, err := a.Analyze(testprog.Pipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.RunBaseline(r)
+
+	ff := r.FFOutcomeStats(0)
+	if ff.Total() != r.SiteCount {
+		t.Errorf("FF stats cover %d sites of %d", ff.Total(), r.SiteCount)
+	}
+	if ff.SDCBad == 0 || ff.Masked == 0 || ff.Detected == 0 {
+		t.Errorf("degenerate distribution: %+v", ff)
+	}
+	if ff.SDCGood != 0 {
+		t.Errorf("eps = 0 cannot have SDC-Good sites: %+v", ff)
+	}
+
+	base := r.BaseOutcomeStats(0)
+	if base.Total() != r.SiteCount {
+		t.Errorf("baseline stats cover %d sites of %d", base.Total(), r.SiteCount)
+	}
+	if base.Untested != 0 {
+		t.Error("baseline has no untested sites by construction")
+	}
+
+	// Raising ε converts some SDC-Bad into SDC-Good, never the reverse.
+	relaxed := r.FFOutcomeStats(1e6)
+	if relaxed.SDCBad+relaxed.Untested > ff.SDCBad+ff.Untested {
+		t.Errorf("relaxing eps increased bad sites: %+v vs %+v", relaxed, ff)
+	}
+	if relaxed.SDCGood == 0 {
+		t.Error("huge eps should classify some SDCs as good")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	a := core.NewAnalyzer(fixtureConfig())
+	r, err := a.Analyze(testprog.Pipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	executed, total := r.Trace.Coverage()
+	if executed != total {
+		t.Errorf("fixture coverage %d/%d, want full (no dead code)", executed, total)
+	}
+	if total == 0 {
+		t.Error("no static instructions of interest")
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"fastflip/internal/prog"
+)
+
+// WriteReport writes a per-instruction vulnerability report: for every
+// static instruction of interest, its protection cost c(pc), the number of
+// SDC-Bad sites FastFlip attributes to it, the baseline's count (when
+// RunBaseline has run), and the normalized protection value v(pc). Rows
+// are ordered by descending FastFlip value — the protection priority
+// order.
+func (r *Result) WriteReport(w io.Writer, eps float64) error {
+	ffBC := r.FFBadCounts(eps)
+	var baseBC BadCounts
+	haveBase := len(r.baseClasses) > 0
+	if haveBase {
+		baseBC = r.BaseBadCounts(eps)
+	}
+
+	ids := make([]prog.StaticID, 0, len(r.Costs))
+	for id := range r.Costs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		bi, bj := ffBC.PerStatic[ids[i]], ffBC.PerStatic[ids[j]]
+		if bi != bj {
+			return bi > bj
+		}
+		if ids[i].Func != ids[j].Func {
+			return ids[i].Func < ids[j].Func
+		}
+		return ids[i].Local < ids[j].Local
+	})
+
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	if haveBase {
+		fmt.Fprintln(tw, "instruction\tcost c(pc)\tff bad sites\tbase bad sites\tv(pc)")
+	} else {
+		fmt.Fprintln(tw, "instruction\tcost c(pc)\tff bad sites\tv(pc)")
+	}
+	for _, id := range ids {
+		v := 0.0
+		if ffBC.Total > 0 {
+			v = float64(ffBC.PerStatic[id]) / float64(ffBC.Total)
+		}
+		if haveBase {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.6f\n",
+				id, r.Costs[id], ffBC.PerStatic[id], baseBC.PerStatic[id], v)
+		} else {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%.6f\n", id, r.Costs[id], ffBC.PerStatic[id], v)
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"fastflip/internal/core"
+	"fastflip/internal/testprog"
+)
+
+func TestWriteReport(t *testing.T) {
+	a := core.NewAnalyzer(fixtureConfig())
+	r, err := a.Analyze(testprog.Pipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var withoutBase strings.Builder
+	if err := r.WriteReport(&withoutBase, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(withoutBase.String(), "base bad sites") {
+		t.Error("report includes baseline column without baseline results")
+	}
+
+	a.RunBaseline(r)
+	var withBase strings.Builder
+	if err := r.WriteReport(&withBase, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := withBase.String()
+	if !strings.Contains(out, "base bad sites") {
+		t.Error("report missing baseline column")
+	}
+	// Every static instruction of interest appears exactly once.
+	for id := range r.Costs {
+		if n := strings.Count(out, id.String()+" "); n != 1 {
+			t.Errorf("instruction %v appears %d times", id, n)
+		}
+	}
+	// Rows are ordered by descending FastFlip bad-site count.
+	bad := r.FFBadCounts(0)
+	lines := strings.Split(strings.TrimSpace(out), "\n")[1:]
+	prev := 1 << 30
+	for _, line := range lines {
+		id := strings.Fields(line)[0]
+		n := -1
+		for sid, c := range bad.PerStatic {
+			if sid.String() == id {
+				n = c
+			}
+		}
+		if n < 0 {
+			n = 0
+		}
+		if n > prev {
+			t.Fatalf("report not sorted: %q has %d bad sites after %d", id, n, prev)
+		}
+		prev = n
+	}
+}

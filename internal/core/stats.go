@@ -1,0 +1,68 @@
+package core
+
+import "fastflip/internal/metrics"
+
+// OutcomeStats aggregates the injection outcome distribution over all
+// error sites — the classic resiliency breakdown (masked / detected /
+// SDC-Good / SDC-Bad, §2.1). Counts are in sites, with each equivalence
+// class's pilot outcome ascribed to all of its members.
+type OutcomeStats struct {
+	Masked   int
+	Detected int
+	SDCGood  int // silent corruption within the ε tolerance
+	SDCBad   int // silent corruption beyond ε
+	Untested int // sites outside every section, assumed SDC-Bad (FastFlip only)
+}
+
+// Total returns the number of classified sites.
+func (o OutcomeStats) Total() int {
+	return o.Masked + o.Detected + o.SDCGood + o.SDCBad + o.Untested
+}
+
+// FFOutcomeStats classifies every site with FastFlip's pipeline: the
+// per-section outcome propagated through the composed specification.
+func (r *Result) FFOutcomeStats(eps float64) OutcomeStats {
+	var o OutcomeStats
+	epsVec := r.epsVec(eps)
+	for _, rec := range r.ffClasses {
+		n := rec.class.Size()
+		switch rec.out.Kind {
+		case metrics.Masked:
+			o.Masked += n
+		case metrics.Detected:
+			o.Detected += n
+		case metrics.SDC:
+			if r.Spec.Bad(rec.inst, rec.out.Magnitudes, epsVec) {
+				o.SDCBad += n
+			} else {
+				o.SDCGood += n
+			}
+		}
+	}
+	for _, n := range r.untestedBad {
+		o.Untested += n
+	}
+	return o
+}
+
+// BaseOutcomeStats classifies every site with the monolithic baseline's
+// end-to-end outcomes. RunBaseline must have run.
+func (r *Result) BaseOutcomeStats(eps float64) OutcomeStats {
+	var o OutcomeStats
+	for _, rec := range r.baseClasses {
+		n := rec.class.Size()
+		switch rec.out.Kind {
+		case metrics.Masked:
+			o.Masked += n
+		case metrics.Detected:
+			o.Detected += n
+		case metrics.SDC:
+			if rec.out.MaxMagnitude() > eps {
+				o.SDCBad += n
+			} else {
+				o.SDCGood += n
+			}
+		}
+	}
+	return o
+}

@@ -1,0 +1,299 @@
+// Package inject runs error-injection experiments: it replays the traced
+// execution up to a site, flips one register bit, resumes execution, and
+// classifies the outcome.
+//
+// Two experiment shapes exist, mirroring the paper. The *monolithic*
+// experiment (the Approxilyzer-only baseline) resumes until the program
+// terminates and compares the final outputs. The *per-section* experiment
+// (FastFlip) resumes until the injected section instance ends and compares
+// that section's outputs plus its live state.
+//
+// Analysis cost is accounted in simulated instructions, the dominant and
+// parallelizable part of the paper's core-hours (§6.2).
+package inject
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fastflip/internal/isa"
+	"fastflip/internal/metrics"
+	"fastflip/internal/sites"
+	"fastflip/internal/trace"
+	"fastflip/internal/vm"
+)
+
+// TimeoutFactor is the paper's rule (§5.6): an execution whose length
+// exceeds 5x the nominal runtime counts as a detected timeout.
+const TimeoutFactor = 5
+
+// Stats accumulates analysis cost.
+type Stats struct {
+	Experiments int
+	SimInstrs   uint64 // total simulated instructions across experiments
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Experiments += other.Experiments
+	s.SimInstrs += other.SimInstrs
+}
+
+// Injector runs experiments against one recorded trace.
+type Injector struct {
+	T *trace.Trace
+	// Workers is the number of parallel experiment goroutines;
+	// 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (inj *Injector) workers() int {
+	if inj.Workers > 0 {
+		return inj.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// prepare replays m to just before dynamic instruction dyn and applies the
+// flip dictated by the site: source operands flip before the instruction
+// reads them, destination operands flip after it writes.
+func (inj *Injector) prepare(m *vm.Machine, site sites.Site, maxDyn uint64) error {
+	m.RestoreFrom(inj.T.NearestCheckpoint(site.Dyn))
+	m.MaxDyn = maxDyn
+	if ev := m.RunUntilDyn(site.Dyn); ev.Kind != vm.EvNone {
+		return fmt.Errorf("inject: clean prefix to dyn %d ended with %v", site.Dyn, ev.Kind)
+	}
+	width := int(site.Width)
+	if width < 1 {
+		width = 1
+	}
+	flip := func() {
+		for b := 0; b < width; b++ {
+			bit := uint(site.Bit) + uint(b)
+			if bit >= 64 {
+				break
+			}
+			if site.Operand.Class == isa.RegFloat {
+				m.FlipFloat(int(site.Operand.Reg), bit)
+			} else {
+				m.FlipInt(int(site.Operand.Reg), bit)
+			}
+		}
+	}
+	if site.Operand.Role == isa.OperandDst {
+		if ev := m.Step(); ev.Kind != vm.EvNone {
+			return fmt.Errorf("inject: instruction at dyn %d raised %v in clean flow", site.Dyn, ev.Kind)
+		}
+		flip()
+	} else {
+		flip()
+	}
+	return nil
+}
+
+// Monolithic runs one whole-program experiment for site and classifies the
+// effect on the program's final outputs.
+func (inj *Injector) Monolithic(m *vm.Machine, site sites.Site) (metrics.Outcome, uint64) {
+	t := inj.T
+	if err := inj.prepare(m, site, TimeoutFactor*t.TotalDyn); err != nil {
+		panic(err) // clean replay cannot fail; a failure is a harness bug
+	}
+	start := t.NearestCheckpointDyn(site.Dyn)
+	ev := m.Run()
+	cost := m.Dyn - start
+	switch ev.Kind {
+	case vm.EvCrash:
+		return metrics.Outcome{Kind: metrics.Detected, Reason: metrics.DetectCrash}, cost
+	case vm.EvTimeout:
+		return metrics.Outcome{Kind: metrics.Detected, Reason: metrics.DetectTimeout}, cost
+	}
+	return metrics.Compare(t.Prog.FinalOutputs, t.Final, m), cost
+}
+
+// Section runs one per-section experiment for a site inside inst and
+// classifies the effect on the instance's outputs and live state.
+func (inj *Injector) Section(m *vm.Machine, inst *trace.Instance, site sites.Site) (metrics.Outcome, uint64) {
+	t := inj.T
+	// Timeout when the section runs more than 5x its nominal length.
+	limit := inst.BegDyn + 1 + TimeoutFactor*inst.Len() + 64
+	if err := inj.prepare(m, site, limit); err != nil {
+		panic(err)
+	}
+	start := t.NearestCheckpointDyn(site.Dyn)
+	for {
+		ev := m.Step()
+		switch ev.Kind {
+		case vm.EvSecEnd:
+			if ev.Sec != inst.Sec {
+				// Control flow escaped into a different section: the
+				// instance never produced its outputs. Conservatively
+				// SDC-Bad (§4.9, side effects).
+				return conservativeSDC(len(inst.IO.Outputs)), m.Dyn - start
+			}
+			out := metrics.Compare(inst.IO.Outputs, inst.Exit, m)
+			if out.Kind != metrics.Detected && liveSideEffect(inst, m) {
+				return conservativeSDC(len(inst.IO.Outputs)), m.Dyn - start
+			}
+			return out, m.Dyn - start
+		case vm.EvHalt:
+			// The program terminated before the section completed:
+			// corrupted control flow skipped the section's remainder.
+			return conservativeSDC(len(inst.IO.Outputs)), m.Dyn - start
+		case vm.EvCrash:
+			return metrics.Outcome{Kind: metrics.Detected, Reason: metrics.DetectCrash}, m.Dyn - start
+		case vm.EvTimeout:
+			return metrics.Outcome{Kind: metrics.Detected, Reason: metrics.DetectTimeout}, m.Dyn - start
+		}
+	}
+}
+
+// SectionCoRun runs one per-section experiment and then lets execution
+// continue to program termination, classifying both the section-level
+// outcome and the end-to-end outcome in a single simulation. This is the
+// paper's simultaneous baseline co-run (§4.10): it gives FastFlip
+// ground-truth labels for target adjustment without a separate monolithic
+// campaign, at the cost of longer experiments.
+func (inj *Injector) SectionCoRun(m *vm.Machine, inst *trace.Instance, site sites.Site) (sec, fin metrics.Outcome, cost uint64) {
+	t := inj.T
+	limit := inst.BegDyn + 1 + TimeoutFactor*inst.Len() + 64
+	if err := inj.prepare(m, site, limit); err != nil {
+		panic(err)
+	}
+	start := t.NearestCheckpointDyn(site.Dyn)
+	secDone := false
+	for {
+		ev := m.Step()
+		switch ev.Kind {
+		case vm.EvSecEnd:
+			if secDone {
+				continue
+			}
+			if ev.Sec != inst.Sec {
+				sec = conservativeSDC(len(inst.IO.Outputs))
+			} else {
+				sec = metrics.Compare(inst.IO.Outputs, inst.Exit, m)
+				if sec.Kind != metrics.Detected && liveSideEffect(inst, m) {
+					sec = conservativeSDC(len(inst.IO.Outputs))
+				}
+			}
+			secDone = true
+			// Past the section, the whole-program timeout rule applies.
+			m.MaxDyn = TimeoutFactor * t.TotalDyn
+		case vm.EvHalt:
+			if !secDone {
+				sec = conservativeSDC(len(inst.IO.Outputs))
+			}
+			fin = metrics.Compare(t.Prog.FinalOutputs, t.Final, m)
+			return sec, fin, m.Dyn - start
+		case vm.EvCrash:
+			det := metrics.Outcome{Kind: metrics.Detected, Reason: metrics.DetectCrash}
+			if !secDone {
+				sec = det
+			}
+			return sec, det, m.Dyn - start
+		case vm.EvTimeout:
+			det := metrics.Outcome{Kind: metrics.Detected, Reason: metrics.DetectTimeout}
+			if !secDone {
+				sec = det
+			}
+			return sec, det, m.Dyn - start
+		}
+	}
+}
+
+// RunSectionCoRun injects every class pilot within inst with the co-run
+// experiment shape, returning parallel slices of section-level and
+// end-to-end outcomes.
+func (inj *Injector) RunSectionCoRun(inst *trace.Instance, classes []*sites.Class) (secs, fins []metrics.Outcome, stats Stats) {
+	fins = make([]metrics.Outcome, len(classes))
+	secs, stats = inj.runAll(classes, func(m *vm.Machine, i int, s sites.Site) (metrics.Outcome, uint64) {
+		sec, fin, cost := inj.SectionCoRun(m, inst, s)
+		fins[i] = fin
+		return sec, cost
+	})
+	return secs, fins, stats
+}
+
+// conservativeSDC is the +Inf-magnitude outcome used when a section-level
+// side effect prevents bounding the corruption: it is SDC-Bad for any ε.
+func conservativeSDC(outputs int) metrics.Outcome {
+	mags := make([]float64, outputs)
+	for i := range mags {
+		mags[i] = math.Inf(1)
+	}
+	return metrics.Outcome{Kind: metrics.SDC, Magnitudes: mags}
+}
+
+// liveSideEffect reports whether any live-declared word outside the
+// instance's declared outputs differs from the clean exit state.
+func liveSideEffect(inst *trace.Instance, m *vm.Machine) bool {
+	for _, lb := range inst.IO.Live {
+	word:
+		for i := 0; i < lb.Len; i++ {
+			addr := lb.Addr + i
+			for _, ob := range inst.IO.Outputs {
+				if addr >= ob.Addr && addr < ob.Addr+ob.Len {
+					continue word
+				}
+			}
+			if m.Mem[addr] != inst.Exit.Mem[addr] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RunMonolithic injects the pilot of every class and returns per-class
+// outcomes (indexed like classes) plus cost statistics.
+func (inj *Injector) RunMonolithic(classes []*sites.Class) ([]metrics.Outcome, Stats) {
+	return inj.runAll(classes, func(m *vm.Machine, _ int, s sites.Site) (metrics.Outcome, uint64) {
+		return inj.Monolithic(m, s)
+	})
+}
+
+// RunSection injects the pilot of every class within inst and returns
+// per-class outcomes plus cost statistics.
+func (inj *Injector) RunSection(inst *trace.Instance, classes []*sites.Class) ([]metrics.Outcome, Stats) {
+	return inj.runAll(classes, func(m *vm.Machine, _ int, s sites.Site) (metrics.Outcome, uint64) {
+		return inj.Section(m, inst, s)
+	})
+}
+
+func (inj *Injector) runAll(classes []*sites.Class, exp func(*vm.Machine, int, sites.Site) (metrics.Outcome, uint64)) ([]metrics.Outcome, Stats) {
+	outcomes := make([]metrics.Outcome, len(classes))
+	var next, simInstrs atomic.Uint64
+	var wg sync.WaitGroup
+	nw := inj.workers()
+	if nw > len(classes) {
+		nw = len(classes)
+	}
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := inj.T.Start.Clone()
+			for {
+				i := next.Add(1) - 1
+				if i >= uint64(len(classes)) {
+					return
+				}
+				c := classes[i]
+				site := sites.Site{
+					Dyn:     c.Pilot(),
+					Operand: isa.Operand{Role: c.Key.Role, Class: c.Class, Reg: c.Reg},
+					Bit:     c.Key.Bit,
+					Width:   c.Width,
+				}
+				out, cost := exp(m, int(i), site)
+				outcomes[i] = out
+				simInstrs.Add(cost)
+			}
+		}()
+	}
+	wg.Wait()
+	return outcomes, Stats{Experiments: len(classes), SimInstrs: simInstrs.Load()}
+}

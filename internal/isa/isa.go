@@ -1,0 +1,279 @@
+// Package isa defines the instruction set of the fastflip architectural
+// simulator: a 64-bit, register-based ISA with sixteen integer and sixteen
+// floating-point architectural registers and word-addressed memory.
+//
+// The ISA plays the role that x86-64 plays for gem5-Approxilyzer in the
+// FastFlip paper: it is the level of abstraction at which single-event-upset
+// bitflips are injected. Every instruction names at most one destination
+// register and two source registers; the per-opcode metadata in Info reports
+// which operands exist and in which register file they live, which is what
+// the error-site enumerator uses to find injectable bits.
+package isa
+
+import "fmt"
+
+// NumRegs is the number of registers in each register file (integer and
+// float). Register operands are always in [0, NumRegs).
+const NumRegs = 16
+
+// Op is an opcode of the simulated ISA.
+type Op uint8
+
+// Opcodes. The set is deliberately RISC-like: three-operand ALU ops,
+// immediate forms, explicit loads/stores, compare-and-branch, and direct
+// calls. FEXP/FLN/FSQRT stand in for libm calls made by the original
+// benchmarks (see DESIGN.md).
+const (
+	NOP Op = iota
+	HALT
+
+	// Integer ALU, register forms: Rd <- Ra op Rb.
+	ADD
+	SUB
+	MUL
+	DIV // signed; Rb == 0 crashes (division error)
+	REM // signed; Rb == 0 crashes (division error)
+	AND
+	OR
+	XOR
+	SHL // shift amount masked to 6 bits
+	SHR // logical
+	SRA // arithmetic
+	SLT // Rd <- (int64(Ra) < int64(Rb)) ? 1 : 0
+	SLTU
+
+	// Integer ALU, immediate forms: Rd <- Ra op Imm.
+	ADDI
+	MULI
+	ANDI
+	ORI
+	XORI
+	SHLI
+	SHRI
+	SRAI
+
+	// Register moves and unary ops.
+	MOV // Rd <- Ra
+	NOT // Rd <- ^Ra
+	NEG // Rd <- -Ra
+	LI  // Rd <- Imm
+
+	// 32-bit arithmetic for hash/codec kernels. Results are masked to the
+	// low 32 bits; sources are assumed to carry 32-bit values.
+	ADD32  // Rd <- (Ra + Rb) & 0xffffffff
+	ROTR32 // Rd <- rotate-right-32(Ra, Imm)
+	NOT32  // Rd <- ^Ra & 0xffffffff
+
+	// Floating point, register forms: Fd <- Fa op Fb.
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FMIN
+	FMAX
+
+	// Floating point, unary: Fd <- op Fa.
+	FSQRT
+	FNEG
+	FABS
+	FEXP // e**Fa; stands in for a libm call
+	FLN  // natural log; stands in for a libm call
+	FMOV
+
+	FLI // Fd <- float64frombits(Imm)
+
+	// Conversions and raw bit moves between register files.
+	ITOF  // Fd <- float64(int64(Ra))
+	FTOI  // Rd <- int64(trunc(Fa)); NaN/overflow yields minInt64 like x86
+	FBITS // Rd <- bits(Fa)
+	BITSF // Fd <- frombits(Ra)
+
+	// Memory. Addresses are word indices: addr = Ra (base) + Imm.
+	LD  // Rd <- Mem[Ra+Imm]
+	ST  // Mem[Rb+Imm] <- Ra (Ra is the value, Rb the base)
+	FLD // Fd <- frombits(Mem[Ra+Imm])
+	FST // Mem[Rb+Imm] <- bits(Fa)
+
+	// Control flow. In an unlinked function, Imm is a function-local
+	// instruction index for branches/jumps and a callee index for CALL;
+	// the linker rewrites both to absolute PCs.
+	JMP
+	BEQ // branch if int64(Ra) == int64(Rb)
+	BNE
+	BLT // signed
+	BLE
+	BGT
+	BGE
+	FBEQ // branch if Fa == Fb (quiet on NaN: comparison is simply false)
+	FBNE
+	FBLT
+	FBLE
+	CALL
+	RET
+
+	// Analysis markers. These are metadata for the resiliency analysis and
+	// carry no architectural state; they are never error sites.
+	SECBEG // Imm = static section ID
+	SECEND // Imm = static section ID
+	ROIBEG // start of the region of interest
+	ROIEND // end of the region of interest
+
+	numOps // sentinel; keep last
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(numOps)
+
+// RegClass says which register file an operand lives in.
+type RegClass uint8
+
+const (
+	RegNone RegClass = iota // operand absent
+	RegInt
+	RegFloat
+)
+
+// ImmKind says how an instruction's immediate is interpreted.
+type ImmKind uint8
+
+const (
+	ImmNone   ImmKind = iota
+	ImmInt            // plain integer immediate
+	ImmFloat          // float64 bits
+	ImmTarget         // branch/jump target (local index, then absolute PC)
+	ImmCallee         // callee (function index, then absolute entry PC)
+	ImmSec            // static section ID
+	ImmOffset         // memory word offset
+)
+
+// OpInfo is static metadata about an opcode, used by the printer, the
+// assembler, the interpreter's operand decoding, and — most importantly —
+// the error-site enumerator, which derives injectable register operands
+// from Dst/SrcA/SrcB.
+type OpInfo struct {
+	Name string
+	Dst  RegClass // class of the Rd field, RegNone if unused
+	SrcA RegClass // class of the Ra field
+	SrcB RegClass // class of the Rb field
+	Imm  ImmKind
+}
+
+var infos = [numOps]OpInfo{
+	NOP:  {Name: "nop"},
+	HALT: {Name: "halt"},
+
+	ADD:  {Name: "add", Dst: RegInt, SrcA: RegInt, SrcB: RegInt},
+	SUB:  {Name: "sub", Dst: RegInt, SrcA: RegInt, SrcB: RegInt},
+	MUL:  {Name: "mul", Dst: RegInt, SrcA: RegInt, SrcB: RegInt},
+	DIV:  {Name: "div", Dst: RegInt, SrcA: RegInt, SrcB: RegInt},
+	REM:  {Name: "rem", Dst: RegInt, SrcA: RegInt, SrcB: RegInt},
+	AND:  {Name: "and", Dst: RegInt, SrcA: RegInt, SrcB: RegInt},
+	OR:   {Name: "or", Dst: RegInt, SrcA: RegInt, SrcB: RegInt},
+	XOR:  {Name: "xor", Dst: RegInt, SrcA: RegInt, SrcB: RegInt},
+	SHL:  {Name: "shl", Dst: RegInt, SrcA: RegInt, SrcB: RegInt},
+	SHR:  {Name: "shr", Dst: RegInt, SrcA: RegInt, SrcB: RegInt},
+	SRA:  {Name: "sra", Dst: RegInt, SrcA: RegInt, SrcB: RegInt},
+	SLT:  {Name: "slt", Dst: RegInt, SrcA: RegInt, SrcB: RegInt},
+	SLTU: {Name: "sltu", Dst: RegInt, SrcA: RegInt, SrcB: RegInt},
+
+	ADDI: {Name: "addi", Dst: RegInt, SrcA: RegInt, Imm: ImmInt},
+	MULI: {Name: "muli", Dst: RegInt, SrcA: RegInt, Imm: ImmInt},
+	ANDI: {Name: "andi", Dst: RegInt, SrcA: RegInt, Imm: ImmInt},
+	ORI:  {Name: "ori", Dst: RegInt, SrcA: RegInt, Imm: ImmInt},
+	XORI: {Name: "xori", Dst: RegInt, SrcA: RegInt, Imm: ImmInt},
+	SHLI: {Name: "shli", Dst: RegInt, SrcA: RegInt, Imm: ImmInt},
+	SHRI: {Name: "shri", Dst: RegInt, SrcA: RegInt, Imm: ImmInt},
+	SRAI: {Name: "srai", Dst: RegInt, SrcA: RegInt, Imm: ImmInt},
+
+	MOV: {Name: "mov", Dst: RegInt, SrcA: RegInt},
+	NOT: {Name: "not", Dst: RegInt, SrcA: RegInt},
+	NEG: {Name: "neg", Dst: RegInt, SrcA: RegInt},
+	LI:  {Name: "li", Dst: RegInt, Imm: ImmInt},
+
+	ADD32:  {Name: "add32", Dst: RegInt, SrcA: RegInt, SrcB: RegInt},
+	ROTR32: {Name: "rotr32", Dst: RegInt, SrcA: RegInt, Imm: ImmInt},
+	NOT32:  {Name: "not32", Dst: RegInt, SrcA: RegInt},
+
+	FADD: {Name: "fadd", Dst: RegFloat, SrcA: RegFloat, SrcB: RegFloat},
+	FSUB: {Name: "fsub", Dst: RegFloat, SrcA: RegFloat, SrcB: RegFloat},
+	FMUL: {Name: "fmul", Dst: RegFloat, SrcA: RegFloat, SrcB: RegFloat},
+	FDIV: {Name: "fdiv", Dst: RegFloat, SrcA: RegFloat, SrcB: RegFloat},
+	FMIN: {Name: "fmin", Dst: RegFloat, SrcA: RegFloat, SrcB: RegFloat},
+	FMAX: {Name: "fmax", Dst: RegFloat, SrcA: RegFloat, SrcB: RegFloat},
+
+	FSQRT: {Name: "fsqrt", Dst: RegFloat, SrcA: RegFloat},
+	FNEG:  {Name: "fneg", Dst: RegFloat, SrcA: RegFloat},
+	FABS:  {Name: "fabs", Dst: RegFloat, SrcA: RegFloat},
+	FEXP:  {Name: "fexp", Dst: RegFloat, SrcA: RegFloat},
+	FLN:   {Name: "fln", Dst: RegFloat, SrcA: RegFloat},
+	FMOV:  {Name: "fmov", Dst: RegFloat, SrcA: RegFloat},
+
+	FLI: {Name: "fli", Dst: RegFloat, Imm: ImmFloat},
+
+	ITOF:  {Name: "itof", Dst: RegFloat, SrcA: RegInt},
+	FTOI:  {Name: "ftoi", Dst: RegInt, SrcA: RegFloat},
+	FBITS: {Name: "fbits", Dst: RegInt, SrcA: RegFloat},
+	BITSF: {Name: "bitsf", Dst: RegFloat, SrcA: RegInt},
+
+	LD:  {Name: "ld", Dst: RegInt, SrcA: RegInt, Imm: ImmOffset},
+	ST:  {Name: "st", SrcA: RegInt, SrcB: RegInt, Imm: ImmOffset},
+	FLD: {Name: "fld", Dst: RegFloat, SrcA: RegInt, Imm: ImmOffset},
+	FST: {Name: "fst", SrcA: RegFloat, SrcB: RegInt, Imm: ImmOffset},
+
+	JMP:  {Name: "jmp", Imm: ImmTarget},
+	BEQ:  {Name: "beq", SrcA: RegInt, SrcB: RegInt, Imm: ImmTarget},
+	BNE:  {Name: "bne", SrcA: RegInt, SrcB: RegInt, Imm: ImmTarget},
+	BLT:  {Name: "blt", SrcA: RegInt, SrcB: RegInt, Imm: ImmTarget},
+	BLE:  {Name: "ble", SrcA: RegInt, SrcB: RegInt, Imm: ImmTarget},
+	BGT:  {Name: "bgt", SrcA: RegInt, SrcB: RegInt, Imm: ImmTarget},
+	BGE:  {Name: "bge", SrcA: RegInt, SrcB: RegInt, Imm: ImmTarget},
+	FBEQ: {Name: "fbeq", SrcA: RegFloat, SrcB: RegFloat, Imm: ImmTarget},
+	FBNE: {Name: "fbne", SrcA: RegFloat, SrcB: RegFloat, Imm: ImmTarget},
+	FBLT: {Name: "fblt", SrcA: RegFloat, SrcB: RegFloat, Imm: ImmTarget},
+	FBLE: {Name: "fble", SrcA: RegFloat, SrcB: RegFloat, Imm: ImmTarget},
+	CALL: {Name: "call", Imm: ImmCallee},
+	RET:  {Name: "ret"},
+
+	SECBEG: {Name: "secbeg", Imm: ImmSec},
+	SECEND: {Name: "secend", Imm: ImmSec},
+	ROIBEG: {Name: "roibeg"},
+	ROIEND: {Name: "roiend"},
+}
+
+// Info returns the static metadata for op. It panics on an undefined opcode,
+// which indicates a corrupted instruction stream rather than a recoverable
+// condition.
+func Info(op Op) OpInfo {
+	if int(op) >= NumOps || infos[op].Name == "" {
+		panic(fmt.Sprintf("isa: undefined opcode %d", op))
+	}
+	return infos[op]
+}
+
+// Valid reports whether op is a defined opcode.
+func Valid(op Op) bool {
+	return int(op) < NumOps && infos[op].Name != ""
+}
+
+func (op Op) String() string {
+	if !Valid(op) {
+		return fmt.Sprintf("op(%d)", op)
+	}
+	return infos[op].Name
+}
+
+// OpByName returns the opcode with the given mnemonic.
+func OpByName(name string) (Op, bool) {
+	op, ok := byName[name]
+	return op, ok
+}
+
+var byName = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := Op(0); op < numOps; op++ {
+		if infos[op].Name != "" {
+			m[infos[op].Name] = op
+		}
+	}
+	return m
+}()

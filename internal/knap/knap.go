@@ -1,0 +1,178 @@
+// Package knap solves the instruction-selection problem of §4.6: choose a
+// set of static instructions that meets a target total protection value
+// while minimizing total protection cost. This is a 0-1 knapsack problem
+// solved with the standard dynamic program over cost, which also yields the
+// whole value/cost Pareto frontier in one pass (the ε-constraint sweep the
+// paper uses for Figure 1).
+package knap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fastflip/internal/prog"
+)
+
+// Item is one static instruction with its protection value and cost.
+type Item struct {
+	ID    prog.StaticID
+	Value float64 // fraction of SDC-Bad errors detected by protecting it
+	Cost  int     // dynamic instances of the instruction (runtime overhead)
+}
+
+// valueSlack absorbs float accumulation error when comparing sums of
+// per-item values against a target. Item values are normalized fractions
+// that sum to 1, so 1e-6 is far below any meaningful value difference.
+const valueSlack = 1e-6
+
+// Solver holds the DP table for one item set.
+type Solver struct {
+	items     []Item
+	totalCost int
+	best      []float64 // best[c] = max value achievable with cost ≤ c
+	take      [][]uint64
+}
+
+// New builds the DP table: O(len(items) × total cost) time.
+func New(items []Item) *Solver {
+	s := &Solver{items: items}
+	for _, it := range items {
+		if it.Cost < 0 || it.Value < 0 {
+			panic(fmt.Sprintf("knap: negative cost or value for %v", it.ID))
+		}
+		s.totalCost += it.Cost
+	}
+	width := s.totalCost + 1
+	s.best = make([]float64, width)
+	s.take = make([][]uint64, len(items))
+	words := (width + 63) / 64
+	for i, it := range items {
+		row := make([]uint64, words)
+		s.take[i] = row
+		if it.Value == 0 {
+			continue // never worth protecting; skipping keeps cost minimal
+		}
+		for c := s.totalCost; c >= it.Cost; c-- {
+			if v := s.best[c-it.Cost] + it.Value; v > s.best[c] {
+				s.best[c] = v
+				row[c/64] |= 1 << (c % 64)
+			}
+		}
+	}
+	return s
+}
+
+// TotalCost returns the cost of protecting every item.
+func (s *Solver) TotalCost() int { return s.totalCost }
+
+// MaxValue returns the total value of protecting every item.
+func (s *Solver) MaxValue() float64 { return s.best[s.totalCost] }
+
+// Selection is a chosen set of instructions.
+type Selection struct {
+	IDs   []prog.StaticID
+	Value float64
+	Cost  int
+}
+
+// Has reports whether the selection contains id.
+func (sel *Selection) Has(id prog.StaticID) bool {
+	for _, x := range sel.IDs {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Set returns the selection as a lookup map.
+func (sel *Selection) Set() map[prog.StaticID]bool {
+	m := make(map[prog.StaticID]bool, len(sel.IDs))
+	for _, id := range sel.IDs {
+		m[id] = true
+	}
+	return m
+}
+
+// MinCostFor returns the minimum-cost selection whose value is at least
+// target. It returns an error if the target exceeds the achievable value.
+func (s *Solver) MinCostFor(target float64) (*Selection, error) {
+	if target > s.MaxValue()+valueSlack {
+		return nil, fmt.Errorf("knap: target value %.4f exceeds achievable %.4f", target, s.MaxValue())
+	}
+	cost := sort.Search(s.totalCost+1, func(c int) bool {
+		return s.best[c] >= target-valueSlack
+	})
+	return s.reconstruct(cost), nil
+}
+
+// reconstruct walks the take bits backward from cost.
+func (s *Solver) reconstruct(cost int) *Selection {
+	sel := &Selection{}
+	c := cost
+	for i := len(s.items) - 1; i >= 0; i-- {
+		if s.take[i][c/64]&(1<<(c%64)) != 0 {
+			it := s.items[i]
+			sel.IDs = append(sel.IDs, it.ID)
+			sel.Value += it.Value
+			sel.Cost += it.Cost
+			c -= it.Cost
+		}
+	}
+	return sel
+}
+
+// Sweep returns the minimum-cost selection for each target, resolving all
+// targets against the single DP table (the ε-constraint sweep).
+func (s *Solver) Sweep(targets []float64) ([]*Selection, error) {
+	sels := make([]*Selection, len(targets))
+	for i, t := range targets {
+		sel, err := s.MinCostFor(t)
+		if err != nil {
+			return nil, err
+		}
+		sels[i] = sel
+	}
+	return sels, nil
+}
+
+// Greedy returns the selection produced by the value-density heuristic
+// (take items by descending value/cost until the target is met). It exists
+// as an ablation baseline for the DP solver.
+func Greedy(items []Item, target float64) *Selection {
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := items[order[a]], items[order[b]]
+		da := density(ia)
+		db := density(ib)
+		if da != db {
+			return da > db
+		}
+		return ia.Cost < ib.Cost
+	})
+	sel := &Selection{}
+	for _, i := range order {
+		if sel.Value >= target-valueSlack {
+			break
+		}
+		it := items[i]
+		if it.Value == 0 {
+			continue
+		}
+		sel.IDs = append(sel.IDs, it.ID)
+		sel.Value += it.Value
+		sel.Cost += it.Cost
+	}
+	return sel
+}
+
+func density(it Item) float64 {
+	if it.Cost == 0 {
+		return math.Inf(1)
+	}
+	return it.Value / float64(it.Cost)
+}

@@ -1,0 +1,658 @@
+package lang
+
+import (
+	"fmt"
+
+	"fastflip/internal/prog"
+)
+
+// Bindings maps buffer parameter names to memory base addresses. Kernels
+// are compiled against concrete placements, like the analysis's buffer
+// declarations.
+type Bindings map[string]int
+
+// Compile type-checks and compiles source text into one ISA function per
+// kernel. Every buffer parameter of every kernel must be bound.
+func Compile(src string, binds Bindings) ([]*prog.Function, error) {
+	kernels, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	fns := make([]*prog.Function, 0, len(kernels))
+	for _, k := range kernels {
+		fn, err := CompileKernel(k, binds)
+		if err != nil {
+			return nil, err
+		}
+		fns = append(fns, fn)
+	}
+	return fns, nil
+}
+
+// CompileKernel compiles a single parsed kernel.
+func CompileKernel(k *Kernel, binds Bindings) (*prog.Function, error) {
+	cg := &codegen{
+		b:     prog.NewFunc(k.Name),
+		kname: k.Name,
+		vars:  map[string]varInfo{},
+		bufs:  map[string]bufInfo{},
+		// r0 stays zero-initialized scratch, r1/r2 are address scratch;
+		// persistent int variables live in r3..r9, int temps in r10..r11.
+		intVars:    []int{3, 4, 5, 6, 7, 8, 9},
+		intTemps:   []int{10, 11},
+		floatVars:  []int{8, 9, 10, 11, 12, 13, 14, 15},
+		floatTemps: []int{0, 1, 2, 3, 4, 5, 6, 7},
+	}
+	for _, prm := range k.Params {
+		base, ok := binds[prm.Name]
+		if !ok {
+			return nil, fmt.Errorf("lang: %s: unbound buffer parameter %q", k.Name, prm.Name)
+		}
+		if _, dup := cg.bufs[prm.Name]; dup {
+			return nil, fmt.Errorf("lang: %s: duplicate parameter %q", k.Name, prm.Name)
+		}
+		cg.bufs[prm.Name] = bufInfo{base: base, elem: prm.Elem, length: prm.Len}
+	}
+	if err := cg.stmts(k.Body); err != nil {
+		return nil, err
+	}
+	cg.b.Ret()
+	return cg.b.Build()
+}
+
+type varInfo struct {
+	reg int
+	ty  Type
+}
+
+type bufInfo struct {
+	base   int
+	elem   Type
+	length int
+}
+
+type codegen struct {
+	b     *prog.B
+	kname string
+	vars  map[string]varInfo
+	bufs  map[string]bufInfo
+
+	intVars, intTemps     []int
+	floatVars, floatTemps []int
+
+	labels int
+}
+
+func (cg *codegen) errf(format string, args ...any) error {
+	return fmt.Errorf("lang: %s: %s", cg.kname, fmt.Sprintf(format, args...))
+}
+
+func (cg *codegen) label(prefix string) string {
+	cg.labels++
+	return fmt.Sprintf("%s%d", prefix, cg.labels)
+}
+
+// Register pools. Persistent registers hold named variables for their
+// scope; temps hold expression intermediates and are released immediately.
+
+func (cg *codegen) allocVarReg(ty Type) (int, error) {
+	pool := &cg.intVars
+	if ty == TFloat {
+		pool = &cg.floatVars
+	}
+	if len(*pool) == 0 {
+		return 0, cg.errf("too many %s variables live at once", ty)
+	}
+	r := (*pool)[0]
+	*pool = (*pool)[1:]
+	return r, nil
+}
+
+func (cg *codegen) freeVarReg(ty Type, r int) {
+	if ty == TFloat {
+		cg.floatVars = append([]int{r}, cg.floatVars...)
+	} else {
+		cg.intVars = append([]int{r}, cg.intVars...)
+	}
+}
+
+func (cg *codegen) allocTemp(ty Type) (int, error) {
+	pool := &cg.intTemps
+	if ty == TFloat {
+		pool = &cg.floatTemps
+	}
+	if len(*pool) == 0 {
+		return 0, cg.errf("expression too deep (out of %s temporaries)", ty)
+	}
+	r := (*pool)[0]
+	*pool = (*pool)[1:]
+	return r, nil
+}
+
+func (cg *codegen) freeTemp(ty Type, r int) {
+	if ty == TFloat {
+		cg.floatTemps = append([]int{r}, cg.floatTemps...)
+	} else {
+		cg.intTemps = append([]int{r}, cg.intTemps...)
+	}
+}
+
+// releaseIfTemp frees r when it came from the temp pool (variable reads
+// return the variable's own register, which must not be freed).
+func (cg *codegen) releaseIfTemp(ty Type, r int, isTemp bool) {
+	if isTemp {
+		cg.freeTemp(ty, r)
+	}
+}
+
+// --- type resolution ---
+
+// typeOf computes an expression's type; literal says the type is still
+// flexible (an undecorated numeric literal adapts to its context).
+func (cg *codegen) typeOf(e Expr) (ty Type, literal bool, err error) {
+	switch e := e.(type) {
+	case Num:
+		if e.IsInt {
+			return TInt, true, nil
+		}
+		return TFloat, false, nil
+	case VarRef:
+		v, ok := cg.vars[e.Name]
+		if !ok {
+			return 0, false, cg.errf("undefined variable %q", e.Name)
+		}
+		return v.ty, false, nil
+	case Index:
+		b, ok := cg.bufs[e.Buf]
+		if !ok {
+			return 0, false, cg.errf("undefined buffer %q", e.Buf)
+		}
+		if ity, _, err := cg.typeOf(e.Idx); err != nil {
+			return 0, false, err
+		} else if ity != TInt {
+			return 0, false, cg.errf("buffer %q indexed with a %s", e.Buf, ity)
+		}
+		return b.elem, false, nil
+	case Binary:
+		// Each child is typed exactly once; recursing again through
+		// operandType would be exponential on nested chains.
+		tL, lL, err := cg.typeOf(e.L)
+		if err != nil {
+			return 0, false, err
+		}
+		tR, lR, err := cg.typeOf(e.R)
+		if err != nil {
+			return 0, false, err
+		}
+		t, err := cg.commonType(tL, lL, tR, lR, e.Op)
+		if err != nil {
+			return 0, false, err
+		}
+		switch e.Op {
+		case "<", "<=", ">", ">=", "==", "!=":
+			return TInt, false, nil // comparisons yield int 0/1
+		}
+		if e.Op == "%" && t != TInt {
+			return 0, false, cg.errf("%% requires int operands")
+		}
+		return t, lL && lR, nil
+	case Call:
+		switch e.Fn {
+		case "sqrt", "exp", "ln", "abs":
+			if len(e.Args) != 1 {
+				return 0, false, cg.errf("%s takes one argument", e.Fn)
+			}
+			return TFloat, false, nil
+		case "min", "max":
+			if len(e.Args) != 2 {
+				return 0, false, cg.errf("%s takes two arguments", e.Fn)
+			}
+			return TFloat, false, nil
+		case "float":
+			if len(e.Args) != 1 {
+				return 0, false, cg.errf("float() takes one argument")
+			}
+			return TFloat, false, nil
+		case "int":
+			if len(e.Args) != 1 {
+				return 0, false, cg.errf("int() takes one argument")
+			}
+			return TInt, false, nil
+		}
+		return 0, false, cg.errf("unknown function %q", e.Fn)
+	}
+	return 0, false, cg.errf("unsupported expression %T", e)
+}
+
+// operandType resolves the common operand type of a binary expression,
+// letting flexible literals adopt the other side's type.
+func (cg *codegen) operandType(e Binary) (Type, error) {
+	tL, lL, err := cg.typeOf(e.L)
+	if err != nil {
+		return 0, err
+	}
+	tR, lR, err := cg.typeOf(e.R)
+	if err != nil {
+		return 0, err
+	}
+	return cg.commonType(tL, lL, tR, lR, e.Op)
+}
+
+func (cg *codegen) commonType(tL Type, lL bool, tR Type, lR bool, op string) (Type, error) {
+	switch {
+	case tL == tR:
+		return tL, nil
+	case lL && !lR:
+		return tR, nil
+	case lR && !lL:
+		return tL, nil
+	}
+	return 0, cg.errf("type mismatch: %s %s %s", tL, op, tR)
+}
+
+// --- code generation ---
+
+func (cg *codegen) stmts(body []Stmt) error {
+	for _, s := range body {
+		if err := cg.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (cg *codegen) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case VarDecl:
+		if _, dup := cg.vars[s.Name]; dup {
+			return cg.errf("variable %q redeclared", s.Name)
+		}
+		if _, isBuf := cg.bufs[s.Name]; isBuf {
+			return cg.errf("%q is a buffer parameter", s.Name)
+		}
+		reg, err := cg.allocVarReg(s.Type)
+		if err != nil {
+			return err
+		}
+		r, isTemp, err := cg.genExpr(s.Init, s.Type)
+		if err != nil {
+			return err
+		}
+		cg.move(s.Type, reg, r)
+		cg.releaseIfTemp(s.Type, r, isTemp)
+		cg.vars[s.Name] = varInfo{reg: reg, ty: s.Type}
+		return nil
+
+	case Assign:
+		switch tgt := s.Target.(type) {
+		case VarRef:
+			v, ok := cg.vars[tgt.Name]
+			if !ok {
+				return cg.errf("assignment to undefined variable %q", tgt.Name)
+			}
+			r, isTemp, err := cg.genExpr(s.Value, v.ty)
+			if err != nil {
+				return err
+			}
+			cg.move(v.ty, v.reg, r)
+			cg.releaseIfTemp(v.ty, r, isTemp)
+			return nil
+		case Index:
+			b, ok := cg.bufs[tgt.Buf]
+			if !ok {
+				return cg.errf("assignment to undefined buffer %q", tgt.Buf)
+			}
+			vr, vTemp, err := cg.genExpr(s.Value, b.elem)
+			if err != nil {
+				return err
+			}
+			ir, iTemp, err := cg.genExpr(tgt.Idx, TInt)
+			if err != nil {
+				return err
+			}
+			// r1 is the address scratch register.
+			cg.b.Addi(1, ir, int64(b.base))
+			if b.elem == TFloat {
+				cg.b.Fst(vr, 1, 0)
+			} else {
+				cg.b.St(vr, 1, 0)
+			}
+			cg.releaseIfTemp(TInt, ir, iTemp)
+			cg.releaseIfTemp(b.elem, vr, vTemp)
+			return nil
+		}
+		return cg.errf("unsupported assignment target %T", s.Target)
+
+	case If:
+		elseL, endL := cg.label("else"), cg.label("endif")
+		if err := cg.genBranchIfFalse(s.Cond, elseL); err != nil {
+			return err
+		}
+		if err := cg.stmts(s.Then); err != nil {
+			return err
+		}
+		cg.b.Jmp(endL)
+		cg.b.Label(elseL)
+		if err := cg.stmts(s.Else); err != nil {
+			return err
+		}
+		cg.b.Label(endL)
+		return nil
+
+	case For:
+		if _, dup := cg.vars[s.Var]; dup {
+			return cg.errf("loop variable %q shadows an existing variable", s.Var)
+		}
+		ivar, err := cg.allocVarReg(TInt)
+		if err != nil {
+			return err
+		}
+		bound, err := cg.allocVarReg(TInt) // persists across the body
+		if err != nil {
+			return err
+		}
+		fr, fTemp, err := cg.genExpr(s.From, TInt)
+		if err != nil {
+			return err
+		}
+		cg.move(TInt, ivar, fr)
+		cg.releaseIfTemp(TInt, fr, fTemp)
+		tr, tTemp, err := cg.genExpr(s.To, TInt)
+		if err != nil {
+			return err
+		}
+		cg.move(TInt, bound, tr)
+		cg.releaseIfTemp(TInt, tr, tTemp)
+
+		top, end := cg.label("for"), cg.label("endfor")
+		cg.b.Label(top)
+		cg.b.Bge(ivar, bound, end)
+		cg.vars[s.Var] = varInfo{reg: ivar, ty: TInt}
+		if err := cg.stmts(s.Body); err != nil {
+			return err
+		}
+		delete(cg.vars, s.Var)
+		cg.b.Addi(ivar, ivar, 1)
+		cg.b.Jmp(top)
+		cg.b.Label(end)
+		cg.freeVarReg(TInt, bound)
+		cg.freeVarReg(TInt, ivar)
+		return nil
+	}
+	return cg.errf("unsupported statement %T", s)
+}
+
+// move emits a register move when src and dst differ.
+func (cg *codegen) move(ty Type, dst, src int) {
+	if dst == src {
+		return
+	}
+	if ty == TFloat {
+		cg.b.Fmov(dst, src)
+	} else {
+		cg.b.Mov(dst, src)
+	}
+}
+
+// genExpr generates code computing e as type want, returning the register
+// holding the result and whether that register is a releasable temp.
+func (cg *codegen) genExpr(e Expr, want Type) (reg int, isTemp bool, err error) {
+	ty, literal, err := cg.typeOf(e)
+	if err != nil {
+		return 0, false, err
+	}
+	if ty != want && !literal {
+		return 0, false, cg.errf("expected %s expression, found %s", want, ty)
+	}
+
+	switch e := e.(type) {
+	case Num:
+		r, err := cg.allocTemp(want)
+		if err != nil {
+			return 0, false, err
+		}
+		if want == TFloat {
+			cg.b.Fli(r, e.Value)
+		} else {
+			cg.b.Li(r, int64(e.Value))
+		}
+		return r, true, nil
+
+	case VarRef:
+		return cg.vars[e.Name].reg, false, nil
+
+	case Index:
+		b := cg.bufs[e.Buf]
+		ir, iTemp, err := cg.genExpr(e.Idx, TInt)
+		if err != nil {
+			return 0, false, err
+		}
+		r, err := cg.allocTemp(want)
+		if err != nil {
+			return 0, false, err
+		}
+		cg.b.Addi(1, ir, int64(b.base))
+		if want == TFloat {
+			cg.b.Fld(r, 1, 0)
+		} else {
+			cg.b.Ld(r, 1, 0)
+		}
+		cg.releaseIfTemp(TInt, ir, iTemp)
+		return r, true, nil
+
+	case Binary:
+		switch e.Op {
+		case "<", "<=", ">", ">=", "==", "!=":
+			return cg.genComparisonValue(e)
+		}
+		opTy, err := cg.operandType(e)
+		if err != nil {
+			return 0, false, err
+		}
+		if literal {
+			// An all-literal expression adopts the context's type
+			// (e.g. 2*3 used where a float is expected).
+			opTy = want
+		}
+		lr, lTemp, err := cg.genExpr(e.L, opTy)
+		if err != nil {
+			return 0, false, err
+		}
+		rr, rTemp, err := cg.genExpr(e.R, opTy)
+		if err != nil {
+			return 0, false, err
+		}
+		dst, err := cg.allocTemp(opTy)
+		if err != nil {
+			return 0, false, err
+		}
+		if opTy == TFloat {
+			switch e.Op {
+			case "+":
+				cg.b.Fadd(dst, lr, rr)
+			case "-":
+				cg.b.Fsub(dst, lr, rr)
+			case "*":
+				cg.b.Fmul(dst, lr, rr)
+			case "/":
+				cg.b.Fdiv(dst, lr, rr)
+			}
+		} else {
+			switch e.Op {
+			case "+":
+				cg.b.Add(dst, lr, rr)
+			case "-":
+				cg.b.Sub(dst, lr, rr)
+			case "*":
+				cg.b.Mul(dst, lr, rr)
+			case "/":
+				cg.b.Div(dst, lr, rr)
+			case "%":
+				cg.b.Rem(dst, lr, rr)
+			}
+		}
+		cg.releaseIfTemp(opTy, rr, rTemp)
+		cg.releaseIfTemp(opTy, lr, lTemp)
+		return dst, true, nil
+
+	case Call:
+		switch e.Fn {
+		case "sqrt", "exp", "ln", "abs":
+			ar, aTemp, err := cg.genExpr(e.Args[0], TFloat)
+			if err != nil {
+				return 0, false, err
+			}
+			dst, err := cg.allocTemp(TFloat)
+			if err != nil {
+				return 0, false, err
+			}
+			switch e.Fn {
+			case "sqrt":
+				cg.b.Fsqrt(dst, ar)
+			case "exp":
+				cg.b.Fexp(dst, ar)
+			case "ln":
+				cg.b.Fln(dst, ar)
+			case "abs":
+				cg.b.Fabs(dst, ar)
+			}
+			cg.releaseIfTemp(TFloat, ar, aTemp)
+			return dst, true, nil
+		case "min", "max":
+			lr, lTemp, err := cg.genExpr(e.Args[0], TFloat)
+			if err != nil {
+				return 0, false, err
+			}
+			rr, rTemp, err := cg.genExpr(e.Args[1], TFloat)
+			if err != nil {
+				return 0, false, err
+			}
+			dst, err := cg.allocTemp(TFloat)
+			if err != nil {
+				return 0, false, err
+			}
+			if e.Fn == "min" {
+				cg.b.Fmin(dst, lr, rr)
+			} else {
+				cg.b.Fmax(dst, lr, rr)
+			}
+			cg.releaseIfTemp(TFloat, rr, rTemp)
+			cg.releaseIfTemp(TFloat, lr, lTemp)
+			return dst, true, nil
+		case "float":
+			ar, aTemp, err := cg.genExpr(e.Args[0], TInt)
+			if err != nil {
+				return 0, false, err
+			}
+			dst, err := cg.allocTemp(TFloat)
+			if err != nil {
+				return 0, false, err
+			}
+			cg.b.Itof(dst, ar)
+			cg.releaseIfTemp(TInt, ar, aTemp)
+			return dst, true, nil
+		case "int":
+			ar, aTemp, err := cg.genExpr(e.Args[0], TFloat)
+			if err != nil {
+				return 0, false, err
+			}
+			dst, err := cg.allocTemp(TInt)
+			if err != nil {
+				return 0, false, err
+			}
+			cg.b.Ftoi(dst, ar)
+			cg.releaseIfTemp(TFloat, ar, aTemp)
+			return dst, true, nil
+		}
+		return 0, false, cg.errf("unknown function %q", e.Fn)
+	}
+	return 0, false, cg.errf("unsupported expression %T", e)
+}
+
+// genComparisonValue materializes a comparison as an int 0/1 value.
+func (cg *codegen) genComparisonValue(e Binary) (int, bool, error) {
+	dst, err := cg.allocTemp(TInt)
+	if err != nil {
+		return 0, false, err
+	}
+	falseL, endL := cg.label("cfalse"), cg.label("cend")
+	if err := cg.genBranchIfFalse(e, falseL); err != nil {
+		return 0, false, err
+	}
+	cg.b.Li(dst, 1)
+	cg.b.Jmp(endL)
+	cg.b.Label(falseL)
+	cg.b.Li(dst, 0)
+	cg.b.Label(endL)
+	return dst, true, nil
+}
+
+// genBranchIfFalse emits code jumping to target when cond is false.
+func (cg *codegen) genBranchIfFalse(cond Expr, target string) error {
+	if b, ok := cond.(Binary); ok {
+		switch b.Op {
+		case "<", "<=", ">", ">=", "==", "!=":
+			opTy, err := cg.operandType(b)
+			if err != nil {
+				return err
+			}
+			lr, lTemp, err := cg.genExpr(b.L, opTy)
+			if err != nil {
+				return err
+			}
+			rr, rTemp, err := cg.genExpr(b.R, opTy)
+			if err != nil {
+				return err
+			}
+			// Branch on the *negated* condition.
+			if opTy == TFloat {
+				switch b.Op {
+				case "<":
+					cg.b.Fble(rr, lr, target) // !(l<r) == r<=l
+				case "<=":
+					cg.b.Fblt(rr, lr, target)
+				case ">":
+					cg.b.Fble(lr, rr, target)
+				case ">=":
+					cg.b.Fblt(lr, rr, target)
+				case "==":
+					cg.b.Fbne(lr, rr, target)
+				case "!=":
+					cg.b.Fbeq(lr, rr, target)
+				}
+			} else {
+				switch b.Op {
+				case "<":
+					cg.b.Bge(lr, rr, target)
+				case "<=":
+					cg.b.Bgt(lr, rr, target)
+				case ">":
+					cg.b.Ble(lr, rr, target)
+				case ">=":
+					cg.b.Blt(lr, rr, target)
+				case "==":
+					cg.b.Bne(lr, rr, target)
+				case "!=":
+					cg.b.Beq(lr, rr, target)
+				}
+			}
+			cg.releaseIfTemp(opTy, rr, rTemp)
+			cg.releaseIfTemp(opTy, lr, lTemp)
+			return nil
+		}
+	}
+	// Any other int expression: false when zero.
+	r, isTemp, err := cg.genExpr(cond, TInt)
+	if err != nil {
+		return err
+	}
+	z, err := cg.allocTemp(TInt)
+	if err != nil {
+		return err
+	}
+	cg.b.Li(z, 0)
+	cg.b.Beq(r, z, target)
+	cg.freeTemp(TInt, z)
+	cg.releaseIfTemp(TInt, r, isTemp)
+	return nil
+}

@@ -1,0 +1,607 @@
+// Package lang implements minilang, a small imperative kernel language
+// that compiles to the fastflip ISA. It exists so program sections can be
+// written as readable source instead of hand-assembled builder calls:
+//
+//	kernel sumsq(v: float[4], s: float[1]) {
+//	    var acc: float = 0.0;
+//	    for i = 0 to 4 {
+//	        acc = acc + v[i] * v[i];
+//	    }
+//	    s[0] = acc;
+//	}
+//
+// The language has int and float scalars, fixed-size float/int buffer
+// parameters (bound to memory addresses at compile time), arithmetic,
+// comparisons, if/else, counted for loops, and float intrinsics
+// (sqrt, exp, ln, abs, min, max) plus explicit float()/int() conversions.
+//
+// This file contains the lexer, the AST, and the recursive descent parser;
+// compile.go contains the type checker and the code generator.
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Type is a scalar type.
+type Type uint8
+
+const (
+	TInt Type = iota
+	TFloat
+)
+
+func (t Type) String() string {
+	if t == TInt {
+		return "int"
+	}
+	return "float"
+}
+
+// --- AST ---
+
+// Kernel is one compiled unit; it becomes a single ISA function.
+type Kernel struct {
+	Name   string
+	Params []Param
+	Body   []Stmt
+}
+
+// Param is a buffer parameter: a typed, fixed-length memory region.
+type Param struct {
+	Name string
+	Elem Type
+	Len  int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// VarDecl declares and initializes a scalar local.
+type VarDecl struct {
+	Name string
+	Type Type
+	Init Expr
+}
+
+// Assign stores a value into a scalar or a buffer element.
+type Assign struct {
+	Target LValue
+	Value  Expr
+}
+
+// If is a two-armed conditional.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// For is a counted loop: for i = From to To runs while i < To.
+type For struct {
+	Var  string
+	From Expr
+	To   Expr
+	Body []Stmt
+}
+
+func (VarDecl) stmt() {}
+func (Assign) stmt()  {}
+func (If) stmt()      {}
+func (For) stmt()     {}
+
+// LValue is an assignable location.
+type LValue interface{ lvalue() }
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// Num is a numeric literal; IsInt distinguishes 3 from 3.0.
+type Num struct {
+	Value float64
+	IsInt bool
+}
+
+// VarRef reads a scalar variable.
+type VarRef struct{ Name string }
+
+// Index reads or writes a buffer element.
+type Index struct {
+	Buf string
+	Idx Expr
+}
+
+// Binary applies an arithmetic or comparison operator.
+type Binary struct {
+	Op   string // + - * / % < <= > >= == !=
+	L, R Expr
+}
+
+// Call invokes an intrinsic: sqrt, exp, ln, abs, min, max, float, int.
+type Call struct {
+	Fn   string
+	Args []Expr
+}
+
+func (Num) expr()    {}
+func (VarRef) expr() {}
+func (Index) expr()  {}
+func (Binary) expr() {}
+func (Call) expr()   {}
+
+func (VarRef) lvalue() {}
+func (Index) lvalue()  {}
+
+// --- lexer ---
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // single/double character punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: lx.line}, nil
+
+scan:
+	c := lx.src[lx.pos]
+	start := lx.pos
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		for lx.pos < len(lx.src) && (isIdentChar(lx.src[lx.pos])) {
+			lx.pos++
+		}
+		return token{kind: tokIdent, text: lx.src[start:lx.pos], line: lx.line}, nil
+	case unicode.IsDigit(rune(c)):
+		for lx.pos < len(lx.src) && (unicode.IsDigit(rune(lx.src[lx.pos])) || lx.src[lx.pos] == '.' ||
+			lx.src[lx.pos] == 'e' || lx.src[lx.pos] == 'E' ||
+			((lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') && (lx.src[lx.pos-1] == 'e' || lx.src[lx.pos-1] == 'E'))) {
+			lx.pos++
+		}
+		return token{kind: tokNumber, text: lx.src[start:lx.pos], line: lx.line}, nil
+	case strings.ContainsRune("+-*/%(){}[]=<>!,:;", rune(c)):
+		lx.pos++
+		text := string(c)
+		// Two-character operators.
+		if lx.pos < len(lx.src) {
+			two := text + string(lx.src[lx.pos])
+			switch two {
+			case "<=", ">=", "==", "!=":
+				lx.pos++
+				text = two
+			}
+		}
+		return token{kind: tokPunct, text: text, line: lx.line}, nil
+	}
+	return token{}, fmt.Errorf("lang:%d: unexpected character %q", lx.line, c)
+}
+
+func isIdentChar(c byte) bool {
+	return unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_'
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses minilang source into kernels.
+func Parse(src string) ([]*Kernel, error) {
+	lx := newLexer(src)
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			break
+		}
+	}
+	p := &parser{toks: toks}
+	var kernels []*Kernel
+	for p.peek().kind != tokEOF {
+		k, err := p.kernel()
+		if err != nil {
+			return nil, err
+		}
+		kernels = append(kernels, k)
+	}
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("lang: no kernels in source")
+	}
+	return kernels, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("lang:%d: %s", p.peek().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(text string) error {
+	if p.peek().text != text {
+		return p.errf("expected %q, found %q", text, p.peek().text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	if p.peek().kind != tokIdent {
+		return "", p.errf("expected identifier, found %q", p.peek().text)
+	}
+	return p.advance().text, nil
+}
+
+func (p *parser) kernel() (*Kernel, error) {
+	if p.peek().text != "kernel" {
+		return nil, p.errf("expected 'kernel', found %q", p.peek().text)
+	}
+	p.advance()
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	k := &Kernel{Name: name}
+	for p.peek().text != ")" {
+		if len(k.Params) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		prm, err := p.param()
+		if err != nil {
+			return nil, err
+		}
+		k.Params = append(k.Params, prm)
+	}
+	p.advance() // ")"
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	k.Body = body
+	return k, nil
+}
+
+func (p *parser) param() (Param, error) {
+	name, err := p.ident()
+	if err != nil {
+		return Param{}, err
+	}
+	if err := p.expect(":"); err != nil {
+		return Param{}, err
+	}
+	elem, err := p.typeName()
+	if err != nil {
+		return Param{}, err
+	}
+	if err := p.expect("["); err != nil {
+		return Param{}, err
+	}
+	if p.peek().kind != tokNumber {
+		return Param{}, p.errf("expected buffer length, found %q", p.peek().text)
+	}
+	n, err := strconv.Atoi(p.advance().text)
+	if err != nil || n <= 0 {
+		return Param{}, p.errf("bad buffer length")
+	}
+	if err := p.expect("]"); err != nil {
+		return Param{}, err
+	}
+	return Param{Name: name, Elem: elem, Len: n}, nil
+}
+
+func (p *parser) typeName() (Type, error) {
+	switch p.peek().text {
+	case "int":
+		p.advance()
+		return TInt, nil
+	case "float":
+		p.advance()
+		return TFloat, nil
+	}
+	return 0, p.errf("expected type, found %q", p.peek().text)
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for p.peek().text != "}" {
+		if p.peek().kind == tokEOF {
+			return nil, p.errf("unexpected end of input in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.advance() // "}"
+	return stmts, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch p.peek().text {
+	case "var":
+		p.advance()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		ty, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return VarDecl{Name: name, Type: ty, Init: init}, nil
+
+	case "if":
+		p.advance()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.peek().text == "else" {
+			p.advance()
+			if els, err = p.block(); err != nil {
+				return nil, err
+			}
+		}
+		return If{Cond: cond, Then: then, Else: els}, nil
+
+	case "for":
+		p.advance()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		from, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().text != "to" {
+			return nil, p.errf("expected 'to', found %q", p.peek().text)
+		}
+		p.advance()
+		to, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return For{Var: name, From: from, To: to, Body: body}, nil
+	}
+
+	// Assignment: lvalue "=" expr ";"
+	lv, err := p.lvalue()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	val, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return Assign{Target: lv, Value: val}, nil
+}
+
+func (p *parser) lvalue() (LValue, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().text == "[" {
+		p.advance()
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		return Index{Buf: name, Idx: idx}, nil
+	}
+	return VarRef{Name: name}, nil
+}
+
+// Expression grammar: comparison > additive > multiplicative > unary > primary.
+
+func (p *parser) expr() (Expr, error) {
+	l, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	switch op := p.peek().text; op {
+	case "<", "<=", ">", ">=", "==", "!=":
+		p.advance()
+		r, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) additive() (Expr, error) {
+	l, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().text == "+" || p.peek().text == "-" {
+		op := p.advance().text
+		r, err := p.multiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) multiplicative() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().text == "*" || p.peek().text == "/" || p.peek().text == "%" {
+		op := p.advance().text
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.peek().text == "-" {
+		p.advance()
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		// -x desugars to 0-x with a literal matching x's eventual type;
+		// the checker patches the literal type.
+		return Binary{Op: "-", L: Num{Value: 0}, R: e}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.text == "(":
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokNumber:
+		p.advance()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return Num{Value: v, IsInt: !strings.ContainsAny(t.text, ".eE")}, nil
+	case t.kind == tokIdent:
+		p.advance()
+		name := t.text
+		switch p.peek().text {
+		case "(":
+			p.advance()
+			call := Call{Fn: name}
+			for p.peek().text != ")" {
+				if len(call.Args) > 0 {
+					if err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+				arg, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+			}
+			p.advance() // ")"
+			return call, nil
+		case "[":
+			p.advance()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return Index{Buf: name, Idx: idx}, nil
+		}
+		return VarRef{Name: name}, nil
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}

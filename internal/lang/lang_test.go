@@ -1,0 +1,251 @@
+package lang
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fastflip/internal/prog"
+	"fastflip/internal/vm"
+)
+
+// runKernel compiles src with the given bindings, runs the named kernel on
+// a fresh machine with initialized memory, and returns the machine.
+func runKernel(t *testing.T, src string, binds Bindings, kernel string, init map[int]float64) *vm.Machine {
+	t.Helper()
+	fns, err := Compile(src, binds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := prog.New()
+	main := prog.NewFunc("main")
+	main.Call(kernel)
+	main.Halt()
+	mod.MustAdd(main.MustBuild())
+	for _, fn := range fns {
+		mod.MustAdd(fn)
+	}
+	linked, err := mod.Link("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(linked.Code, linked.Entry, 64)
+	for addr, v := range init {
+		m.Mem[addr] = math.Float64bits(v)
+	}
+	if ev := m.Run(); ev.Kind != vm.EvHalt {
+		t.Fatalf("kernel %s ended with %v (crash %v)", kernel, ev.Kind, m.Crash)
+	}
+	return m
+}
+
+func fl(m *vm.Machine, addr int) float64 { return math.Float64frombits(m.Mem[addr]) }
+
+func TestSumOfSquares(t *testing.T) {
+	src := `
+kernel sumsq(v: float[4], s: float[1]) {
+    var acc: float = 0.0;
+    for i = 0 to 4 {
+        acc = acc + v[i] * v[i];
+    }
+    s[0] = acc;
+}`
+	m := runKernel(t, src, Bindings{"v": 0, "s": 8}, "sumsq",
+		map[int]float64{0: 1, 1: 2, 2: 3, 3: 4})
+	if got := fl(m, 8); got != 30 {
+		t.Errorf("sumsq = %v, want 30", got)
+	}
+}
+
+func TestIfElseAndComparisons(t *testing.T) {
+	src := `
+kernel clamp(x: float[1], out: float[1]) {
+    var v: float = x[0];
+    if v < 0.0 {
+        v = 0.0 - v;
+    } else {
+        v = v * 2.0;
+    }
+    out[0] = v;
+}`
+	binds := Bindings{"x": 0, "out": 1}
+	m := runKernel(t, src, binds, "clamp", map[int]float64{0: -3})
+	if got := fl(m, 1); got != 3 {
+		t.Errorf("clamp(-3) = %v, want 3", got)
+	}
+	m = runKernel(t, src, binds, "clamp", map[int]float64{0: 5})
+	if got := fl(m, 1); got != 10 {
+		t.Errorf("clamp(5) = %v, want 10", got)
+	}
+}
+
+func TestIntrinsics(t *testing.T) {
+	src := `
+kernel f(x: float[1], out: float[4]) {
+    out[0] = sqrt(x[0]);
+    out[1] = exp(ln(x[0]));
+    out[2] = min(x[0], 2.0);
+    out[3] = abs(0.0 - x[0]);
+}`
+	m := runKernel(t, src, Bindings{"x": 0, "out": 1}, "f", map[int]float64{0: 9})
+	if got := fl(m, 1); got != 3 {
+		t.Errorf("sqrt(9) = %v", got)
+	}
+	if got := fl(m, 2); math.Abs(got-9) > 1e-12 {
+		t.Errorf("exp(ln(9)) = %v", got)
+	}
+	if got := fl(m, 3); got != 2 {
+		t.Errorf("min(9,2) = %v", got)
+	}
+	if got := fl(m, 4); got != 9 {
+		t.Errorf("abs(-9) = %v", got)
+	}
+}
+
+func TestIntArithmeticAndConversions(t *testing.T) {
+	src := `
+kernel g(out: float[2], iout: int[2]) {
+    var n: int = 17;
+    var q: int = n / 5;
+    var r: int = n % 5;
+    iout[0] = q;
+    iout[1] = r;
+    out[0] = float(q) + 0.5;
+    out[1] = float(int(3.9));
+}`
+	m := runKernel(t, src, Bindings{"out": 0, "iout": 4}, "g", nil)
+	if m.Mem[4] != 3 || m.Mem[5] != 2 {
+		t.Errorf("int results = %d, %d, want 3, 2", m.Mem[4], m.Mem[5])
+	}
+	if got := fl(m, 0); got != 3.5 {
+		t.Errorf("float(q)+0.5 = %v", got)
+	}
+	if got := fl(m, 1); got != 3 {
+		t.Errorf("float(int(3.9)) = %v", got)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	src := `
+kernel matvec(a: float[9], x: float[3], y: float[3]) {
+    for i = 0 to 3 {
+        var acc: float = 0.0;
+        for j = 0 to 3 {
+            acc = acc + a[i * 3 + j] * x[j];
+        }
+        y[i] = acc;
+    }
+}`
+	init := map[int]float64{}
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	for i, v := range a {
+		init[i] = v
+	}
+	init[9], init[10], init[11] = 1, 0, -1
+	m := runKernel(t, src, Bindings{"a": 0, "x": 9, "y": 12}, "matvec", init)
+	want := []float64{1 - 3, 4 - 6, 7 - 9}
+	for i, w := range want {
+		if got := fl(m, 12+i); got != w {
+			t.Errorf("y[%d] = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestVarDeclInLoopBodyReleased(t *testing.T) {
+	// A var declared inside a loop body is redeclared every iteration;
+	// that is a compile error (no shadowing/scoping of locals), unless it
+	// is the first iteration. Verify the error message is clear.
+	src := `
+kernel h(out: float[1]) {
+    var a: float = 1.0;
+    var a: float = 2.0;
+    out[0] = a;
+}`
+	if _, err := Compile(src, Bindings{"out": 0}); err == nil ||
+		!strings.Contains(err.Error(), "redeclared") {
+		t.Errorf("redeclaration error missing, got %v", err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]string{
+		"unbound buffer":      `kernel k(v: float[1]) { v[0] = 1.0; }`,
+		"undefined variable":  `kernel k(v: float[1]) { v[0] = x; }`,
+		"undefined buffer":    `kernel k(v: float[1]) { w[0] = 1.0; }`,
+		"type mismatch":       `kernel k(v: float[1]) { var i: int = 0; v[0] = i; }`,
+		"float index":         `kernel k(v: float[2]) { v[1.5] = 1.0; }`,
+		"float modulo":        `kernel k(v: float[1]) { v[0] = v[0] % 2.0; }`,
+		"unknown function":    `kernel k(v: float[1]) { v[0] = frob(v[0]); }`,
+		"bad arity":           `kernel k(v: float[1]) { v[0] = sqrt(v[0], v[0]); }`,
+		"loop var shadows":    `kernel k(v: float[1]) { var i: int = 0; for i = 0 to 3 { } v[0] = 1.0; }`,
+		"assign to buffer id": `kernel k(v: float[1]) { var v: float = 1.0; }`,
+	}
+	binds := Bindings{"v": 0}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			b := binds
+			if name == "unbound buffer" {
+				b = Bindings{}
+			}
+			if _, err := Compile(src, b); err == nil {
+				t.Errorf("compile accepted %q", src)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`kernel {`,
+		`kernel k(v float[1]) { }`,
+		`kernel k(v: float[0]) { }`,
+		`kernel k(v: float[1]) { v[0] = ; }`,
+		`kernel k(v: float[1]) { for i = 0 { } }`,
+		`kernel k(v: float[1]) { v[0] = 1.0 }`,
+		`kernel k(v: float[1]) { if { } }`,
+		"kernel k(v: float[1]) { v[0] = 1.0; ",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("parser accepted %q", src)
+		}
+	}
+}
+
+func TestComparisonAsValue(t *testing.T) {
+	src := `
+kernel cmp(v: float[2], iout: int[2]) {
+    iout[0] = v[0] < v[1];
+    iout[1] = v[0] >= v[1];
+}`
+	m := runKernel(t, src, Bindings{"v": 0, "iout": 2}, "cmp", map[int]float64{0: 1, 1: 2})
+	if m.Mem[2] != 1 || m.Mem[3] != 0 {
+		t.Errorf("comparison values = %d, %d, want 1, 0", m.Mem[2], m.Mem[3])
+	}
+}
+
+func TestLiteralExpressionAdoptsContext(t *testing.T) {
+	src := `
+kernel lit(out: float[1]) {
+    out[0] = 2 * 3 + 1;
+}`
+	m := runKernel(t, src, Bindings{"out": 0}, "lit", nil)
+	if got := fl(m, 0); got != 7 {
+		t.Errorf("literal expression = %v, want 7", got)
+	}
+}
+
+func TestMultipleKernels(t *testing.T) {
+	src := `
+kernel first(v: float[1]) { v[0] = 1.0; }
+kernel second(v: float[1]) { v[0] = v[0] + 1.0; }
+`
+	fns, err := Compile(src, Bindings{"v": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fns) != 2 || fns[0].Name != "first" || fns[1].Name != "second" {
+		t.Fatalf("kernels = %v", fns)
+	}
+}

@@ -1,0 +1,119 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTooManyFloatVariables(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("kernel k(v: float[1]) {\n")
+	for i := 0; i < 12; i++ {
+		b.WriteString("    var x")
+		b.WriteByte(byte('a' + i))
+		b.WriteString(": float = 1.0;\n")
+	}
+	b.WriteString("}\n")
+	_, err := Compile(b.String(), Bindings{"v": 0})
+	if err == nil || !strings.Contains(err.Error(), "too many float variables") {
+		t.Errorf("expected variable exhaustion error, got %v", err)
+	}
+}
+
+func TestTooManyIntVariables(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("kernel k(v: float[1]) {\n")
+	for i := 0; i < 10; i++ {
+		b.WriteString("    var n")
+		b.WriteByte(byte('a' + i))
+		b.WriteString(": int = 1;\n")
+	}
+	b.WriteString("}\n")
+	_, err := Compile(b.String(), Bindings{"v": 0})
+	if err == nil || !strings.Contains(err.Error(), "too many int variables") {
+		t.Errorf("expected variable exhaustion error, got %v", err)
+	}
+}
+
+func TestExpressionTooDeep(t *testing.T) {
+	// Variable reads cost no temporaries, but buffer loads do. A
+	// right-nested chain of loads holds one temp per level; with two int
+	// temporaries the third simultaneous load must fail with a clear
+	// error.
+	src := `
+kernel k(o: int[1]) {
+    o[0] = o[0] + (o[0] + o[0]);
+}`
+	_, err := Compile(src, Bindings{"o": 0})
+	if err == nil || !strings.Contains(err.Error(), "expression too deep") {
+		t.Errorf("expected temp exhaustion error, got %v", err)
+	}
+	// The same chain over a variable is fine: no temps are held.
+	src = `
+kernel k(o: int[1]) {
+    var a: int = 1;
+    o[0] = a + (a + (a + (a + a)));
+}`
+	if _, err := Compile(src, Bindings{"o": 0}); err != nil {
+		t.Errorf("variable chain should compile, got %v", err)
+	}
+}
+
+func TestLeftNestedExpressionsUnbounded(t *testing.T) {
+	// Left-associative chains reuse temporaries, so arbitrarily long sums
+	// compile fine.
+	var b strings.Builder
+	b.WriteString("kernel k(o: float[1]) {\n    var a: float = 1.0;\n    o[0] = a")
+	for i := 0; i < 40; i++ {
+		b.WriteString(" + a")
+	}
+	b.WriteString(";\n}\n")
+	if _, err := Compile(b.String(), Bindings{"o": 0}); err != nil {
+		t.Errorf("long left-nested sum failed: %v", err)
+	}
+}
+
+func TestLoopVariableScoping(t *testing.T) {
+	// The loop variable is gone after the loop; reusing the name is fine.
+	src := `
+kernel k(o: float[1]) {
+    var acc: float = 0.0;
+    for i = 0 to 3 { acc = acc + 1.0; }
+    for i = 0 to 2 { acc = acc + 1.0; }
+    o[0] = acc;
+}`
+	if _, err := Compile(src, Bindings{"o": 0}); err != nil {
+		t.Errorf("sequential loops with the same variable failed: %v", err)
+	}
+	// But the loop variable is not visible after the loop ends.
+	src = `
+kernel k(o: int[1]) {
+    for i = 0 to 3 { }
+    o[0] = i;
+}`
+	if _, err := Compile(src, Bindings{"o": 0}); err == nil {
+		t.Error("loop variable visible after loop end")
+	}
+}
+
+func TestKernelFunctionHashStable(t *testing.T) {
+	src := `kernel k(v: float[2]) { v[1] = v[0] * 2.0; }`
+	f1, err := Compile(src, Bindings{"v": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Compile(src, Bindings{"v": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1[0].Hash() != f2[0].Hash() {
+		t.Error("identical kernels compile to different hashes")
+	}
+	f3, err := Compile(src, Bindings{"v": 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1[0].Hash() == f3[0].Hash() {
+		t.Error("different bindings compile to identical code")
+	}
+}

@@ -1,0 +1,155 @@
+package lang
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fastflip/internal/isa"
+	"fastflip/internal/prog"
+	"fastflip/internal/vm"
+)
+
+// randExpr builds a random float expression tree over variable "a" and
+// literals, alongside a host-side evaluator. Division is avoided so the
+// host and VM never disagree about exceptional values, and right-depth is
+// bounded so the expression always fits the temp pool.
+func randExpr(r *rand.Rand, depth int, a float64) (src string, val float64) {
+	if depth == 0 || r.Intn(3) == 0 {
+		if r.Intn(2) == 0 {
+			return "a", a
+		}
+		lit := float64(r.Intn(17)) / 4
+		return fmt.Sprintf("%g", lit), lit
+	}
+	ls, lv := randExpr(r, depth-1, a)
+	rs, rv := randExpr(r, 0, a) // literals/vars only on the right: bounded temps
+	switch r.Intn(3) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", ls, rs), lv + rv
+	case 1:
+		return fmt.Sprintf("(%s - %s)", ls, rs), lv - rv
+	default:
+		return fmt.Sprintf("(%s * %s)", ls, rs), float64(lv * rv)
+	}
+}
+
+// TestCompiledExpressionsMatchHostQuick: compiling a random arithmetic
+// expression and executing it on the VM yields exactly the host-evaluated
+// value. This ties the whole stack together: parser, type checker,
+// codegen, linker, and interpreter.
+func TestCompiledExpressionsMatchHostQuick(t *testing.T) {
+	f := func(seed int64, aRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := float64(aRaw)/16 - 8
+		src, want := randExpr(r, 6, a)
+		kernel := fmt.Sprintf(`
+kernel k(in: float[1], out: float[1]) {
+    var a: float = in[0];
+    out[0] = %s;
+}`, src)
+		fns, err := Compile(kernel, Bindings{"in": 0, "out": 1})
+		if err != nil {
+			t.Logf("compile failed for %s: %v", src, err)
+			return false
+		}
+		mod := prog.New()
+		main := prog.NewFunc("main")
+		main.Call("k")
+		main.Halt()
+		mod.MustAdd(main.MustBuild())
+		mod.MustAdd(fns[0])
+		linked, err := mod.Link("main")
+		if err != nil {
+			return false
+		}
+		m := vm.New(linked.Code, linked.Entry, 4)
+		m.Mem[0] = math.Float64bits(a)
+		if ev := m.Run(); ev.Kind != vm.EvHalt {
+			return false
+		}
+		got := math.Float64frombits(m.Mem[1])
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Logf("expr %s with a=%v: vm %v, host %v", src, a, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompiledKernelsRespectRegisterConventions: generated code must never
+// touch the registers reserved for benchmark mains (r14, r15) or section
+// drivers (r12, r13), which the analysis's section discipline depends on.
+func TestCompiledKernelsRespectRegisterConventions(t *testing.T) {
+	src := `
+kernel busy(v: float[8], o: float[8]) {
+    var s: float = 0.0;
+    var p: float = 1.0;
+    var q: float = 2.0;
+    for i = 0 to 8 {
+        for j = 0 to 4 {
+            s = s + v[i] * p + q;
+        }
+        o[i] = min(s, 100.0) + sqrt(abs(s));
+    }
+}`
+	fns, err := Compile(src, Bindings{"v": 0, "o": 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range fns[0].Instrs {
+		for _, op := range in.Operands(nil) {
+			if op.Class == isa.RegInt && op.Reg >= 12 {
+				t.Fatalf("generated instruction %v touches reserved integer register r%d", in, op.Reg)
+			}
+		}
+	}
+}
+
+// TestCompileRejectsGiantBufferIndexGracefully: an out-of-bounds constant
+// index is a runtime matter (the VM crashes, a detected outcome), not a
+// compile error — but compilation must still succeed and the VM must trap.
+func TestOutOfBoundsIndexTrapsAtRuntime(t *testing.T) {
+	src := `
+kernel k(o: float[1]) {
+    o[1000] = 1.0;
+}`
+	fns, err := Compile(src, Bindings{"o": 0})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	mod := prog.New()
+	main := prog.NewFunc("main")
+	main.Call("k")
+	main.Halt()
+	mod.MustAdd(main.MustBuild())
+	mod.MustAdd(fns[0])
+	linked, err := mod.Link("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(linked.Code, linked.Entry, 4)
+	if ev := m.Run(); ev.Kind != vm.EvCrash {
+		t.Errorf("wild store ended with %v, want crash", ev.Kind)
+	}
+}
+
+// TestDeepLeftChainsCompileFast guards the typeOf fix: typing a long
+// left-nested chain must be (near) linear, not exponential.
+func TestDeepLeftChainsCompileFast(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("kernel k(o: float[1]) {\n    var a: float = 1.0;\n    o[0] = a")
+	for i := 0; i < 2000; i++ {
+		b.WriteString(" + a")
+	}
+	b.WriteString(";\n}\n")
+	if _, err := Compile(b.String(), Bindings{"o": 0}); err != nil {
+		t.Fatalf("2000-term chain: %v", err)
+	}
+}

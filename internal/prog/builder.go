@@ -1,0 +1,210 @@
+package prog
+
+import (
+	"fmt"
+	"math"
+
+	"fastflip/internal/isa"
+)
+
+// B incrementally builds one Function. Branches take label names that may be
+// defined before or after their use; Build resolves them. Errors (bad
+// register numbers, unresolved labels, duplicate labels) are accumulated and
+// reported by Build, so construction code stays linear.
+type B struct {
+	fn      *Function
+	labels  map[string]int
+	fixups  []fixup
+	callIdx map[string]int
+	errs    []error
+}
+
+type fixup struct {
+	instr int
+	label string
+}
+
+// NewFunc starts building a function with the given name.
+func NewFunc(name string) *B {
+	return &B{
+		fn:      &Function{Name: name},
+		labels:  make(map[string]int),
+		callIdx: make(map[string]int),
+	}
+}
+
+// Label defines a branch target at the current position.
+func (b *B) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("%s: duplicate label %q", b.fn.Name, name))
+		return
+	}
+	b.labels[name] = len(b.fn.Instrs)
+}
+
+// Len returns the number of instructions emitted so far.
+func (b *B) Len() int { return len(b.fn.Instrs) }
+
+// Build resolves labels and returns the finished function.
+func (b *B) Build() (*Function, error) {
+	for _, fx := range b.fixups {
+		target, ok := b.labels[fx.label]
+		if !ok {
+			b.errs = append(b.errs, fmt.Errorf("%s: undefined label %q", b.fn.Name, fx.label))
+			continue
+		}
+		b.fn.Instrs[fx.instr].Imm = int64(target)
+	}
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("prog: building %s: %v", b.fn.Name, b.errs[0])
+	}
+	return b.fn, nil
+}
+
+// MustBuild is Build but panics on error; benchmark bodies are static, so a
+// build error is a programming bug.
+func (b *B) MustBuild() *Function {
+	fn, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return fn
+}
+
+func (b *B) reg(n int) uint8 {
+	if n < 0 || n >= isa.NumRegs {
+		b.errs = append(b.errs, fmt.Errorf("%s: register %d out of range", b.fn.Name, n))
+		return 0
+	}
+	return uint8(n)
+}
+
+func (b *B) emit(in isa.Instr) {
+	b.fn.Instrs = append(b.fn.Instrs, in)
+}
+
+func (b *B) emitBranch(op isa.Op, ra, rb int, label string) {
+	b.fixups = append(b.fixups, fixup{instr: len(b.fn.Instrs), label: label})
+	b.emit(isa.Instr{Op: op, Ra: b.reg(ra), Rb: b.reg(rb)})
+}
+
+func (b *B) rrr(op isa.Op, rd, ra, rb int) {
+	b.emit(isa.Instr{Op: op, Rd: b.reg(rd), Ra: b.reg(ra), Rb: b.reg(rb)})
+}
+
+func (b *B) rri(op isa.Op, rd, ra int, imm int64) {
+	b.emit(isa.Instr{Op: op, Rd: b.reg(rd), Ra: b.reg(ra), Imm: imm})
+}
+
+func (b *B) rr(op isa.Op, rd, ra int) {
+	b.emit(isa.Instr{Op: op, Rd: b.reg(rd), Ra: b.reg(ra)})
+}
+
+// Integer ALU.
+
+func (b *B) Add(rd, ra, rb int)  { b.rrr(isa.ADD, rd, ra, rb) }
+func (b *B) Sub(rd, ra, rb int)  { b.rrr(isa.SUB, rd, ra, rb) }
+func (b *B) Mul(rd, ra, rb int)  { b.rrr(isa.MUL, rd, ra, rb) }
+func (b *B) Div(rd, ra, rb int)  { b.rrr(isa.DIV, rd, ra, rb) }
+func (b *B) Rem(rd, ra, rb int)  { b.rrr(isa.REM, rd, ra, rb) }
+func (b *B) And(rd, ra, rb int)  { b.rrr(isa.AND, rd, ra, rb) }
+func (b *B) Or(rd, ra, rb int)   { b.rrr(isa.OR, rd, ra, rb) }
+func (b *B) Xor(rd, ra, rb int)  { b.rrr(isa.XOR, rd, ra, rb) }
+func (b *B) Shl(rd, ra, rb int)  { b.rrr(isa.SHL, rd, ra, rb) }
+func (b *B) Shr(rd, ra, rb int)  { b.rrr(isa.SHR, rd, ra, rb) }
+func (b *B) Sra(rd, ra, rb int)  { b.rrr(isa.SRA, rd, ra, rb) }
+func (b *B) Slt(rd, ra, rb int)  { b.rrr(isa.SLT, rd, ra, rb) }
+func (b *B) Sltu(rd, ra, rb int) { b.rrr(isa.SLTU, rd, ra, rb) }
+
+func (b *B) Addi(rd, ra int, imm int64) { b.rri(isa.ADDI, rd, ra, imm) }
+func (b *B) Muli(rd, ra int, imm int64) { b.rri(isa.MULI, rd, ra, imm) }
+func (b *B) Andi(rd, ra int, imm int64) { b.rri(isa.ANDI, rd, ra, imm) }
+func (b *B) Ori(rd, ra int, imm int64)  { b.rri(isa.ORI, rd, ra, imm) }
+func (b *B) Xori(rd, ra int, imm int64) { b.rri(isa.XORI, rd, ra, imm) }
+func (b *B) Shli(rd, ra int, imm int64) { b.rri(isa.SHLI, rd, ra, imm) }
+func (b *B) Shri(rd, ra int, imm int64) { b.rri(isa.SHRI, rd, ra, imm) }
+func (b *B) Srai(rd, ra int, imm int64) { b.rri(isa.SRAI, rd, ra, imm) }
+
+func (b *B) Mov(rd, ra int)     { b.rr(isa.MOV, rd, ra) }
+func (b *B) Not(rd, ra int)     { b.rr(isa.NOT, rd, ra) }
+func (b *B) Neg(rd, ra int)     { b.rr(isa.NEG, rd, ra) }
+func (b *B) Li(rd int, v int64) { b.emit(isa.Instr{Op: isa.LI, Rd: b.reg(rd), Imm: v}) }
+
+func (b *B) Add32(rd, ra, rb int)         { b.rrr(isa.ADD32, rd, ra, rb) }
+func (b *B) Rotr32(rd, ra int, imm int64) { b.rri(isa.ROTR32, rd, ra, imm) }
+func (b *B) Not32(rd, ra int)             { b.rr(isa.NOT32, rd, ra) }
+
+// Floating point.
+
+func (b *B) Fadd(fd, fa, fb int) { b.rrr(isa.FADD, fd, fa, fb) }
+func (b *B) Fsub(fd, fa, fb int) { b.rrr(isa.FSUB, fd, fa, fb) }
+func (b *B) Fmul(fd, fa, fb int) { b.rrr(isa.FMUL, fd, fa, fb) }
+func (b *B) Fdiv(fd, fa, fb int) { b.rrr(isa.FDIV, fd, fa, fb) }
+func (b *B) Fmin(fd, fa, fb int) { b.rrr(isa.FMIN, fd, fa, fb) }
+func (b *B) Fmax(fd, fa, fb int) { b.rrr(isa.FMAX, fd, fa, fb) }
+
+func (b *B) Fsqrt(fd, fa int) { b.rr(isa.FSQRT, fd, fa) }
+func (b *B) Fneg(fd, fa int)  { b.rr(isa.FNEG, fd, fa) }
+func (b *B) Fabs(fd, fa int)  { b.rr(isa.FABS, fd, fa) }
+func (b *B) Fexp(fd, fa int)  { b.rr(isa.FEXP, fd, fa) }
+func (b *B) Fln(fd, fa int)   { b.rr(isa.FLN, fd, fa) }
+func (b *B) Fmov(fd, fa int)  { b.rr(isa.FMOV, fd, fa) }
+
+func (b *B) Fli(fd int, v float64) {
+	b.emit(isa.Instr{Op: isa.FLI, Rd: b.reg(fd), Imm: int64(math.Float64bits(v))})
+}
+
+func (b *B) Itof(fd, ra int)  { b.rr(isa.ITOF, fd, ra) }
+func (b *B) Ftoi(rd, fa int)  { b.rr(isa.FTOI, rd, fa) }
+func (b *B) Fbits(rd, fa int) { b.rr(isa.FBITS, rd, fa) }
+func (b *B) Bitsf(fd, ra int) { b.rr(isa.BITSF, fd, ra) }
+
+// Memory. Addresses are base register + word offset.
+
+func (b *B) Ld(rd, ra int, off int64) { b.rri(isa.LD, rd, ra, off) }
+func (b *B) St(ra, rb int, off int64) {
+	b.emit(isa.Instr{Op: isa.ST, Ra: b.reg(ra), Rb: b.reg(rb), Imm: off})
+}
+func (b *B) Fld(fd, ra int, off int64) { b.rri(isa.FLD, fd, ra, off) }
+func (b *B) Fst(fa, rb int, off int64) {
+	b.emit(isa.Instr{Op: isa.FST, Ra: b.reg(fa), Rb: b.reg(rb), Imm: off})
+}
+
+// Control flow.
+
+func (b *B) Jmp(label string) {
+	b.fixups = append(b.fixups, fixup{instr: len(b.fn.Instrs), label: label})
+	b.emit(isa.Instr{Op: isa.JMP})
+}
+func (b *B) Beq(ra, rb int, label string)  { b.emitBranch(isa.BEQ, ra, rb, label) }
+func (b *B) Bne(ra, rb int, label string)  { b.emitBranch(isa.BNE, ra, rb, label) }
+func (b *B) Blt(ra, rb int, label string)  { b.emitBranch(isa.BLT, ra, rb, label) }
+func (b *B) Ble(ra, rb int, label string)  { b.emitBranch(isa.BLE, ra, rb, label) }
+func (b *B) Bgt(ra, rb int, label string)  { b.emitBranch(isa.BGT, ra, rb, label) }
+func (b *B) Bge(ra, rb int, label string)  { b.emitBranch(isa.BGE, ra, rb, label) }
+func (b *B) Fbeq(fa, fb int, label string) { b.emitBranch(isa.FBEQ, fa, fb, label) }
+func (b *B) Fbne(fa, fb int, label string) { b.emitBranch(isa.FBNE, fa, fb, label) }
+func (b *B) Fblt(fa, fb int, label string) { b.emitBranch(isa.FBLT, fa, fb, label) }
+func (b *B) Fble(fa, fb int, label string) { b.emitBranch(isa.FBLE, fa, fb, label) }
+
+// Call emits a call to the named function; the name is resolved at link time.
+func (b *B) Call(name string) {
+	idx, ok := b.callIdx[name]
+	if !ok {
+		idx = len(b.fn.Calls)
+		b.callIdx[name] = idx
+		b.fn.Calls = append(b.fn.Calls, name)
+	}
+	b.emit(isa.Instr{Op: isa.CALL, Imm: int64(idx)})
+}
+
+func (b *B) Ret()  { b.emit(isa.Instr{Op: isa.RET}) }
+func (b *B) Halt() { b.emit(isa.Instr{Op: isa.HALT}) }
+func (b *B) Nop()  { b.emit(isa.Instr{Op: isa.NOP}) }
+
+// Analysis markers.
+
+func (b *B) SecBeg(id int) { b.emit(isa.Instr{Op: isa.SECBEG, Imm: int64(id)}) }
+func (b *B) SecEnd(id int) { b.emit(isa.Instr{Op: isa.SECEND, Imm: int64(id)}) }
+func (b *B) RoiBeg()       { b.emit(isa.Instr{Op: isa.ROIBEG}) }
+func (b *B) RoiEnd()       { b.emit(isa.Instr{Op: isa.ROIEND}) }

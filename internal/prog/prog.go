@@ -1,0 +1,248 @@
+// Package prog builds and links programs for the fastflip ISA.
+//
+// A program is a set of named functions. Inside a function, branch targets
+// are function-local instruction indices and calls name their callee, so a
+// function body is position independent: its content hash (see Function.Hash)
+// does not change when unrelated functions around it grow or shrink. This is
+// what lets the incremental analysis recognize unmodified program sections
+// across program versions, where absolute PCs have shifted.
+//
+// Link flattens the functions into a single instruction slice, rewriting
+// branch targets and call targets to absolute PCs, and retains a PC → (function,
+// local index) mapping so analyses can attribute dynamic instructions to
+// stable static identities.
+package prog
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"fastflip/internal/isa"
+)
+
+// Function is a named, position-independent sequence of instructions.
+// Branch/jump immediates are local instruction indices; CALL immediates are
+// indices into Calls.
+type Function struct {
+	Name   string
+	Instrs []isa.Instr
+	Calls  []string // callee names; CALL Imm indexes this slice
+}
+
+// Hash returns a position-independent digest of the function body. Two
+// functions with the same hash behave identically given identical inputs
+// and callees; callees are identified by name, so a section's identity is
+// the set of hashes of the functions it executes (see trace.SectionInstance).
+func (f *Function) Hash() [32]byte {
+	h := sha256.New()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte(f.Name))
+	h.Write([]byte{0})
+	for _, in := range f.Instrs {
+		h.Write([]byte{byte(in.Op), in.Rd, in.Ra, in.Rb})
+		writeU64(uint64(in.Imm))
+	}
+	h.Write([]byte{0})
+	for _, callee := range f.Calls {
+		h.Write([]byte(callee))
+		h.Write([]byte{0})
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Program is a collection of functions prior to linking.
+type Program struct {
+	funcs  []*Function
+	byName map[string]int
+}
+
+// New returns an empty program.
+func New() *Program {
+	return &Program{byName: make(map[string]int)}
+}
+
+// Add registers fn with the program. It returns an error if a function with
+// the same name is already present.
+func (p *Program) Add(fn *Function) error {
+	if fn.Name == "" {
+		return fmt.Errorf("prog: function with empty name")
+	}
+	if _, dup := p.byName[fn.Name]; dup {
+		return fmt.Errorf("prog: duplicate function %q", fn.Name)
+	}
+	p.byName[fn.Name] = len(p.funcs)
+	p.funcs = append(p.funcs, fn)
+	return nil
+}
+
+// MustAdd is Add but panics on error; for use in benchmark construction
+// where a duplicate name is a programming bug.
+func (p *Program) MustAdd(fn *Function) {
+	if err := p.Add(fn); err != nil {
+		panic(err)
+	}
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *Function {
+	i, ok := p.byName[name]
+	if !ok {
+		return nil
+	}
+	return p.funcs[i]
+}
+
+// Funcs returns the functions in registration order. The returned slice is
+// shared; callers must not modify it.
+func (p *Program) Funcs() []*Function { return p.funcs }
+
+// Replace swaps in a new implementation for an existing function name.
+// It is how benchmark variants (the paper's Small/Large modifications)
+// are constructed from a base program.
+func (p *Program) Replace(fn *Function) error {
+	i, ok := p.byName[fn.Name]
+	if !ok {
+		return fmt.Errorf("prog: Replace of unknown function %q", fn.Name)
+	}
+	p.funcs[i] = fn
+	return nil
+}
+
+// Linked is a flattened, executable program.
+type Linked struct {
+	Code []isa.Instr // absolute branch/call targets
+	// FuncStarts[i] is the entry PC of function i; functions are laid out
+	// contiguously in registration order with Entry first.
+	FuncStarts []int
+	FuncNames  []string
+	FuncHashes [][32]byte
+	Entry      int // PC of the entry function
+
+	sorted []startEntry // FuncStarts in ascending PC order, built lazily
+}
+
+// Link lays the functions out contiguously (entry function first) and
+// rewrites branch-local and call-by-name immediates into absolute PCs.
+func (p *Program) Link(entry string) (*Linked, error) {
+	ei, ok := p.byName[entry]
+	if !ok {
+		return nil, fmt.Errorf("prog: entry function %q not defined", entry)
+	}
+	order := make([]int, 0, len(p.funcs))
+	order = append(order, ei)
+	for i := range p.funcs {
+		if i != ei {
+			order = append(order, i)
+		}
+	}
+
+	l := &Linked{
+		FuncStarts: make([]int, len(order)),
+		FuncNames:  make([]string, len(order)),
+		FuncHashes: make([][32]byte, len(order)),
+	}
+	startByName := make(map[string]int, len(order))
+	pc := 0
+	for oi, fi := range order {
+		fn := p.funcs[fi]
+		l.FuncStarts[oi] = pc
+		l.FuncNames[oi] = fn.Name
+		l.FuncHashes[oi] = fn.Hash()
+		startByName[fn.Name] = pc
+		pc += len(fn.Instrs)
+	}
+	l.Entry = l.FuncStarts[0]
+
+	l.Code = make([]isa.Instr, 0, pc)
+	for _, fi := range order {
+		fn := p.funcs[fi]
+		base := startByName[fn.Name]
+		for li, in := range fn.Instrs {
+			switch isa.Info(in.Op).Imm {
+			case isa.ImmTarget:
+				if in.Imm < 0 || in.Imm >= int64(len(fn.Instrs)) {
+					return nil, fmt.Errorf("prog: %s+%d: branch target %d out of range", fn.Name, li, in.Imm)
+				}
+				in.Imm += int64(base)
+			case isa.ImmCallee:
+				if in.Imm < 0 || in.Imm >= int64(len(fn.Calls)) {
+					return nil, fmt.Errorf("prog: %s+%d: call index %d out of range", fn.Name, li, in.Imm)
+				}
+				callee := fn.Calls[in.Imm]
+				target, ok := startByName[callee]
+				if !ok {
+					return nil, fmt.Errorf("prog: %s+%d: call to undefined function %q", fn.Name, li, callee)
+				}
+				in.Imm = int64(target)
+			}
+			l.Code = append(l.Code, in)
+		}
+	}
+	return l, nil
+}
+
+// FuncOf maps an absolute PC to the index of its function and the
+// function-local instruction index. It panics if pc is outside the program,
+// since every traced PC comes from an executed instruction.
+func (l *Linked) FuncOf(pc int) (fn int, local int) {
+	if pc < 0 || pc >= len(l.Code) {
+		panic(fmt.Sprintf("prog: FuncOf(%d) outside program of %d instructions", pc, len(l.Code)))
+	}
+	starts := l.sortedStarts()
+	i := sort.Search(len(starts), func(i int) bool { return starts[i].start > pc }) - 1
+	s := starts[i]
+	return s.fn, pc - s.start
+}
+
+type startEntry struct {
+	start int
+	fn    int
+}
+
+// sorted caches FuncStarts in ascending PC order for FuncOf.
+func (l *Linked) sortedStarts() []startEntry {
+	if l.sorted == nil {
+		l.sorted = make([]startEntry, len(l.FuncStarts))
+		for i, s := range l.FuncStarts {
+			l.sorted[i] = startEntry{start: s, fn: i}
+		}
+		sort.Slice(l.sorted, func(a, b int) bool { return l.sorted[a].start < l.sorted[b].start })
+	}
+	return l.sorted
+}
+
+// StaticID identifies a static instruction stably across program versions:
+// the name of its function plus the function-local instruction index.
+// Absolute PCs shift when any earlier function changes length; StaticIDs do
+// not, so injection outcomes recorded against them can be reused.
+type StaticID struct {
+	Func  string
+	Local int
+}
+
+func (s StaticID) String() string { return fmt.Sprintf("%s+%d", s.Func, s.Local) }
+
+// StaticIDOf returns the stable static identity of the instruction at pc.
+func (l *Linked) StaticIDOf(pc int) StaticID {
+	fn, local := l.FuncOf(pc)
+	return StaticID{Func: l.FuncNames[fn], Local: local}
+}
+
+// HashOfFunc returns the body hash of the named function, or false if the
+// function is not part of the linked program.
+func (l *Linked) HashOfFunc(name string) ([32]byte, bool) {
+	for i, n := range l.FuncNames {
+		if n == name {
+			return l.FuncHashes[i], true
+		}
+	}
+	return [32]byte{}, false
+}

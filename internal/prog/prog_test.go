@@ -1,0 +1,280 @@
+package prog
+
+import (
+	"testing"
+
+	"fastflip/internal/isa"
+	"fastflip/internal/vm"
+)
+
+// twoFuncs builds a module with main calling a helper.
+func twoFuncs(t *testing.T) *Program {
+	t.Helper()
+	p := New()
+
+	main := NewFunc("main")
+	main.Li(1, 5)
+	main.Call("double")
+	main.Halt()
+	p.MustAdd(main.MustBuild())
+
+	helper := NewFunc("double")
+	helper.Add(1, 1, 1)
+	helper.Ret()
+	p.MustAdd(helper.MustBuild())
+	return p
+}
+
+func TestLinkAndRun(t *testing.T) {
+	l, err := twoFuncs(t).Link("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(l.Code, l.Entry, 4)
+	if ev := m.Run(); ev.Kind != vm.EvHalt {
+		t.Fatalf("run ended with %v", ev.Kind)
+	}
+	if m.R[1] != 10 {
+		t.Errorf("r1 = %d, want 10", m.R[1])
+	}
+}
+
+func TestLinkEntryFirst(t *testing.T) {
+	p := New()
+	a := NewFunc("a")
+	a.Halt()
+	p.MustAdd(a.MustBuild())
+	b := NewFunc("b")
+	b.Halt()
+	p.MustAdd(b.MustBuild())
+
+	l, err := p.Link("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Entry != 0 || l.FuncNames[0] != "b" {
+		t.Errorf("entry = %d, first func = %s", l.Entry, l.FuncNames[0])
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	t.Run("missing entry", func(t *testing.T) {
+		if _, err := New().Link("main"); err == nil {
+			t.Error("expected error")
+		}
+	})
+	t.Run("undefined callee", func(t *testing.T) {
+		p := New()
+		f := NewFunc("main")
+		f.Call("ghost")
+		f.Halt()
+		p.MustAdd(f.MustBuild())
+		if _, err := p.Link("main"); err == nil {
+			t.Error("expected error")
+		}
+	})
+	t.Run("duplicate function", func(t *testing.T) {
+		p := New()
+		f := NewFunc("main")
+		f.Halt()
+		p.MustAdd(f.MustBuild())
+		g := NewFunc("main")
+		g.Halt()
+		if err := p.Add(g.MustBuild()); err == nil {
+			t.Error("expected error")
+		}
+	})
+}
+
+func TestBuilderLabels(t *testing.T) {
+	f := NewFunc("loop")
+	f.Li(1, 0)
+	f.Label("top")
+	f.Addi(1, 1, 1)
+	f.Li(2, 3)
+	f.Blt(1, 2, "top")
+	f.Halt()
+	fn, err := f.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The branch target must be the local index of "top".
+	br := fn.Instrs[len(fn.Instrs)-2]
+	if br.Op != isa.BLT || br.Imm != 1 {
+		t.Fatalf("branch = %v", br)
+	}
+
+	p := New()
+	p.MustAdd(fn)
+	l, err := p.Link("loop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(l.Code, l.Entry, 4)
+	m.Run()
+	if m.R[1] != 3 {
+		t.Errorf("loop ran to %d, want 3", m.R[1])
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("undefined label", func(t *testing.T) {
+		f := NewFunc("f")
+		f.Jmp("nowhere")
+		if _, err := f.Build(); err == nil {
+			t.Error("expected error")
+		}
+	})
+	t.Run("duplicate label", func(t *testing.T) {
+		f := NewFunc("f")
+		f.Label("x")
+		f.Label("x")
+		f.Halt()
+		if _, err := f.Build(); err == nil {
+			t.Error("expected error")
+		}
+	})
+	t.Run("register out of range", func(t *testing.T) {
+		f := NewFunc("f")
+		f.Add(16, 0, 0)
+		if _, err := f.Build(); err == nil {
+			t.Error("expected error")
+		}
+	})
+}
+
+func TestFuncOfAndStaticID(t *testing.T) {
+	l, err := twoFuncs(t).Link("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pc := range l.Code {
+		fi, local := l.FuncOf(pc)
+		if got := l.FuncStarts[fi] + local; got != pc {
+			t.Errorf("FuncOf(%d) -> start %d + local %d", pc, l.FuncStarts[fi], local)
+		}
+	}
+	id := l.StaticIDOf(l.FuncStarts[1])
+	if id.Func != l.FuncNames[1] || id.Local != 0 {
+		t.Errorf("StaticIDOf = %v", id)
+	}
+}
+
+// TestStaticIDStableAcrossVersions is the property incremental reuse rests
+// on: when an unrelated function grows, other functions' static IDs and
+// hashes stay fixed even though absolute PCs shift.
+func TestStaticIDStableAcrossVersions(t *testing.T) {
+	build := func(extra int) *Linked {
+		p := New()
+		main := NewFunc("main")
+		for i := 0; i < extra; i++ {
+			main.Nop()
+		}
+		main.Call("double")
+		main.Halt()
+		p.MustAdd(main.MustBuild())
+		helper := NewFunc("double")
+		helper.Add(1, 1, 1)
+		helper.Ret()
+		p.MustAdd(helper.MustBuild())
+		l, err := p.Link("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	v1, v2 := build(0), build(5)
+	h1, _ := v1.HashOfFunc("double")
+	h2, _ := v2.HashOfFunc("double")
+	if h1 != h2 {
+		t.Error("helper hash changed when main grew")
+	}
+	id1 := v1.StaticIDOf(v1.FuncStarts[1])
+	id2 := v2.StaticIDOf(v2.FuncStarts[1])
+	if id1 != id2 {
+		t.Errorf("static IDs differ: %v vs %v", id1, id2)
+	}
+}
+
+func TestHashSensitivity(t *testing.T) {
+	base := func() *B {
+		f := NewFunc("f")
+		f.Li(1, 7)
+		f.Label("l")
+		f.Blt(1, 2, "l")
+		f.Call("callee")
+		f.Ret()
+		return f
+	}
+	h0 := base().MustBuild().Hash()
+
+	t.Run("identical builds hash equal", func(t *testing.T) {
+		if base().MustBuild().Hash() != h0 {
+			t.Error("hash not deterministic")
+		}
+	})
+	t.Run("immediate change", func(t *testing.T) {
+		f := NewFunc("f")
+		f.Li(1, 8)
+		f.Label("l")
+		f.Blt(1, 2, "l")
+		f.Call("callee")
+		f.Ret()
+		if f.MustBuild().Hash() == h0 {
+			t.Error("hash ignored immediate")
+		}
+	})
+	t.Run("callee rename", func(t *testing.T) {
+		f := NewFunc("f")
+		f.Li(1, 7)
+		f.Label("l")
+		f.Blt(1, 2, "l")
+		f.Call("other")
+		f.Ret()
+		if f.MustBuild().Hash() == h0 {
+			t.Error("hash ignored callee name")
+		}
+	})
+	t.Run("function rename", func(t *testing.T) {
+		f := NewFunc("g")
+		f.Li(1, 7)
+		f.Label("l")
+		f.Blt(1, 2, "l")
+		f.Call("callee")
+		f.Ret()
+		if f.MustBuild().Hash() == h0 {
+			t.Error("hash ignored function name")
+		}
+	})
+}
+
+func TestReplaceSwapsBody(t *testing.T) {
+	p := twoFuncs(t)
+	faster := NewFunc("double")
+	faster.Shli(1, 1, 1)
+	faster.Ret()
+	if err := p.Replace(faster.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	l, err := p.Link("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(l.Code, l.Entry, 4)
+	m.Run()
+	if m.R[1] != 10 {
+		t.Errorf("replaced double: r1 = %d, want 10", m.R[1])
+	}
+	if err := p.Replace(NewFunc("ghost").MustBuild()); err == nil {
+		t.Error("Replace of unknown function succeeded")
+	}
+}
+
+func TestBranchTargetOutOfRange(t *testing.T) {
+	p := New()
+	fn := &Function{Name: "bad", Instrs: []isa.Instr{{Op: isa.JMP, Imm: 99}}}
+	p.MustAdd(fn)
+	if _, err := p.Link("bad"); err == nil {
+		t.Error("expected link error for out-of-range branch")
+	}
+}

@@ -1,0 +1,129 @@
+package sens
+
+import (
+	"math"
+	"testing"
+
+	"fastflip/internal/spec"
+	"fastflip/internal/testprog"
+	"fastflip/internal/trace"
+)
+
+func recorded(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Record(testprog.Pipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestLinearSectionAmplification(t *testing.T) {
+	tr := recorded(t)
+	// scale: y = 3x, so K(x -> y) is exactly 3 for any perturbation.
+	amp, stats := Analyze(tr, tr.Instances[0], DefaultConfig())
+	if stats.Runs == 0 || stats.SimInstrs == 0 {
+		t.Fatalf("no sensitivity runs recorded: %+v", stats)
+	}
+	k := amp.K[0][0]
+	if math.Abs(k-3) > 1e-9 {
+		t.Errorf("K(x->y) = %v, want 3", k)
+	}
+}
+
+func TestNonlinearSectionAmplification(t *testing.T) {
+	tr := recorded(t)
+	// square: z = y² + c with y = 4.5, so K(y -> z) = |2y ± φ| ≈ 9.
+	cfg := DefaultConfig()
+	cfg.Samples = 256
+	amp, _ := Analyze(tr, tr.Instances[1], cfg)
+	ky := amp.K[0][0]
+	if ky < 8.9 || ky > 9.02 {
+		t.Errorf("K(y->z) = %v, want ≈ 9 (2·y)", ky)
+	}
+	// c enters additively: K(c -> z) = 1.
+	kc := amp.K[0][1]
+	if math.Abs(kc-1) > 1e-6 {
+		t.Errorf("K(c->z) = %v, want 1", kc)
+	}
+}
+
+func TestAmplificationIsConservativeForSmallSamples(t *testing.T) {
+	tr := recorded(t)
+	// Fewer samples may under-estimate, but never exceed the analytic
+	// maximum |2y| + φmax.
+	cfg := DefaultConfig()
+	cfg.Samples = 8
+	amp, _ := Analyze(tr, tr.Instances[1], cfg)
+	limit := 2*testprog.WantY() + cfg.PhiMax
+	if amp.K[0][0] > limit {
+		t.Errorf("K estimate %v exceeds analytic bound %v", amp.K[0][0], limit)
+	}
+}
+
+func TestDiscreteSection(t *testing.T) {
+	p := testprog.Pipeline()
+	p.Sections[1].Discrete = true
+	tr, err := trace.Record(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amp, stats := Analyze(tr, tr.Instances[1], DefaultConfig())
+	if stats.Runs != 0 {
+		t.Errorf("discrete section ran %d perturbations", stats.Runs)
+	}
+	for _, row := range amp.K {
+		for _, k := range row {
+			if k != DiscreteK {
+				t.Errorf("discrete K = %v, want %v", k, DiscreteK)
+			}
+		}
+	}
+}
+
+func TestZeroSamplesYieldZeroMatrix(t *testing.T) {
+	tr := recorded(t)
+	amp, stats := Analyze(tr, tr.Instances[0], Config{Samples: 0, PhiMax: 0.01})
+	if stats.Runs != 0 || amp.K[0][0] != 0 {
+		t.Errorf("zero-sample analysis: %+v, K = %v", stats, amp.K)
+	}
+}
+
+func TestIntegerInputsNotPerturbed(t *testing.T) {
+	p := testprog.Pipeline()
+	// Declare the square section's c input as integer: it must be skipped.
+	p.Sections[1].Instances[0].Inputs[1].Kind = spec.Int
+	tr, err := trace.Record(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amp, _ := Analyze(tr, tr.Instances[1], DefaultConfig())
+	if amp.K[0][1] != 0 {
+		t.Errorf("integer input was perturbed: K = %v", amp.K[0][1])
+	}
+	if amp.K[0][0] == 0 {
+		t.Error("float input was not perturbed")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	tr := recorded(t)
+	a1, _ := Analyze(tr, tr.Instances[1], DefaultConfig())
+	a2, _ := Analyze(tr, tr.Instances[1], DefaultConfig())
+	if a1.K[0][0] != a2.K[0][0] || a1.K[0][1] != a2.K[0][1] {
+		t.Error("sensitivity estimates are not reproducible")
+	}
+}
+
+func TestSeedVariesEstimate(t *testing.T) {
+	tr := recorded(t)
+	cfg1 := DefaultConfig()
+	cfg1.Samples = 4
+	cfg2 := cfg1
+	cfg2.Seed = 99
+	a1, _ := Analyze(tr, tr.Instances[1], cfg1)
+	a2, _ := Analyze(tr, tr.Instances[1], cfg2)
+	if a1.K[0][0] == a2.K[0][0] {
+		t.Log("different seeds produced identical estimates (possible but unlikely)")
+	}
+}

@@ -1,0 +1,131 @@
+// Package spec declares the analysis-facing description of a program: its
+// linked code, how memory is initialized, how the execution is partitioned
+// into sections, and which memory buffers are each section's inputs,
+// outputs, and live state.
+//
+// In the paper these are the developer-provided analysis inputs (§4.1):
+// the partition into sections and the specification of how data flows
+// between them. Dataflow is derived from buffer identity: an output buffer
+// of one section instance that overlaps an input buffer of a later instance
+// is an edge.
+package spec
+
+import (
+	"fmt"
+
+	"fastflip/internal/prog"
+	"fastflip/internal/vm"
+)
+
+// BufKind says how a buffer's words are interpreted when computing SDC
+// magnitudes.
+type BufKind uint8
+
+const (
+	Float BufKind = iota // words are float64 bits
+	Int                  // words are integers; any difference is magnitude-relevant
+)
+
+// Buffer is a named, contiguous range of memory words.
+type Buffer struct {
+	Name string
+	Addr int
+	Len  int
+	Kind BufKind
+}
+
+// Overlaps reports whether the two buffers share any word. A zero-length
+// buffer overlaps nothing.
+func (b Buffer) Overlaps(o Buffer) bool {
+	if b.Len <= 0 || o.Len <= 0 {
+		return false
+	}
+	return b.Addr < o.Addr+o.Len && o.Addr < b.Addr+b.Len
+}
+
+func (b Buffer) String() string {
+	return fmt.Sprintf("%s[%d:%d]", b.Name, b.Addr, b.Addr+b.Len)
+}
+
+// InstanceIO is the input/output/live declaration for one dynamic instance
+// of a section. Sections that iterate over different data per instance
+// (e.g. the LUD blocks touched in outer iteration k) declare one InstanceIO
+// per occurrence.
+type InstanceIO struct {
+	Inputs  []Buffer
+	Outputs []Buffer
+	// Live is additional live-at-end state beyond Outputs that the analysis
+	// checks for error-induced side effects (§4.9): corruption here does not
+	// flow through the declared dataflow, so it is conservatively SDC-Bad.
+	Live []Buffer
+}
+
+// Section is one static program section.
+type Section struct {
+	ID   int
+	Name string
+	// Discrete marks integer/bitwise sections (e.g. a hash round) for which
+	// a local sensitivity analysis is meaningless: any input SDC may flip
+	// the output arbitrarily, so the propagation analysis uses a worst-case
+	// amplification factor.
+	Discrete  bool
+	Instances []InstanceIO
+}
+
+// Program is everything the analyses need to run one benchmark version.
+type Program struct {
+	Name     string
+	Version  string // "none", "small", "large", ...
+	Linked   *prog.Linked
+	MemWords int
+	// Init populates input data in memory before execution starts.
+	Init func(m *vm.Machine)
+	// Sections lists the static sections; Sections[i].ID must equal i.
+	Sections []Section
+	// FinalOutputs are the outputs of the whole execution T, compared by the
+	// monolithic baseline and bounded by the composed SDC specification.
+	FinalOutputs []Buffer
+}
+
+// Validate checks internal consistency of the specification.
+func (p *Program) Validate() error {
+	if p.Linked == nil {
+		return fmt.Errorf("spec %s: nil linked program", p.Name)
+	}
+	if p.MemWords <= 0 {
+		return fmt.Errorf("spec %s: MemWords must be positive", p.Name)
+	}
+	for i, s := range p.Sections {
+		if s.ID != i {
+			return fmt.Errorf("spec %s: section %q has ID %d at index %d", p.Name, s.Name, s.ID, i)
+		}
+		if len(s.Instances) == 0 {
+			return fmt.Errorf("spec %s: section %q declares no instances", p.Name, s.Name)
+		}
+		for j, io := range s.Instances {
+			for _, b := range append(append(append([]Buffer{}, io.Inputs...), io.Outputs...), io.Live...) {
+				if b.Addr < 0 || b.Addr+b.Len > p.MemWords {
+					return fmt.Errorf("spec %s: section %q instance %d: buffer %v outside memory", p.Name, s.Name, j, b)
+				}
+			}
+		}
+	}
+	if len(p.FinalOutputs) == 0 {
+		return fmt.Errorf("spec %s: no final outputs declared", p.Name)
+	}
+	for _, b := range p.FinalOutputs {
+		if b.Addr < 0 || b.Addr+b.Len > p.MemWords {
+			return fmt.Errorf("spec %s: final output %v outside memory", p.Name, b)
+		}
+	}
+	return nil
+}
+
+// NewMachine builds an initialized machine positioned at the program entry.
+func (p *Program) NewMachine() *vm.Machine {
+	m := vm.New(p.Linked.Code, p.Linked.Entry, p.MemWords)
+	if p.Init != nil {
+		p.Init(m)
+	}
+	return m
+}

@@ -1,0 +1,89 @@
+package spec
+
+import (
+	"testing"
+
+	"fastflip/internal/prog"
+)
+
+var dummyLinked prog.Linked
+
+func TestBufferOverlaps(t *testing.T) {
+	a := Buffer{Addr: 10, Len: 5}
+	tests := []struct {
+		b    Buffer
+		want bool
+	}{
+		{Buffer{Addr: 10, Len: 5}, true},
+		{Buffer{Addr: 14, Len: 1}, true},
+		{Buffer{Addr: 15, Len: 3}, false},
+		{Buffer{Addr: 0, Len: 10}, false},
+		{Buffer{Addr: 0, Len: 11}, true},
+		{Buffer{Addr: 12, Len: 0}, false},
+	}
+	for _, tt := range tests {
+		if got := a.Overlaps(tt.b); got != tt.want {
+			t.Errorf("%v overlaps %v = %v, want %v", a, tt.b, got, tt.want)
+		}
+		if got := tt.b.Overlaps(a); got != tt.want {
+			t.Errorf("overlap not symmetric for %v", tt.b)
+		}
+	}
+}
+
+func TestBufferString(t *testing.T) {
+	b := Buffer{Name: "blk", Addr: 64, Len: 16}
+	if got := b.String(); got != "blk[64:80]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func validProgram() *Program {
+	return &Program{
+		Name:     "p",
+		Linked:   &dummyLinked,
+		MemWords: 16,
+		Sections: []Section{
+			{ID: 0, Name: "s0", Instances: []InstanceIO{{
+				Inputs:  []Buffer{{Name: "in", Addr: 0, Len: 4}},
+				Outputs: []Buffer{{Name: "out", Addr: 4, Len: 4}},
+			}}},
+		},
+		FinalOutputs: []Buffer{{Name: "out", Addr: 4, Len: 4}},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validProgram().Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Program)
+	}{
+		{"nil linked", func(p *Program) { p.Linked = nil }},
+		{"zero memory", func(p *Program) { p.MemWords = 0 }},
+		{"section id mismatch", func(p *Program) { p.Sections[0].ID = 3 }},
+		{"no instances", func(p *Program) { p.Sections[0].Instances = nil }},
+		{"buffer outside memory", func(p *Program) {
+			p.Sections[0].Instances[0].Inputs[0].Len = 100
+		}},
+		{"no final outputs", func(p *Program) { p.FinalOutputs = nil }},
+		{"final output outside memory", func(p *Program) {
+			p.FinalOutputs[0].Addr = 15
+			p.FinalOutputs[0].Len = 5
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := validProgram()
+			tt.mutate(p)
+			if err := p.Validate(); err == nil {
+				t.Error("Validate accepted a broken program")
+			}
+		})
+	}
+}

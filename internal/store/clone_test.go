@@ -1,0 +1,26 @@
+package store
+
+import "testing"
+
+func TestClone(t *testing.T) {
+	s := New()
+	key := Key{9}
+	s.Put(key, &Section{SimInstrs: 7})
+	s.AdjustedTargets[TargetKey{Target: 0.9}] = 0.93
+	s.ModsSinceAdjust = 3
+
+	c := s.Clone()
+	if c.Lookup(key) != s.Lookup(key) {
+		t.Error("clone should share section payloads")
+	}
+	if c.ModsSinceAdjust != 3 || c.AdjustedTargets[TargetKey{Target: 0.9}] != 0.93 {
+		t.Errorf("clone lost metadata: %+v", c)
+	}
+	// Mutations of the clone's maps must not leak back.
+	c.Put(Key{1}, &Section{})
+	c.AdjustedTargets[TargetKey{Target: 0.5}] = 0.5
+	c.ModsSinceAdjust = 9
+	if s.Lookup(Key{1}) != nil || len(s.AdjustedTargets) != 1 || s.ModsSinceAdjust != 3 {
+		t.Error("clone mutations leaked into the original")
+	}
+}

@@ -1,0 +1,174 @@
+// Package store persists per-section analysis results for reuse across
+// program versions (§4.7). A section instance's results are keyed by its
+// *content*: the hashes of the functions it executed plus the values of its
+// input buffers. A semantics-preserving change to one function changes only
+// that section's key; downstream sections receive identical inputs and
+// their stored results remain valid. This is exactly the reuse condition
+// FastFlip requires.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"fastflip/internal/metrics"
+	"fastflip/internal/sites"
+	"fastflip/internal/spec"
+	"fastflip/internal/trace"
+)
+
+// Outcome is a serializable injection outcome for one equivalence class.
+type Outcome struct {
+	Kind       metrics.OutcomeKind
+	Reason     metrics.DetectReason
+	Magnitudes []float64
+}
+
+// ToMetrics converts back to the analysis representation.
+func (o Outcome) ToMetrics() metrics.Outcome {
+	return metrics.Outcome{Kind: o.Kind, Reason: o.Reason, Magnitudes: o.Magnitudes}
+}
+
+// FromMetrics converts an analysis outcome for storage.
+func FromMetrics(m metrics.Outcome) Outcome {
+	return Outcome{Kind: m.Kind, Reason: m.Reason, Magnitudes: m.Magnitudes}
+}
+
+// Section is the stored analysis of one section instance.
+type Section struct {
+	// Outcomes maps equivalence-class keys (stable across versions) to the
+	// pilot outcome observed for that class.
+	Outcomes map[sites.ClassKey]Outcome
+	// Final, present when the analysis co-ran the baseline (§4.10), maps
+	// class keys to the corresponding end-to-end outcome.
+	Final map[sites.ClassKey]Outcome
+	// Amp is the sensitivity amplification matrix K[out][in].
+	Amp [][]float64
+	// SimInstrs is what the original injection cost, for bookkeeping.
+	SimInstrs uint64
+}
+
+// Key identifies a section instance by content.
+type Key [32]byte
+
+func (k Key) String() string { return fmt.Sprintf("%x", k[:8]) }
+
+// KeyFor computes the reuse key of a section instance: section static ID,
+// executed code identity, input buffer declarations and contents, and
+// output/live declarations. Any difference that could change the injection
+// outcomes or the amplification matrix changes the key.
+func KeyFor(t *trace.Trace, inst *trace.Instance) Key {
+	h := sha256.New()
+	var buf [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wu(uint64(inst.Sec))
+	code := t.CodeKey(inst)
+	h.Write(code[:])
+	for _, b := range inst.IO.Inputs {
+		h.Write([]byte(b.Name))
+		wu(uint64(b.Addr))
+		wu(uint64(b.Len))
+		wu(uint64(b.Kind))
+		for i := 0; i < b.Len; i++ {
+			wu(inst.Entry.Mem[b.Addr+i])
+		}
+	}
+	for _, b := range append(append([]spec.Buffer{}, inst.IO.Outputs...), inst.IO.Live...) {
+		h.Write([]byte(b.Name))
+		wu(uint64(b.Addr))
+		wu(uint64(b.Len))
+		wu(uint64(b.Kind))
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Store holds analysis results across versions of one program.
+type Store struct {
+	// Sections maps content keys to stored per-section results.
+	Sections map[Key]*Section
+	// AdjustedTargets maps the original target value to the adjusted
+	// target v'_trgt computed during the last full analysis (§4.10),
+	// per ε threshold.
+	AdjustedTargets map[TargetKey]float64
+	// ModsSinceAdjust counts program modifications analyzed since the last
+	// target adjustment (the paper's m_adj).
+	ModsSinceAdjust int
+}
+
+// TargetKey identifies one adjusted target.
+type TargetKey struct {
+	Epsilon float64
+	Target  float64
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		Sections:        make(map[Key]*Section),
+		AdjustedTargets: make(map[TargetKey]float64),
+	}
+}
+
+// Clone returns a copy of the store whose maps are independent of the
+// original; the per-section payloads are shared (they are immutable once
+// recorded). Useful for replaying an analysis against a fixed snapshot.
+func (s *Store) Clone() *Store {
+	c := &Store{
+		Sections:        make(map[Key]*Section, len(s.Sections)),
+		AdjustedTargets: make(map[TargetKey]float64, len(s.AdjustedTargets)),
+		ModsSinceAdjust: s.ModsSinceAdjust,
+	}
+	for k, v := range s.Sections {
+		c.Sections[k] = v
+	}
+	for k, v := range s.AdjustedTargets {
+		c.AdjustedTargets[k] = v
+	}
+	return c
+}
+
+// Lookup returns the stored section for key, or nil.
+func (s *Store) Lookup(key Key) *Section {
+	return s.Sections[key]
+}
+
+// Put records the section under key.
+func (s *Store) Put(key Key, sec *Section) {
+	s.Sections[key] = sec
+}
+
+// Save writes the store to path with encoding/gob (gob round-trips the
+// ±Inf magnitudes JSON cannot represent).
+func (s *Store) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(s); err != nil {
+		return fmt.Errorf("store: encoding %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Load reads a store written by Save.
+func Load(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	s := New()
+	if err := gob.NewDecoder(f).Decode(s); err != nil {
+		return nil, fmt.Errorf("store: decoding %s: %w", path, err)
+	}
+	return s, nil
+}

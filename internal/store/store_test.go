@@ -1,0 +1,135 @@
+package store
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"fastflip/internal/isa"
+	"fastflip/internal/metrics"
+	"fastflip/internal/prog"
+	"fastflip/internal/sites"
+	"fastflip/internal/testprog"
+	"fastflip/internal/trace"
+	"fastflip/internal/vm"
+)
+
+func recorded(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Record(testprog.Pipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestKeyForDeterministic(t *testing.T) {
+	tr1, tr2 := recorded(t), recorded(t)
+	for i := range tr1.Instances {
+		if KeyFor(tr1, tr1.Instances[i]) != KeyFor(tr2, tr2.Instances[i]) {
+			t.Errorf("instance %d keys differ across identical traces", i)
+		}
+	}
+}
+
+func TestKeyForDistinguishesInstances(t *testing.T) {
+	tr := recorded(t)
+	if KeyFor(tr, tr.Instances[0]) == KeyFor(tr, tr.Instances[1]) {
+		t.Error("different sections share a key")
+	}
+}
+
+func TestKeyForTracksCodeChange(t *testing.T) {
+	tr1 := recorded(t)
+	tr2, err := trace.Record(testprog.PipelineModified())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if KeyFor(tr1, tr1.Instances[0]) != KeyFor(tr2, tr2.Instances[0]) {
+		t.Error("unmodified section's key changed")
+	}
+	if KeyFor(tr1, tr1.Instances[1]) == KeyFor(tr2, tr2.Instances[1]) {
+		t.Error("modified section's key unchanged")
+	}
+}
+
+func TestKeyForTracksInputChange(t *testing.T) {
+	p2 := testprog.Pipeline()
+	baseInit := p2.Init
+	p2.Init = func(m *vm.Machine) {
+		baseInit(m)
+		m.Mem[testprog.AddrX] = math.Float64bits(2.5) // different input
+	}
+	tr1 := recorded(t)
+	tr2, err := trace.Record(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if KeyFor(tr1, tr1.Instances[0]) == KeyFor(tr2, tr2.Instances[0]) {
+		t.Error("input change did not change the first section's key")
+	}
+	// The downstream section's input (y) also changed, so its key must too.
+	if KeyFor(tr1, tr1.Instances[1]) == KeyFor(tr2, tr2.Instances[1]) {
+		t.Error("downstream input change did not change the second section's key")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := New()
+	key := Key{1, 2, 3}
+	s.Put(key, &Section{
+		Outcomes: map[sites.ClassKey]Outcome{
+			{Static: prog.StaticID{Func: "f", Local: 3}, Role: isa.OperandDst, Bit: 17}: {
+				Kind:       metrics.SDC,
+				Magnitudes: []float64{1.5, math.Inf(1)}, // Inf must survive
+			},
+			{Static: prog.StaticID{Func: "f", Local: 4}, Role: isa.OperandSrcA, Bit: 2}: {
+				Kind:   metrics.Detected,
+				Reason: metrics.DetectTimeout,
+			},
+		},
+		Amp:       [][]float64{{3.25, 0}},
+		SimInstrs: 12345,
+	})
+	s.AdjustedTargets[TargetKey{Epsilon: 0.01, Target: 0.9}] = 0.925
+	s.ModsSinceAdjust = 2
+
+	path := filepath.Join(t.TempDir(), "store.gob")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := got.Lookup(key)
+	if sec == nil {
+		t.Fatal("section missing after round trip")
+	}
+	out := sec.Outcomes[sites.ClassKey{Static: prog.StaticID{Func: "f", Local: 3}, Role: isa.OperandDst, Bit: 17}]
+	if out.Kind != metrics.SDC || out.Magnitudes[0] != 1.5 || !math.IsInf(out.Magnitudes[1], 1) {
+		t.Errorf("outcome mangled: %+v", out)
+	}
+	if sec.Amp[0][0] != 3.25 || sec.SimInstrs != 12345 {
+		t.Errorf("section metadata mangled: %+v", sec)
+	}
+	if got.AdjustedTargets[TargetKey{Epsilon: 0.01, Target: 0.9}] != 0.925 {
+		t.Error("adjusted targets lost")
+	}
+	if got.ModsSinceAdjust != 2 {
+		t.Error("m_adj lost")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.gob")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestOutcomeConversions(t *testing.T) {
+	m := metrics.Outcome{Kind: metrics.SDC, Magnitudes: []float64{0.5}}
+	if got := FromMetrics(m).ToMetrics(); got.Kind != m.Kind || got.Magnitudes[0] != 0.5 {
+		t.Errorf("round trip = %+v", got)
+	}
+}

@@ -1,0 +1,146 @@
+// Package sym implements affine symbolic expressions over the φ variables
+// of the FastFlip formalism: φ_{s,k} is the SDC magnitude introduced into
+// output k of section instance s by an error inside s (§4.3). The SDC
+// propagation analysis composes per-section bounds into an end-to-end
+// expression like the paper's Equation 2:
+//
+//	Δ(O_fin) ≤ 4174.8·φ_{s11} + 434.3·φ_{s12} + ... + φ_{s24}
+//
+// All coefficients are non-negative, so the sum of two expressions is a
+// sound (conservative) upper bound for their maximum.
+package sym
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Var identifies one φ variable: output Out of section instance Inst
+// (an index into the trace's instance list).
+type Var struct {
+	Inst int
+	Out  int
+}
+
+func (v Var) String() string { return fmt.Sprintf("phi[%d.%d]", v.Inst, v.Out) }
+
+// Expr is a non-negative affine expression Σ coef·φ + const.
+type Expr struct {
+	coef  map[Var]float64
+	konst float64
+}
+
+// Zero returns the zero expression.
+func Zero() *Expr { return &Expr{} }
+
+// NewVar returns the expression 1·v.
+func NewVar(v Var) *Expr {
+	return &Expr{coef: map[Var]float64{v: 1}}
+}
+
+// Clone returns a deep copy.
+func (e *Expr) Clone() *Expr {
+	c := &Expr{konst: e.konst}
+	if len(e.coef) > 0 {
+		c.coef = make(map[Var]float64, len(e.coef))
+		for v, k := range e.coef {
+			c.coef[v] = k
+		}
+	}
+	return c
+}
+
+// AddScaled adds k times other into e and returns e. Negative k panics:
+// SDC magnitudes and amplification factors are non-negative by
+// construction, and allowing cancellation would be unsound.
+func (e *Expr) AddScaled(k float64, other *Expr) *Expr {
+	if k < 0 {
+		panic("sym: negative scale factor")
+	}
+	if k == 0 || other == nil {
+		return e
+	}
+	if len(other.coef) > 0 && e.coef == nil {
+		e.coef = make(map[Var]float64, len(other.coef))
+	}
+	for v, c := range other.coef {
+		e.coef[v] += k * c
+	}
+	e.konst += k * other.konst
+	return e
+}
+
+// AddVar adds k·v into e and returns e.
+func (e *Expr) AddVar(v Var, k float64) *Expr {
+	if k < 0 {
+		panic("sym: negative coefficient")
+	}
+	if e.coef == nil {
+		e.coef = make(map[Var]float64, 1)
+	}
+	e.coef[v] += k
+	return e
+}
+
+// Coef returns the coefficient of v.
+func (e *Expr) Coef(v Var) float64 { return e.coef[v] }
+
+// Const returns the constant term.
+func (e *Expr) Const() float64 { return e.konst }
+
+// Vars returns the variables with non-zero coefficients in a deterministic
+// order.
+func (e *Expr) Vars() []Var {
+	vars := make([]Var, 0, len(e.coef))
+	for v, c := range e.coef {
+		if c != 0 {
+			vars = append(vars, v)
+		}
+	}
+	sort.Slice(vars, func(i, j int) bool {
+		if vars[i].Inst != vars[j].Inst {
+			return vars[i].Inst < vars[j].Inst
+		}
+		return vars[i].Out < vars[j].Out
+	})
+	return vars
+}
+
+// Eval evaluates the expression with φ values supplied by assign; variables
+// not assigned evaluate as zero (the single-error model zeroes every φ
+// outside the injected section, §4.4).
+func (e *Expr) Eval(assign func(Var) float64) float64 {
+	total := e.konst
+	for v, c := range e.coef {
+		if c == 0 {
+			continue
+		}
+		total += c * assign(v)
+	}
+	return total
+}
+
+// String renders the expression in Equation 2 style.
+func (e *Expr) String() string {
+	vars := e.Vars()
+	if len(vars) == 0 && e.konst == 0 {
+		return "0"
+	}
+	var b strings.Builder
+	if e.konst != 0 {
+		fmt.Fprintf(&b, "%.4g", e.konst)
+	}
+	for _, v := range vars {
+		if b.Len() > 0 {
+			b.WriteString(" + ")
+		}
+		c := e.coef[v]
+		if c == 1 {
+			b.WriteString(v.String())
+		} else {
+			fmt.Fprintf(&b, "%.4g*%s", c, v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,153 @@
+package sym
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroAndVar(t *testing.T) {
+	z := Zero()
+	if z.String() != "0" || z.Const() != 0 || len(z.Vars()) != 0 {
+		t.Errorf("zero expr: %q const %v vars %v", z.String(), z.Const(), z.Vars())
+	}
+	v := NewVar(Var{Inst: 2, Out: 1})
+	if v.Coef(Var{Inst: 2, Out: 1}) != 1 {
+		t.Error("NewVar coefficient != 1")
+	}
+	if got := v.String(); got != "phi[2.1]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	a := NewVar(Var{Inst: 0, Out: 0})
+	b := NewVar(Var{Inst: 1, Out: 0})
+	e := Zero()
+	e.AddScaled(2, a)
+	e.AddScaled(3, b)
+	e.AddScaled(0.5, a)
+	if got := e.Coef(Var{Inst: 0, Out: 0}); got != 2.5 {
+		t.Errorf("coef a = %v", got)
+	}
+	if got := e.Coef(Var{Inst: 1, Out: 0}); got != 3 {
+		t.Errorf("coef b = %v", got)
+	}
+}
+
+func TestAddScaledZeroAndNil(t *testing.T) {
+	e := NewVar(Var{Inst: 0, Out: 0})
+	e.AddScaled(0, NewVar(Var{Inst: 9, Out: 9}))
+	e.AddScaled(1, nil)
+	if len(e.Vars()) != 1 {
+		t.Errorf("vars = %v", e.Vars())
+	}
+}
+
+func TestNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative scale did not panic")
+		}
+	}()
+	Zero().AddScaled(-1, NewVar(Var{}))
+}
+
+func TestEvalSingleErrorModel(t *testing.T) {
+	// e = 4x + 2y; under the single-error model only one φ is nonzero.
+	e := Zero()
+	e.AddVar(Var{Inst: 0, Out: 0}, 4)
+	e.AddVar(Var{Inst: 1, Out: 0}, 2)
+	got := e.Eval(func(v Var) float64 {
+		if v.Inst == 0 {
+			return 1.5
+		}
+		return 0
+	})
+	if got != 6 {
+		t.Errorf("eval = %v, want 6", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	e := NewVar(Var{Inst: 0, Out: 0})
+	c := e.Clone()
+	c.AddVar(Var{Inst: 0, Out: 0}, 1)
+	if e.Coef(Var{Inst: 0, Out: 0}) != 1 {
+		t.Error("Clone shares coefficient map")
+	}
+}
+
+func TestVarsSorted(t *testing.T) {
+	e := Zero()
+	e.AddVar(Var{Inst: 2, Out: 0}, 1)
+	e.AddVar(Var{Inst: 0, Out: 1}, 1)
+	e.AddVar(Var{Inst: 0, Out: 0}, 1)
+	vars := e.Vars()
+	want := []Var{{0, 0}, {0, 1}, {2, 0}}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Fatalf("vars = %v, want %v", vars, want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	e := Zero()
+	e.AddVar(Var{Inst: 0, Out: 0}, 4174.8)
+	e.AddVar(Var{Inst: 1, Out: 0}, 1)
+	if got := e.String(); got != "4175*phi[0.0] + phi[1.0]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: AddScaled is linear — evaluating a sum of scaled expressions
+// equals the sum of their scaled evaluations.
+func TestAddScaledLinearQuick(t *testing.T) {
+	f := func(c1, c2 uint8, phi1, phi2 float64) bool {
+		k1 := float64(c1)/16 + 0.25
+		k2 := float64(c2)/16 + 0.25
+		p1, p2 := math.Abs(phi1), math.Abs(phi2)
+		if math.IsInf(p1, 0) || math.IsInf(p2, 0) || math.IsNaN(p1) || math.IsNaN(p2) {
+			return true
+		}
+		a := NewVar(Var{Inst: 0, Out: 0})
+		b := NewVar(Var{Inst: 1, Out: 0})
+		e := Zero()
+		e.AddScaled(k1, a)
+		e.AddScaled(k2, b)
+		assign := func(v Var) float64 {
+			if v.Inst == 0 {
+				return p1
+			}
+			return p2
+		}
+		got := e.Eval(assign)
+		want := k1*p1 + k2*p2
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: coefficients never decrease under AddScaled with non-negative
+// inputs — the soundness invariant of the conservative bound.
+func TestMonotoneCoefficientsQuick(t *testing.T) {
+	f := func(adds []uint8) bool {
+		e := Zero()
+		prev := 0.0
+		v := Var{Inst: 0, Out: 0}
+		for _, a := range adds {
+			e.AddVar(v, float64(a))
+			if e.Coef(v) < prev {
+				return false
+			}
+			prev = e.Coef(v)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,249 @@
+// Package trace records the error-free execution of a program: the dynamic
+// instruction stream, the region of interest, and every section instance
+// with entry/exit checkpoints. The trace is the substrate both injection
+// analyses replay against.
+package trace
+
+import (
+	"fmt"
+
+	"fastflip/internal/prog"
+	"fastflip/internal/spec"
+	"fastflip/internal/vm"
+)
+
+// safetyCap aborts clean runs that appear to loop forever; it is far above
+// any benchmark's nominal length.
+const safetyCap = 200_000_000
+
+// Instance is one dynamic execution of a static section.
+type Instance struct {
+	Sec   int // static section ID
+	Occur int // occurrence index among instances of the same section
+	IO    spec.InstanceIO
+
+	BegDyn uint64 // dynamic index of the SECBEG instruction
+	EndDyn uint64 // dynamic index of the SECEND instruction
+
+	// Entry is the machine state just after SECBEG executed (Dyn == BegDyn+1);
+	// Exit is the state just after SECEND executed (Dyn == EndDyn+1).
+	Entry *vm.Machine
+	Exit  *vm.Machine
+
+	// Funcs is the set of function indices whose instructions executed
+	// inside the instance; it determines the instance's code identity for
+	// incremental reuse.
+	Funcs map[int]bool
+}
+
+// Len returns the number of dynamic instructions strictly inside the
+// instance (markers excluded).
+func (i *Instance) Len() uint64 { return i.EndDyn - i.BegDyn - 1 }
+
+// Contains reports whether dynamic index d is strictly inside the instance.
+func (i *Instance) Contains(d uint64) bool { return d > i.BegDyn && d < i.EndDyn }
+
+// Trace is a recorded clean execution.
+type Trace struct {
+	Prog *spec.Program
+
+	// PCs[d] is the static PC of dynamic instruction d.
+	PCs []int32
+
+	ROIBeg, ROIEnd uint64 // dynamic indices of the ROIBEG/ROIEND markers
+
+	Instances []*Instance
+
+	Start *vm.Machine // initialized state before the first instruction
+	Final *vm.Machine // halted state
+
+	TotalDyn uint64
+}
+
+// Record executes p cleanly and captures the trace. The clean run must halt
+// normally; a crash, timeout, or malformed marker nesting is an error in
+// the benchmark itself.
+func Record(p *spec.Program) (*Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := p.NewMachine()
+	m.MaxDyn = safetyCap
+
+	t := &Trace{Prog: p, Start: m.Clone()}
+	occur := make([]int, len(p.Sections))
+	var open *Instance
+	roiOpen, roiSeen := false, false
+
+	for m.Status == vm.Running {
+		pc := m.PC
+		dyn := m.Dyn
+		ev := m.Step()
+		if m.Status == vm.Crashed {
+			return nil, fmt.Errorf("trace %s: clean run crashed at pc %d: %v", p.Name, pc, m.Crash)
+		}
+		if m.Status == vm.TimedOut {
+			return nil, fmt.Errorf("trace %s: clean run exceeded %d instructions", p.Name, uint64(safetyCap))
+		}
+		t.PCs = append(t.PCs, int32(pc))
+
+		switch ev.Kind {
+		case vm.EvROIBeg:
+			if roiOpen || roiSeen {
+				return nil, fmt.Errorf("trace %s: multiple or nested ROIBEG", p.Name)
+			}
+			roiOpen, roiSeen = true, true
+			t.ROIBeg = dyn
+		case vm.EvROIEnd:
+			if !roiOpen {
+				return nil, fmt.Errorf("trace %s: ROIEND without ROIBEG", p.Name)
+			}
+			roiOpen = false
+			t.ROIEnd = dyn
+		case vm.EvSecBeg:
+			if open != nil {
+				return nil, fmt.Errorf("trace %s: nested SECBEG %d inside section %d", p.Name, ev.Sec, open.Sec)
+			}
+			if ev.Sec < 0 || ev.Sec >= len(p.Sections) {
+				return nil, fmt.Errorf("trace %s: SECBEG with undeclared section ID %d", p.Name, ev.Sec)
+			}
+			sec := &p.Sections[ev.Sec]
+			occ := occur[ev.Sec]
+			if occ >= len(sec.Instances) {
+				return nil, fmt.Errorf("trace %s: section %q executed %d times but declares %d instances",
+					p.Name, sec.Name, occ+1, len(sec.Instances))
+			}
+			open = &Instance{
+				Sec:    ev.Sec,
+				Occur:  occ,
+				IO:     sec.Instances[occ],
+				BegDyn: dyn,
+				Entry:  m.Clone(),
+				Funcs:  make(map[int]bool),
+			}
+			occur[ev.Sec]++
+		case vm.EvSecEnd:
+			if open == nil || open.Sec != ev.Sec {
+				return nil, fmt.Errorf("trace %s: SECEND %d does not match open section", p.Name, ev.Sec)
+			}
+			open.EndDyn = dyn
+			open.Exit = m.Clone()
+			t.Instances = append(t.Instances, open)
+			open = nil
+		default:
+			if open != nil {
+				fi, _ := p.Linked.FuncOf(pc)
+				open.Funcs[fi] = true
+			}
+		}
+	}
+	if open != nil {
+		return nil, fmt.Errorf("trace %s: section %d never closed", p.Name, open.Sec)
+	}
+	if roiOpen || !roiSeen {
+		return nil, fmt.Errorf("trace %s: missing or unclosed region of interest", p.Name)
+	}
+
+	t.Final = m
+	t.TotalDyn = m.Dyn
+
+	for _, inst := range t.Instances {
+		if inst.BegDyn < t.ROIBeg || inst.EndDyn > t.ROIEnd {
+			return nil, fmt.Errorf("trace %s: section %d instance %d extends outside the region of interest",
+				p.Name, inst.Sec, inst.Occur)
+		}
+	}
+	return t, nil
+}
+
+// InstanceAt returns the section instance containing dynamic index d, or
+// nil if d falls outside every section (an untested site in §4.9 terms).
+func (t *Trace) InstanceAt(d uint64) *Instance {
+	for _, inst := range t.Instances {
+		if inst.Contains(d) {
+			return inst
+		}
+	}
+	return nil
+}
+
+// NearestCheckpoint returns the latest recorded machine state at or before
+// dynamic index d, to seed a replay. It is the program start or a section
+// entry/exit checkpoint.
+func (t *Trace) NearestCheckpoint(d uint64) *vm.Machine {
+	m, _ := t.nearest(d)
+	return m
+}
+
+// NearestCheckpointDyn returns the dynamic index of the checkpoint that
+// NearestCheckpoint(d) would return, for cost accounting.
+func (t *Trace) NearestCheckpointDyn(d uint64) uint64 {
+	_, dyn := t.nearest(d)
+	return dyn
+}
+
+func (t *Trace) nearest(d uint64) (*vm.Machine, uint64) {
+	best := t.Start
+	bestDyn := uint64(0)
+	for _, inst := range t.Instances {
+		if e := inst.BegDyn + 1; e <= d && e >= bestDyn {
+			best, bestDyn = inst.Entry, e
+		}
+		if e := inst.EndDyn + 1; e <= d && e >= bestDyn {
+			best, bestDyn = inst.Exit, e
+		}
+	}
+	return best, bestDyn
+}
+
+// StaticIDOfDyn returns the stable static identity of dynamic instruction d.
+func (t *Trace) StaticIDOfDyn(d uint64) prog.StaticID {
+	return t.Prog.Linked.StaticIDOf(int(t.PCs[d]))
+}
+
+// DynCounts returns, for every static instruction that executes in the ROI,
+// the number of its dynamic instances. This is the protection cost model
+// c(pc) of §5.3.
+func (t *Trace) DynCounts() map[prog.StaticID]int {
+	counts := make(map[prog.StaticID]int)
+	for d := t.ROIBeg + 1; d < t.ROIEnd; d++ {
+		counts[t.StaticIDOfDyn(d)]++
+	}
+	return counts
+}
+
+// Coverage reports how many of the program's static instructions of
+// interest (those with at least one register operand) execute within the
+// region of interest. The paper's inputs are minimized by Minotaur under
+// the constraint that program counter coverage is preserved (§5.4); this
+// lets a user check that condition for their own inputs.
+func (t *Trace) Coverage() (executed, total int) {
+	seen := make(map[int32]bool)
+	for d := t.ROIBeg + 1; d < t.ROIEnd; d++ {
+		seen[t.PCs[d]] = true
+	}
+	for pc, in := range t.Prog.Linked.Code {
+		if len(in.Operands(nil)) == 0 {
+			continue
+		}
+		total++
+		if seen[int32(pc)] {
+			executed++
+		}
+	}
+	return executed, total
+}
+
+// CodeKey identifies the code executed by a section instance across program
+// versions: the XOR-fold of the hashes of every function executed inside
+// it. If any of those function bodies changes, the key changes.
+func (t *Trace) CodeKey(inst *Instance) [32]byte {
+	var key [32]byte
+	for fi := range inst.Funcs {
+		h := t.Prog.Linked.FuncHashes[fi]
+		for i := range key {
+			key[i] ^= h[i]
+		}
+	}
+	return key
+}

@@ -1,0 +1,452 @@
+// Package vm implements the architectural simulator for the fastflip ISA.
+//
+// The Machine is a deterministic interpreter with the architectural state
+// the error model cares about: integer and floating-point register files,
+// word-addressed memory, a call stack, and a dynamic instruction counter.
+// It detects the paper's "detected" outcome classes natively: crashes
+// (invalid memory access, division error, bad control flow) and timeouts
+// (dynamic instruction count exceeding a limit). Checkpoint/restore via
+// Clone supports both per-section injection and fast re-execution.
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"fastflip/internal/isa"
+)
+
+// Status is the execution state of a Machine.
+type Status uint8
+
+const (
+	Running Status = iota
+	Halted
+	Crashed
+	TimedOut
+)
+
+func (s Status) String() string {
+	switch s {
+	case Running:
+		return "running"
+	case Halted:
+		return "halted"
+	case Crashed:
+		return "crashed"
+	case TimedOut:
+		return "timed out"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// CrashKind classifies why a Machine crashed. All crashes are "detected"
+// outcomes in the paper's taxonomy: the OS or runtime observes them.
+type CrashKind uint8
+
+const (
+	CrashNone CrashKind = iota
+	CrashMemOOB
+	CrashDivZero
+	CrashPCOOB
+	CrashStackOverflow
+	CrashStackUnderflow
+	CrashBadInstr
+)
+
+func (k CrashKind) String() string {
+	switch k {
+	case CrashNone:
+		return "none"
+	case CrashMemOOB:
+		return "memory access out of bounds"
+	case CrashDivZero:
+		return "division by zero"
+	case CrashPCOOB:
+		return "program counter out of bounds"
+	case CrashStackOverflow:
+		return "call stack overflow"
+	case CrashStackUnderflow:
+		return "return with empty call stack"
+	case CrashBadInstr:
+		return "undefined instruction"
+	}
+	return fmt.Sprintf("crash(%d)", uint8(k))
+}
+
+// EventKind is what Step reports to its driver.
+type EventKind uint8
+
+const (
+	EvNone EventKind = iota
+	EvHalt
+	EvCrash
+	EvTimeout
+	EvSecBeg
+	EvSecEnd
+	EvROIBeg
+	EvROIEnd
+)
+
+// Event is the result of executing one instruction.
+type Event struct {
+	Kind EventKind
+	Sec  int // section static ID for EvSecBeg/EvSecEnd
+}
+
+// maxCallDepth bounds the call stack; exceeding it is a crash (the
+// simulated analogue of a stack overflow caused by a corrupted branch).
+const maxCallDepth = 1024
+
+// Machine is one simulated CPU plus memory.
+type Machine struct {
+	Code []isa.Instr
+
+	R [isa.NumRegs]uint64 // integer registers
+	F [isa.NumRegs]uint64 // float registers, stored as raw bits so bitflips are uniform
+
+	Mem   []uint64
+	PC    int
+	Stack []int // return addresses
+
+	Dyn    uint64 // number of executed instructions
+	MaxDyn uint64 // timeout threshold; 0 disables the check
+
+	Status Status
+	Crash  CrashKind
+}
+
+// New returns a machine for the linked code with memWords words of zeroed
+// memory, positioned at the entry point.
+func New(code []isa.Instr, entry int, memWords int) *Machine {
+	return &Machine{
+		Code: code,
+		Mem:  make([]uint64, memWords),
+		PC:   entry,
+	}
+}
+
+// Clone returns a deep copy of the machine. The instruction slice is shared
+// (it is immutable during execution); memory and the call stack are copied.
+func (m *Machine) Clone() *Machine {
+	c := *m
+	c.Mem = make([]uint64, len(m.Mem))
+	copy(c.Mem, m.Mem)
+	c.Stack = make([]int, len(m.Stack))
+	copy(c.Stack, m.Stack)
+	return &c
+}
+
+// RestoreFrom overwrites m's state from src without allocating when the
+// memory sizes match. Code is shared.
+func (m *Machine) RestoreFrom(src *Machine) {
+	mem, stack := m.Mem, m.Stack
+	*m = *src
+	if len(mem) == len(src.Mem) {
+		copy(mem, src.Mem)
+		m.Mem = mem
+	} else {
+		m.Mem = make([]uint64, len(src.Mem))
+		copy(m.Mem, src.Mem)
+	}
+	m.Stack = append(stack[:0], src.Stack...)
+}
+
+// Fl returns float register f as a float64.
+func (m *Machine) Fl(f int) float64 { return math.Float64frombits(m.F[f]) }
+
+// SetFl sets float register f from a float64.
+func (m *Machine) SetFl(f int, v float64) { m.F[f] = math.Float64bits(v) }
+
+// FlipInt flips one bit of an integer register.
+func (m *Machine) FlipInt(reg int, bit uint) { m.R[reg] ^= 1 << bit }
+
+// FlipFloat flips one bit of a float register.
+func (m *Machine) FlipFloat(reg int, bit uint) { m.F[reg] ^= 1 << bit }
+
+func (m *Machine) crash(k CrashKind) Event {
+	m.Status = Crashed
+	m.Crash = k
+	return Event{Kind: EvCrash}
+}
+
+// Step executes one instruction and reports the resulting event. Calling
+// Step on a non-running machine returns the terminal event again without
+// executing anything.
+func (m *Machine) Step() Event {
+	switch m.Status {
+	case Halted:
+		return Event{Kind: EvHalt}
+	case Crashed:
+		return Event{Kind: EvCrash}
+	case TimedOut:
+		return Event{Kind: EvTimeout}
+	}
+	if m.PC < 0 || m.PC >= len(m.Code) {
+		return m.crash(CrashPCOOB)
+	}
+	if m.MaxDyn > 0 && m.Dyn >= m.MaxDyn {
+		m.Status = TimedOut
+		return Event{Kind: EvTimeout}
+	}
+
+	in := m.Code[m.PC]
+	m.Dyn++
+	next := m.PC + 1
+	ev := Event{}
+
+	switch in.Op {
+	case isa.NOP:
+	case isa.HALT:
+		m.Status = Halted
+		m.PC = next
+		return Event{Kind: EvHalt}
+
+	case isa.ADD:
+		m.R[in.Rd] = m.R[in.Ra] + m.R[in.Rb]
+	case isa.SUB:
+		m.R[in.Rd] = m.R[in.Ra] - m.R[in.Rb]
+	case isa.MUL:
+		m.R[in.Rd] = m.R[in.Ra] * m.R[in.Rb]
+	case isa.DIV:
+		if m.R[in.Rb] == 0 {
+			return m.crash(CrashDivZero)
+		}
+		m.R[in.Rd] = uint64(int64(m.R[in.Ra]) / int64(m.R[in.Rb]))
+	case isa.REM:
+		if m.R[in.Rb] == 0 {
+			return m.crash(CrashDivZero)
+		}
+		m.R[in.Rd] = uint64(int64(m.R[in.Ra]) % int64(m.R[in.Rb]))
+	case isa.AND:
+		m.R[in.Rd] = m.R[in.Ra] & m.R[in.Rb]
+	case isa.OR:
+		m.R[in.Rd] = m.R[in.Ra] | m.R[in.Rb]
+	case isa.XOR:
+		m.R[in.Rd] = m.R[in.Ra] ^ m.R[in.Rb]
+	case isa.SHL:
+		m.R[in.Rd] = m.R[in.Ra] << (m.R[in.Rb] & 63)
+	case isa.SHR:
+		m.R[in.Rd] = m.R[in.Ra] >> (m.R[in.Rb] & 63)
+	case isa.SRA:
+		m.R[in.Rd] = uint64(int64(m.R[in.Ra]) >> (m.R[in.Rb] & 63))
+	case isa.SLT:
+		m.R[in.Rd] = b2u(int64(m.R[in.Ra]) < int64(m.R[in.Rb]))
+	case isa.SLTU:
+		m.R[in.Rd] = b2u(m.R[in.Ra] < m.R[in.Rb])
+
+	case isa.ADDI:
+		m.R[in.Rd] = m.R[in.Ra] + uint64(in.Imm)
+	case isa.MULI:
+		m.R[in.Rd] = m.R[in.Ra] * uint64(in.Imm)
+	case isa.ANDI:
+		m.R[in.Rd] = m.R[in.Ra] & uint64(in.Imm)
+	case isa.ORI:
+		m.R[in.Rd] = m.R[in.Ra] | uint64(in.Imm)
+	case isa.XORI:
+		m.R[in.Rd] = m.R[in.Ra] ^ uint64(in.Imm)
+	case isa.SHLI:
+		m.R[in.Rd] = m.R[in.Ra] << (uint64(in.Imm) & 63)
+	case isa.SHRI:
+		m.R[in.Rd] = m.R[in.Ra] >> (uint64(in.Imm) & 63)
+	case isa.SRAI:
+		m.R[in.Rd] = uint64(int64(m.R[in.Ra]) >> (uint64(in.Imm) & 63))
+
+	case isa.MOV:
+		m.R[in.Rd] = m.R[in.Ra]
+	case isa.NOT:
+		m.R[in.Rd] = ^m.R[in.Ra]
+	case isa.NEG:
+		m.R[in.Rd] = -m.R[in.Ra]
+	case isa.LI:
+		m.R[in.Rd] = uint64(in.Imm)
+
+	case isa.ADD32:
+		m.R[in.Rd] = (m.R[in.Ra] + m.R[in.Rb]) & 0xffffffff
+	case isa.ROTR32:
+		x := uint32(m.R[in.Ra])
+		s := uint(in.Imm) & 31
+		m.R[in.Rd] = uint64(x>>s | x<<(32-s))
+	case isa.NOT32:
+		m.R[in.Rd] = ^m.R[in.Ra] & 0xffffffff
+
+	case isa.FADD:
+		m.setF(in.Rd, m.f(in.Ra)+m.f(in.Rb))
+	case isa.FSUB:
+		m.setF(in.Rd, m.f(in.Ra)-m.f(in.Rb))
+	case isa.FMUL:
+		m.setF(in.Rd, m.f(in.Ra)*m.f(in.Rb))
+	case isa.FDIV:
+		m.setF(in.Rd, m.f(in.Ra)/m.f(in.Rb))
+	case isa.FMIN:
+		m.setF(in.Rd, math.Min(m.f(in.Ra), m.f(in.Rb)))
+	case isa.FMAX:
+		m.setF(in.Rd, math.Max(m.f(in.Ra), m.f(in.Rb)))
+
+	case isa.FSQRT:
+		m.setF(in.Rd, math.Sqrt(m.f(in.Ra)))
+	case isa.FNEG:
+		m.setF(in.Rd, -m.f(in.Ra))
+	case isa.FABS:
+		m.setF(in.Rd, math.Abs(m.f(in.Ra)))
+	case isa.FEXP:
+		m.setF(in.Rd, math.Exp(m.f(in.Ra)))
+	case isa.FLN:
+		m.setF(in.Rd, math.Log(m.f(in.Ra)))
+	case isa.FMOV:
+		m.F[in.Rd] = m.F[in.Ra]
+
+	case isa.FLI:
+		m.F[in.Rd] = uint64(in.Imm)
+
+	case isa.ITOF:
+		m.setF(in.Rd, float64(int64(m.R[in.Ra])))
+	case isa.FTOI:
+		m.R[in.Rd] = ftoi(m.f(in.Ra))
+	case isa.FBITS:
+		m.R[in.Rd] = m.F[in.Ra]
+	case isa.BITSF:
+		m.F[in.Rd] = m.R[in.Ra]
+
+	case isa.LD:
+		addr := m.R[in.Ra] + uint64(in.Imm)
+		if addr >= uint64(len(m.Mem)) {
+			return m.crash(CrashMemOOB)
+		}
+		m.R[in.Rd] = m.Mem[addr]
+	case isa.ST:
+		addr := m.R[in.Rb] + uint64(in.Imm)
+		if addr >= uint64(len(m.Mem)) {
+			return m.crash(CrashMemOOB)
+		}
+		m.Mem[addr] = m.R[in.Ra]
+	case isa.FLD:
+		addr := m.R[in.Ra] + uint64(in.Imm)
+		if addr >= uint64(len(m.Mem)) {
+			return m.crash(CrashMemOOB)
+		}
+		m.F[in.Rd] = m.Mem[addr]
+	case isa.FST:
+		addr := m.R[in.Rb] + uint64(in.Imm)
+		if addr >= uint64(len(m.Mem)) {
+			return m.crash(CrashMemOOB)
+		}
+		m.Mem[addr] = m.F[in.Ra]
+
+	case isa.JMP:
+		next = int(in.Imm)
+	case isa.BEQ:
+		if int64(m.R[in.Ra]) == int64(m.R[in.Rb]) {
+			next = int(in.Imm)
+		}
+	case isa.BNE:
+		if int64(m.R[in.Ra]) != int64(m.R[in.Rb]) {
+			next = int(in.Imm)
+		}
+	case isa.BLT:
+		if int64(m.R[in.Ra]) < int64(m.R[in.Rb]) {
+			next = int(in.Imm)
+		}
+	case isa.BLE:
+		if int64(m.R[in.Ra]) <= int64(m.R[in.Rb]) {
+			next = int(in.Imm)
+		}
+	case isa.BGT:
+		if int64(m.R[in.Ra]) > int64(m.R[in.Rb]) {
+			next = int(in.Imm)
+		}
+	case isa.BGE:
+		if int64(m.R[in.Ra]) >= int64(m.R[in.Rb]) {
+			next = int(in.Imm)
+		}
+	case isa.FBEQ:
+		if m.f(in.Ra) == m.f(in.Rb) {
+			next = int(in.Imm)
+		}
+	case isa.FBNE:
+		if m.f(in.Ra) != m.f(in.Rb) {
+			next = int(in.Imm)
+		}
+	case isa.FBLT:
+		if m.f(in.Ra) < m.f(in.Rb) {
+			next = int(in.Imm)
+		}
+	case isa.FBLE:
+		if m.f(in.Ra) <= m.f(in.Rb) {
+			next = int(in.Imm)
+		}
+
+	case isa.CALL:
+		if len(m.Stack) >= maxCallDepth {
+			return m.crash(CrashStackOverflow)
+		}
+		m.Stack = append(m.Stack, next)
+		next = int(in.Imm)
+	case isa.RET:
+		if len(m.Stack) == 0 {
+			return m.crash(CrashStackUnderflow)
+		}
+		next = m.Stack[len(m.Stack)-1]
+		m.Stack = m.Stack[:len(m.Stack)-1]
+
+	case isa.SECBEG:
+		ev = Event{Kind: EvSecBeg, Sec: int(in.Imm)}
+	case isa.SECEND:
+		ev = Event{Kind: EvSecEnd, Sec: int(in.Imm)}
+	case isa.ROIBEG:
+		ev = Event{Kind: EvROIBeg}
+	case isa.ROIEND:
+		ev = Event{Kind: EvROIEnd}
+
+	default:
+		return m.crash(CrashBadInstr)
+	}
+
+	m.PC = next
+	return ev
+}
+
+// Run executes until the machine leaves the Running state and returns the
+// terminal event.
+func (m *Machine) Run() Event {
+	for {
+		ev := m.Step()
+		switch ev.Kind {
+		case EvHalt, EvCrash, EvTimeout:
+			return ev
+		}
+	}
+}
+
+// RunUntilDyn executes until the dynamic instruction counter reaches n, so
+// the next Step would execute dynamic instruction index n. It returns early
+// with the terminal event if execution ends first, otherwise an EvNone.
+func (m *Machine) RunUntilDyn(n uint64) Event {
+	for m.Dyn < n {
+		ev := m.Step()
+		switch ev.Kind {
+		case EvHalt, EvCrash, EvTimeout:
+			return ev
+		}
+	}
+	return Event{}
+}
+
+func (m *Machine) f(r uint8) float64       { return math.Float64frombits(m.F[r]) }
+func (m *Machine) setF(r uint8, v float64) { m.F[r] = math.Float64bits(v) }
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ftoi converts like x86 CVTTSD2SI: truncate toward zero; NaN and values
+// outside the int64 range produce the "integer indefinite" value minInt64.
+func ftoi(v float64) uint64 {
+	if math.IsNaN(v) || v >= math.MaxInt64 || v < math.MinInt64 {
+		return 1 << 63
+	}
+	return uint64(int64(v))
+}

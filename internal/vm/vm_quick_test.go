@@ -1,0 +1,119 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fastflip/internal/isa"
+)
+
+// exec1 runs a single instruction on fresh state and returns the machine.
+func exec1(in isa.Instr, setup func(*Machine)) *Machine {
+	m := New([]isa.Instr{in, {Op: isa.HALT}}, 0, 8)
+	if setup != nil {
+		setup(m)
+	}
+	m.Run()
+	return m
+}
+
+// Property: ADD32 results always fit in 32 bits and equal mod-2^32 sums.
+func TestADD32InvariantQuick(t *testing.T) {
+	f := func(a, b uint64) bool {
+		m := exec1(isa.Instr{Op: isa.ADD32, Rd: 3, Ra: 1, Rb: 2}, func(m *Machine) {
+			m.R[1], m.R[2] = a, b
+		})
+		got := m.R[3]
+		return got <= 0xffffffff && uint32(got) == uint32(a)+uint32(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ROTR32 by n then by 32-n restores a 32-bit value.
+func TestROTR32InverseQuick(t *testing.T) {
+	f := func(v uint32, nRaw uint8) bool {
+		n := int64(nRaw%31 + 1) // 1..31 so the inverse is also 1..31
+		m := New([]isa.Instr{
+			{Op: isa.ROTR32, Rd: 1, Ra: 1, Imm: n},
+			{Op: isa.ROTR32, Rd: 1, Ra: 1, Imm: 32 - n},
+			{Op: isa.HALT},
+		}, 0, 1)
+		m.R[1] = uint64(v)
+		m.Run()
+		return m.R[1] == uint64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MOV/NOT are involutive in the expected ways.
+func TestNotInvolutionQuick(t *testing.T) {
+	f := func(v uint64) bool {
+		m := New([]isa.Instr{
+			{Op: isa.NOT, Rd: 1, Ra: 1},
+			{Op: isa.NOT, Rd: 1, Ra: 1},
+			{Op: isa.HALT},
+		}, 0, 1)
+		m.R[1] = v
+		m.Run()
+		return m.R[1] == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a store followed by a load round-trips any word through any
+// in-bounds address.
+func TestMemRoundTripQuick(t *testing.T) {
+	f := func(v uint64, addrRaw uint8) bool {
+		addr := int64(addrRaw % 8)
+		m := New([]isa.Instr{
+			{Op: isa.ST, Ra: 1, Rb: 0, Imm: addr},
+			{Op: isa.LD, Rd: 2, Ra: 0, Imm: addr},
+			{Op: isa.HALT},
+		}, 0, 8)
+		m.R[1] = v
+		m.Run()
+		return m.R[2] == v && m.Mem[addr] == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clone + RestoreFrom is the identity on architectural state.
+func TestCloneRestoreIdentityQuick(t *testing.T) {
+	f := func(r1, f1, mem0 uint64, pc uint8) bool {
+		src := New(make([]isa.Instr, 16), int(pc%16), 4)
+		src.R[1], src.F[1], src.Mem[0] = r1, f1, mem0
+		src.Stack = append(src.Stack, int(pc))
+		dst := New(nil, 0, 4)
+		dst.RestoreFrom(src.Clone())
+		return dst.R[1] == r1 && dst.F[1] == f1 && dst.Mem[0] == mem0 &&
+			dst.PC == src.PC && len(dst.Stack) == 1 && dst.Stack[0] == int(pc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bitflip injection is always an involution on registers.
+func TestFlipInvolutionQuick(t *testing.T) {
+	f := func(v uint64, reg, bit uint8) bool {
+		m := New(nil, 0, 1)
+		r := int(reg % isa.NumRegs)
+		b := uint(bit % 64)
+		m.R[r] = v
+		m.FlipInt(r, b)
+		changed := m.R[r] != v
+		m.FlipInt(r, b)
+		return changed && m.R[r] == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
