@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -38,6 +39,7 @@ func main() {
 		list      = flag.Bool("list", false, "print the selected instructions for the first target")
 		spec      = flag.Bool("spec", false, "print the composed end-to-end SDC specification")
 		report    = flag.Bool("report", false, "print the per-instruction vulnerability report")
+		jsonOut   = flag.Bool("json", false, "emit the result as JSON (the shape ffserved returns) instead of text")
 	)
 	flag.Parse()
 	if *benchName == "" {
@@ -60,7 +62,9 @@ func main() {
 	if *storePath != "" {
 		if st, err := fastflip.LoadStore(*storePath); err == nil {
 			a.Store = st
-			fmt.Printf("loaded store %s (%d sections)\n", *storePath, len(st.Sections))
+			if !*jsonOut {
+				fmt.Printf("loaded store %s (%d sections)\n", *storePath, len(st.Sections))
+			}
 		} else if !os.IsNotExist(err) {
 			// A missing store is the first-run case; anything else is real.
 			if !strings.Contains(err.Error(), "no such file") {
@@ -81,57 +85,72 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s/%s: %d error sites, %d dynamic instructions, %d section instances\n",
-		*benchName, *variant, r.SiteCount, r.Trace.TotalDyn, len(r.Trace.Instances))
-	exec, total := r.Trace.Coverage()
-	fmt.Printf("static coverage: %d/%d instructions of interest executed\n", exec, total)
-	fmt.Printf("FastFlip: %d experiments, %.1f Mi simulated instructions, %v wall (%d sections reused)\n",
-		r.FFInject.Experiments, float64(r.FFCost())/1e6, r.FFWall.Round(1e6), r.ReusedInstances)
-	st := r.FFOutcomeStats(*eps)
-	fmt.Printf("outcomes (FastFlip labels): masked %.1f%%, detected %.1f%%, SDC-good %.1f%%, SDC-bad %.1f%%, untested %.1f%%\n",
-		pct(st.Masked, st.Total()), pct(st.Detected, st.Total()),
-		pct(st.SDCGood, st.Total()), pct(st.SDCBad, st.Total()), pct(st.Untested, st.Total()))
 
-	if *spec {
-		for λ, out := range p.FinalOutputs {
-			fmt.Printf("d(%s) <= %s\n", out.Name, r.FormatSpec(λ))
-		}
-	}
-
+	var evals []fastflip.TargetEval
 	if *baseline {
 		a.RunBaseline(r)
-		fmt.Printf("baseline: %d experiments, %.1f Mi simulated instructions, %v wall (%.1fx)\n",
-			r.BaseInject.Experiments, float64(r.BaseCost())/1e6, r.BaseWall.Round(1e6),
-			float64(r.BaseCost())/float64(r.FFCost()))
-		evals, err := a.Evaluate(r, *eps, *modified)
-		if err != nil {
+		if evals, err = a.Evaluate(r, *eps, *modified); err != nil {
 			log.Fatal(err)
-		}
-		for _, ev := range evals {
-			fmt.Printf("target %.3f (adjusted %.4f): achieved %.4f, cost %.3f vs baseline %.3f (diff %+.4f)\n",
-				ev.Target, ev.Adjusted, ev.Achieved, ev.FFCostFrac, ev.BaseCostFrac, ev.CostDiff)
-		}
-		if *list && len(evals) > 0 {
-			sel := evals[0].FF
-			ids := append([]fastflip.StaticID(nil), sel.IDs...)
-			sort.Slice(ids, func(i, j int) bool {
-				if ids[i].Func != ids[j].Func {
-					return ids[i].Func < ids[j].Func
-				}
-				return ids[i].Local < ids[j].Local
-			})
-			fmt.Printf("\nselected instructions for target %.3f (%d instructions, cost %d):\n",
-				evals[0].Target, len(ids), sel.Cost)
-			for _, id := range ids {
-				fmt.Printf("  %s\n", id)
-			}
 		}
 	}
 
-	if *report {
-		fmt.Println()
-		if err := r.WriteReport(os.Stdout, *eps); err != nil {
+	if *jsonOut {
+		s := r.Summarize(*eps, evals)
+		s.Bench = *benchName
+		s.Variant = *variant
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s); err != nil {
 			log.Fatal(err)
+		}
+	} else {
+		fmt.Printf("%s/%s: %d error sites, %d dynamic instructions, %d section instances\n",
+			*benchName, *variant, r.SiteCount, r.Trace.TotalDyn, len(r.Trace.Instances))
+		exec, total := r.Trace.Coverage()
+		fmt.Printf("static coverage: %d/%d instructions of interest executed\n", exec, total)
+		fmt.Printf("FastFlip: %d experiments, %.1f Mi simulated instructions, %v wall (%d sections reused)\n",
+			r.FFInject.Experiments, float64(r.FFCost())/1e6, r.FFWall.Round(1e6), r.ReusedInstances)
+		st := r.FFOutcomeStats(*eps)
+		fmt.Printf("outcomes (FastFlip labels): masked %.1f%%, detected %.1f%%, SDC-good %.1f%%, SDC-bad %.1f%%, untested %.1f%%\n",
+			pct(st.Masked, st.Total()), pct(st.Detected, st.Total()),
+			pct(st.SDCGood, st.Total()), pct(st.SDCBad, st.Total()), pct(st.Untested, st.Total()))
+
+		if *spec {
+			for λ, out := range p.FinalOutputs {
+				fmt.Printf("d(%s) <= %s\n", out.Name, r.FormatSpec(λ))
+			}
+		}
+
+		if *baseline {
+			fmt.Printf("baseline: %d experiments, %.1f Mi simulated instructions, %v wall (%.1fx)\n",
+				r.BaseInject.Experiments, float64(r.BaseCost())/1e6, r.BaseWall.Round(1e6),
+				float64(r.BaseCost())/float64(r.FFCost()))
+			for _, ev := range evals {
+				fmt.Printf("target %.3f (adjusted %.4f): achieved %.4f, cost %.3f vs baseline %.3f (diff %+.4f)\n",
+					ev.Target, ev.Adjusted, ev.Achieved, ev.FFCostFrac, ev.BaseCostFrac, ev.CostDiff)
+			}
+			if *list && len(evals) > 0 {
+				sel := evals[0].FF
+				ids := append([]fastflip.StaticID(nil), sel.IDs...)
+				sort.Slice(ids, func(i, j int) bool {
+					if ids[i].Func != ids[j].Func {
+						return ids[i].Func < ids[j].Func
+					}
+					return ids[i].Local < ids[j].Local
+				})
+				fmt.Printf("\nselected instructions for target %.3f (%d instructions, cost %d):\n",
+					evals[0].Target, len(ids), sel.Cost)
+				for _, id := range ids {
+					fmt.Printf("  %s\n", id)
+				}
+			}
+		}
+
+		if *report {
+			fmt.Println()
+			if err := r.WriteReport(os.Stdout, *eps); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 
@@ -139,7 +158,9 @@ func main() {
 		if err := a.Store.Save(*storePath); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("saved store %s (%d sections)\n", *storePath, len(a.Store.Sections))
+		if !*jsonOut {
+			fmt.Printf("saved store %s (%d sections)\n", *storePath, len(a.Store.Sections))
+		}
 	}
 }
 

@@ -1,0 +1,83 @@
+// Command ffserved runs the FastFlip analysis service: a resident daemon
+// that accepts analysis jobs over HTTP, runs them on a bounded worker
+// pool, and keeps section stores in memory so repeated submissions reuse
+// per-section results across requests (§4.7 across processes).
+//
+// Usage:
+//
+//	ffserved                      # listen on :8080
+//	ffserved -addr :9000 -jobs 2  # two concurrent analysis jobs
+//
+// Submit and poll with curl:
+//
+//	curl -X POST localhost:8080/v1/jobs -d '{"bench":"fft","variant":"small"}'
+//	curl localhost:8080/v1/jobs/job-1
+//	curl -X DELETE localhost:8080/v1/jobs/job-1
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, drains running jobs
+// for up to -drain, then hard-cancels whatever is left and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fastflip/internal/server"
+	"fastflip/internal/service"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("ffserved: ")
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		jobs    = flag.Int("jobs", 1, "concurrent analysis jobs")
+		queue   = flag.Int("queue", 64, "maximum queued jobs")
+		retain  = flag.Int("retain", 64, "finished jobs retained for retrieval")
+		workers = flag.Int("workers", 0, "default injection worker goroutines per job (0 = GOMAXPROCS)")
+		drain   = flag.Duration("drain", 30*time.Second, "how long to let running jobs finish on shutdown")
+	)
+	flag.Parse()
+
+	mgr := service.New(service.Options{
+		Workers:       *jobs,
+		QueueDepth:    *queue,
+		MaxRetained:   *retain,
+		InjectWorkers: *workers,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(mgr, log.Default()),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("listening on %s (%d job workers, queue %d)", *addr, *jobs, *queue)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down, draining jobs for up to %v", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := mgr.Close(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("drain timed out, running jobs cancelled: %v", err)
+	}
+	log.Printf("bye")
+}

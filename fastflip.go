@@ -100,6 +100,12 @@ type (
 	Selection = knap.Selection
 	// Outcome classifies one injection experiment.
 	Outcome = metrics.Outcome
+	// Summary is the machine-readable digest of one analysis (the shape
+	// fastflip -json and the ffserved API emit).
+	Summary = core.Summary
+	// Progress is a live snapshot of a running Analyze campaign,
+	// reported through Analyzer.Progress.
+	Progress = core.Progress
 	// SensConfig controls the local sensitivity analysis.
 	SensConfig = sens.Config
 	// PropagationSpec is the composed end-to-end SDC specification.

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -133,11 +134,29 @@ func (r *Result) FFCost() uint64 { return r.FFInject.SimInstrs + r.FFSens.SimIns
 // BaseCost returns the monolithic baseline's analysis cost.
 func (r *Result) BaseCost() uint64 { return r.BaseInject.SimInstrs }
 
+// Progress is a live snapshot of an Analyze campaign, reported through
+// Analyzer.Progress after each section instance completes. Instances is
+// the total number of section instances in the trace; Done = Reused +
+// Injected counts the instances resolved so far.
+type Progress struct {
+	Instances   int    `json:"instances"`
+	Done        int    `json:"done"`
+	Reused      int    `json:"reused"`
+	Injected    int    `json:"injected"`
+	Experiments int    `json:"experiments"`
+	SimInstrs   uint64 `json:"sim_instrs"`
+}
+
 // Analyzer runs FastFlip over successive versions of a program, reusing
 // per-section results through its Store.
 type Analyzer struct {
 	Cfg   Config
 	Store *store.Store
+	// Progress, when non-nil, is called from the analyzing goroutine once
+	// before the first section instance and once after each instance
+	// completes (reused or injected). It must be fast and must not call
+	// back into the Analyzer.
+	Progress func(Progress)
 }
 
 // NewAnalyzer returns an analyzer with a fresh store.
@@ -148,6 +167,14 @@ func NewAnalyzer(cfg Config) *Analyzer {
 // Analyze runs the FastFlip per-section analysis of p: trace, per-section
 // injection (with reuse), sensitivity, and symbolic composition.
 func (a *Analyzer) Analyze(p *spec.Program) (*Result, error) {
+	return a.AnalyzeContext(context.Background(), p)
+}
+
+// AnalyzeContext is Analyze with cancellation: when ctx is cancelled the
+// in-flight injection campaign stops between experiments and the call
+// returns ctx.Err(). Sections fully analyzed before the cancellation have
+// already been stored, so a later retry reuses them.
+func (a *Analyzer) AnalyzeContext(ctx context.Context, p *spec.Program) (*Result, error) {
 	started := time.Now()
 	t, err := trace.Record(p)
 	if err != nil {
@@ -163,8 +190,25 @@ func (a *Analyzer) Analyze(p *spec.Program) (*Result, error) {
 	}
 	inj := &inject.Injector{T: t, Workers: a.Cfg.Workers}
 
+	report := func() {
+		if a.Progress != nil {
+			a.Progress(Progress{
+				Instances:   len(t.Instances),
+				Done:        r.ReusedInstances + r.InjectedInstances,
+				Reused:      r.ReusedInstances,
+				Injected:    r.InjectedInstances,
+				Experiments: r.FFInject.Experiments,
+				SimInstrs:   r.FFCost(),
+			})
+		}
+	}
+	report()
+
 	r.Amps = make([]*sens.Amplification, len(t.Instances))
 	for idx, inst := range t.Instances {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		classes := sites.ForInstance(t, inst, siteOpts)
 		key := store.KeyFor(t, inst)
 		if st := a.storeLookup(key, classes); st != nil {
@@ -178,17 +222,23 @@ func (a *Analyzer) Analyze(p *spec.Program) (*Result, error) {
 			}
 			r.Amps[idx] = &sens.Amplification{K: st.Amp}
 			r.ReusedInstances++
+			report()
 			continue
 		}
 
 		var outcomes, fins []metrics.Outcome
 		var stats inject.Stats
 		if a.Cfg.CoRunBaseline {
-			outcomes, fins, stats = inj.RunSectionCoRun(inst, classes)
+			outcomes, fins, stats = inj.RunSectionCoRun(ctx, inst, classes)
 		} else {
-			outcomes, stats = inj.RunSection(inst, classes)
+			outcomes, stats = inj.RunSection(ctx, inst, classes)
 		}
 		r.FFInject.Add(stats)
+		if err := ctx.Err(); err != nil {
+			// The campaign was cut short: the outcome slices are partial
+			// and must not be recorded or stored.
+			return nil, err
+		}
 		amp, sstats := sens.Analyze(t, inst, a.Cfg.Sens)
 		r.FFSens.Runs += sstats.Runs
 		r.FFSens.SimInstrs += sstats.SimInstrs
@@ -215,6 +265,7 @@ func (a *Analyzer) Analyze(p *spec.Program) (*Result, error) {
 		if a.Store != nil {
 			a.Store.Put(key, stored)
 		}
+		report()
 	}
 
 	// Untested sites: conservatively SDC-Bad, no injection cost.
@@ -260,16 +311,29 @@ func (a *Analyzer) storeLookup(key store.Key, classes []*sites.Class) *store.Sec
 // RunBaseline runs the monolithic Approxilyzer-only analysis on the same
 // trace: inject every (pruned) site and compare final outputs.
 func (a *Analyzer) RunBaseline(r *Result) {
+	// The background context never cancels, so the campaign always
+	// completes and the error can be ignored.
+	_ = a.RunBaselineContext(context.Background(), r)
+}
+
+// RunBaselineContext is RunBaseline with cancellation: when ctx is
+// cancelled the campaign stops between experiments, r is left without
+// baseline results, and ctx.Err() is returned.
+func (a *Analyzer) RunBaselineContext(ctx context.Context, r *Result) error {
 	started := time.Now()
 	inj := &inject.Injector{T: r.Trace, Workers: a.Cfg.Workers}
 	classes := sites.Global(r.Trace, sites.Options{Prune: a.Cfg.Prune, Width: a.Cfg.BurstWidth})
-	outcomes, stats := inj.RunMonolithic(classes)
+	outcomes, stats := inj.RunMonolithic(ctx, classes)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	r.BaseInject = stats
 	r.baseClasses = r.baseClasses[:0]
 	for i, c := range classes {
 		r.baseClasses = append(r.baseClasses, classRecord{class: c, out: outcomes[i], inst: -1})
 	}
 	r.BaseWall = time.Since(started)
+	return nil
 }
 
 // NoteModification tells the analyzer that the next Analyze call is for a

@@ -7,11 +7,11 @@ import "fastflip/internal/metrics"
 // SDC-Good / SDC-Bad, §2.1). Counts are in sites, with each equivalence
 // class's pilot outcome ascribed to all of its members.
 type OutcomeStats struct {
-	Masked   int
-	Detected int
-	SDCGood  int // silent corruption within the ε tolerance
-	SDCBad   int // silent corruption beyond ε
-	Untested int // sites outside every section, assumed SDC-Bad (FastFlip only)
+	Masked   int `json:"masked"`
+	Detected int `json:"detected"`
+	SDCGood  int `json:"sdc_good"` // silent corruption within the ε tolerance
+	SDCBad   int `json:"sdc_bad"`  // silent corruption beyond ε
+	Untested int `json:"untested"` // sites outside every section, assumed SDC-Bad (FastFlip only)
 }
 
 // Total returns the number of classified sites.

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"fastflip/internal/prog"
+)
+
+// Summary is the machine-readable digest of one analysis — the shape
+// returned by the ffserved JSON API and by `fastflip -json`, so CLI and
+// service outputs are interchangeable. All cost figures are in simulated
+// instructions; magnitudes beyond ε classify as SDC-Bad.
+type Summary struct {
+	Bench   string  `json:"bench,omitempty"`
+	Variant string  `json:"variant,omitempty"`
+	Program string  `json:"program"`
+	Epsilon float64 `json:"epsilon"`
+
+	SiteCount int    `json:"site_count"`
+	DynInstrs uint64 `json:"dyn_instrs"`
+	Instances int    `json:"instances"`
+	Reused    int    `json:"reused_instances"`
+	Injected  int    `json:"injected_instances"`
+
+	StaticExecuted int `json:"static_executed"`
+	StaticTotal    int `json:"static_total"`
+
+	FFExperiments int           `json:"ff_experiments"`
+	FFSimInstrs   uint64        `json:"ff_sim_instrs"`
+	FFWall        time.Duration `json:"ff_wall_ns"`
+
+	Outcomes OutcomeStats `json:"outcomes"`
+
+	Baseline *BaselineSummary `json:"baseline,omitempty"`
+	Targets  []TargetSummary  `json:"targets,omitempty"`
+}
+
+// BaselineSummary digests the monolithic baseline campaign.
+type BaselineSummary struct {
+	Experiments int           `json:"experiments"`
+	SimInstrs   uint64        `json:"sim_instrs"`
+	Wall        time.Duration `json:"wall_ns"`
+	// Speedup is baseline cost over FastFlip cost (the paper's headline
+	// ratio).
+	Speedup float64 `json:"speedup"`
+}
+
+// TargetSummary digests one TargetEval for serialization, with the
+// selected instructions rendered as stable strings.
+type TargetSummary struct {
+	Target       float64  `json:"target"`
+	Adjusted     float64  `json:"adjusted"`
+	Achieved     float64  `json:"achieved"`
+	FFCostFrac   float64  `json:"ff_cost_frac"`
+	BaseCostFrac float64  `json:"base_cost_frac"`
+	CostDiff     float64  `json:"cost_diff"`
+	ErrRange     float64  `json:"err_range"`
+	WithinRange  bool     `json:"within_range"`
+	Selected     []string `json:"selected"`
+	SelectedCost int      `json:"selected_cost"`
+}
+
+// Summarize renders r (and, when non-nil, its target evaluations) as a
+// Summary. evals may be nil when no baseline comparison ran.
+func (r *Result) Summarize(eps float64, evals []TargetEval) *Summary {
+	exec, total := r.Trace.Coverage()
+	s := &Summary{
+		Program:        r.Prog.Name,
+		Epsilon:        eps,
+		SiteCount:      r.SiteCount,
+		DynInstrs:      r.Trace.TotalDyn,
+		Instances:      len(r.Trace.Instances),
+		Reused:         r.ReusedInstances,
+		Injected:       r.InjectedInstances,
+		StaticExecuted: exec,
+		StaticTotal:    total,
+		FFExperiments:  r.FFInject.Experiments,
+		FFSimInstrs:    r.FFCost(),
+		FFWall:         r.FFWall,
+		Outcomes:       r.FFOutcomeStats(eps),
+	}
+	if len(r.baseClasses) > 0 {
+		b := &BaselineSummary{
+			Experiments: r.BaseInject.Experiments,
+			SimInstrs:   r.BaseCost(),
+			Wall:        r.BaseWall,
+		}
+		if ff := r.FFCost(); ff > 0 {
+			b.Speedup = float64(r.BaseCost()) / float64(ff)
+		}
+		s.Baseline = b
+	}
+	for _, ev := range evals {
+		ts := TargetSummary{
+			Target:       ev.Target,
+			Adjusted:     ev.Adjusted,
+			Achieved:     ev.Achieved,
+			FFCostFrac:   ev.FFCostFrac,
+			BaseCostFrac: ev.BaseCostFrac,
+			CostDiff:     ev.CostDiff,
+			ErrRange:     ev.ErrRange,
+			WithinRange:  ev.WithinRange,
+			SelectedCost: ev.FF.Cost,
+			Selected:     staticIDStrings(ev.FF.IDs),
+		}
+		s.Targets = append(s.Targets, ts)
+	}
+	return s
+}
+
+func staticIDStrings(ids []prog.StaticID) []string {
+	sorted := append([]prog.StaticID(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Func != sorted[j].Func {
+			return sorted[i].Func < sorted[j].Func
+		}
+		return sorted[i].Local < sorted[j].Local
+	})
+	out := make([]string, len(sorted))
+	for i, id := range sorted {
+		out[i] = id.String()
+	}
+	return out
+}

@@ -13,6 +13,7 @@
 package inject
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -206,10 +207,12 @@ func (inj *Injector) SectionCoRun(m *vm.Machine, inst *trace.Instance, site site
 
 // RunSectionCoRun injects every class pilot within inst with the co-run
 // experiment shape, returning parallel slices of section-level and
-// end-to-end outcomes.
-func (inj *Injector) RunSectionCoRun(inst *trace.Instance, classes []*sites.Class) (secs, fins []metrics.Outcome, stats Stats) {
+// end-to-end outcomes. Cancelling ctx stops the campaign between
+// experiments; the returned outcomes are then partial and must be
+// discarded (check ctx.Err after the call).
+func (inj *Injector) RunSectionCoRun(ctx context.Context, inst *trace.Instance, classes []*sites.Class) (secs, fins []metrics.Outcome, stats Stats) {
 	fins = make([]metrics.Outcome, len(classes))
-	secs, stats = inj.runAll(classes, func(m *vm.Machine, i int, s sites.Site) (metrics.Outcome, uint64) {
+	secs, stats = inj.runAll(ctx, classes, func(m *vm.Machine, i int, s sites.Site) (metrics.Outcome, uint64) {
 		sec, fin, cost := inj.SectionCoRun(m, inst, s)
 		fins[i] = fin
 		return sec, cost
@@ -248,24 +251,31 @@ func liveSideEffect(inst *trace.Instance, m *vm.Machine) bool {
 }
 
 // RunMonolithic injects the pilot of every class and returns per-class
-// outcomes (indexed like classes) plus cost statistics.
-func (inj *Injector) RunMonolithic(classes []*sites.Class) ([]metrics.Outcome, Stats) {
-	return inj.runAll(classes, func(m *vm.Machine, _ int, s sites.Site) (metrics.Outcome, uint64) {
+// outcomes (indexed like classes) plus cost statistics. Cancelling ctx
+// stops the campaign between experiments; the returned outcomes are then
+// partial and must be discarded (check ctx.Err after the call).
+func (inj *Injector) RunMonolithic(ctx context.Context, classes []*sites.Class) ([]metrics.Outcome, Stats) {
+	return inj.runAll(ctx, classes, func(m *vm.Machine, _ int, s sites.Site) (metrics.Outcome, uint64) {
 		return inj.Monolithic(m, s)
 	})
 }
 
 // RunSection injects the pilot of every class within inst and returns
-// per-class outcomes plus cost statistics.
-func (inj *Injector) RunSection(inst *trace.Instance, classes []*sites.Class) ([]metrics.Outcome, Stats) {
-	return inj.runAll(classes, func(m *vm.Machine, _ int, s sites.Site) (metrics.Outcome, uint64) {
+// per-class outcomes plus cost statistics. Cancellation behaves as in
+// RunMonolithic.
+func (inj *Injector) RunSection(ctx context.Context, inst *trace.Instance, classes []*sites.Class) ([]metrics.Outcome, Stats) {
+	return inj.runAll(ctx, classes, func(m *vm.Machine, _ int, s sites.Site) (metrics.Outcome, uint64) {
 		return inj.Section(m, inst, s)
 	})
 }
 
-func (inj *Injector) runAll(classes []*sites.Class, exp func(*vm.Machine, int, sites.Site) (metrics.Outcome, uint64)) ([]metrics.Outcome, Stats) {
+// runAll distributes one experiment per class over the worker pool. Each
+// worker checks ctx between experiments, so a cancelled campaign stops
+// within one in-flight experiment per worker. Stats count only the
+// experiments actually run.
+func (inj *Injector) runAll(ctx context.Context, classes []*sites.Class, exp func(*vm.Machine, int, sites.Site) (metrics.Outcome, uint64)) ([]metrics.Outcome, Stats) {
 	outcomes := make([]metrics.Outcome, len(classes))
-	var next, simInstrs atomic.Uint64
+	var next, simInstrs, ran atomic.Uint64
 	var wg sync.WaitGroup
 	nw := inj.workers()
 	if nw > len(classes) {
@@ -277,6 +287,9 @@ func (inj *Injector) runAll(classes []*sites.Class, exp func(*vm.Machine, int, s
 			defer wg.Done()
 			m := inj.T.Start.Clone()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := next.Add(1) - 1
 				if i >= uint64(len(classes)) {
 					return
@@ -291,9 +304,10 @@ func (inj *Injector) runAll(classes []*sites.Class, exp func(*vm.Machine, int, s
 				out, cost := exp(m, int(i), site)
 				outcomes[i] = out
 				simInstrs.Add(cost)
+				ran.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
-	return outcomes, Stats{Experiments: len(classes), SimInstrs: simInstrs.Load()}
+	return outcomes, Stats{Experiments: int(ran.Load()), SimInstrs: simInstrs.Load()}
 }

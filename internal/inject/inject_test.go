@@ -1,6 +1,7 @@
 package inject
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -205,8 +206,8 @@ func TestRunMonolithicParallelMatchesSerial(t *testing.T) {
 	classes := sites.Global(tr, sites.Options{Prune: true})
 	serial := &Injector{T: tr, Workers: 1}
 	parallel := &Injector{T: tr, Workers: 4}
-	outS, statsS := serial.RunMonolithic(classes)
-	outP, statsP := parallel.RunMonolithic(classes)
+	outS, statsS := serial.RunMonolithic(context.Background(), classes)
+	outP, statsP := parallel.RunMonolithic(context.Background(), classes)
 	if statsS.Experiments != len(classes) || statsP.Experiments != len(classes) {
 		t.Fatalf("experiment counts: %d, %d, want %d", statsS.Experiments, statsP.Experiments, len(classes))
 	}
@@ -224,10 +225,25 @@ func TestRunSectionCoversAllClasses(t *testing.T) {
 	tr, inj := recorded(t)
 	for _, inst := range tr.Instances {
 		classes := sites.ForInstance(tr, inst, sites.Options{Prune: true})
-		outs, stats := inj.RunSection(inst, classes)
+		outs, stats := inj.RunSection(context.Background(), inst, classes)
 		if len(outs) != len(classes) || stats.Experiments != len(classes) {
 			t.Fatalf("instance %d: %d outcomes for %d classes", inst.Sec, len(outs), len(classes))
 		}
+	}
+}
+
+func TestRunMonolithicCancelled(t *testing.T) {
+	tr, inj := recorded(t)
+	classes := sites.Global(tr, sites.Options{Prune: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the campaign must run zero experiments
+	outs, stats := inj.RunMonolithic(ctx, classes)
+	if len(outs) != len(classes) {
+		t.Fatalf("outcome slice length %d, want %d", len(outs), len(classes))
+	}
+	if stats.Experiments != 0 || stats.SimInstrs != 0 {
+		t.Errorf("cancelled campaign ran %d experiments (%d instrs), want none",
+			stats.Experiments, stats.SimInstrs)
 	}
 }
 

@@ -1,0 +1,141 @@
+// Package server exposes a service.Manager over a stdlib-only JSON HTTP
+// API — the front door of the ffserved daemon:
+//
+//	POST   /v1/jobs        submit an analysis        → 202 + job
+//	GET    /v1/jobs        list retained jobs        → 200 + [job]
+//	GET    /v1/jobs/{id}   poll one job              → 200 + job
+//	DELETE /v1/jobs/{id}   cancel a job              → 200 + job
+//	GET    /v1/benchmarks  available benchmarks      → 200 + [benchmark]
+//	GET    /healthz        liveness                  → 200
+//	GET    /metrics        expvar-style counters     → 200 + metrics
+//
+// Errors are returned as {"error": "..."} with 400 (bad request), 404
+// (unknown job), 409 (cancelling a finished job), or 503 (queue full or
+// shutting down).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"log"
+	"net/http"
+
+	"fastflip/internal/service"
+)
+
+// maxBodyBytes bounds a submission body; requests are tiny.
+const maxBodyBytes = 1 << 20
+
+// Server routes HTTP requests to a Manager.
+type Server struct {
+	mgr *service.Manager
+	mux *http.ServeMux
+	log *log.Logger
+}
+
+// New returns a handler serving the v1 API for mgr. logger may be nil to
+// disable request-failure logging.
+func New(mgr *service.Manager, logger *log.Logger) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux(), log: logger}
+	s.mux.HandleFunc("POST /v1/jobs", s.submit)
+	s.mux.HandleFunc("GET /v1/jobs", s.list)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.get)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	s.mux.HandleFunc("GET /v1/benchmarks", s.benchmarks)
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var req service.Request
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if dec.More() {
+		s.fail(w, http.StatusBadRequest, errors.New("trailing data after request object"))
+		return
+	}
+	job, err := s.mgr.Submit(req)
+	if err != nil {
+		s.fail(w, submitStatus(err), err)
+		return
+	}
+	s.reply(w, http.StatusAccepted, job)
+}
+
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, service.ErrQueueFull), errors.Is(err, service.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		// Build errors: unknown benchmark or variant.
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) list(w http.ResponseWriter, _ *http.Request) {
+	s.reply(w, http.StatusOK, s.mgr.List())
+}
+
+func (s *Server) get(w http.ResponseWriter, r *http.Request) {
+	job, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err)
+		return
+	}
+	s.reply(w, http.StatusOK, job)
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.mgr.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, service.ErrNotFound):
+		s.fail(w, http.StatusNotFound, err)
+	case errors.Is(err, service.ErrFinished):
+		s.fail(w, http.StatusConflict, err)
+	case err != nil:
+		s.fail(w, http.StatusInternalServerError, err)
+	default:
+		s.reply(w, http.StatusOK, job)
+	}
+}
+
+func (s *Server) benchmarks(w http.ResponseWriter, _ *http.Request) {
+	s.reply(w, http.StatusOK, s.mgr.Benchmarks())
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	s.reply(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	s.reply(w, http.StatusOK, s.mgr.Metrics())
+}
+
+func (s *Server) reply(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil && s.log != nil && !errors.Is(err, io.ErrClosedPipe) {
+		s.log.Printf("server: encoding response: %v", err)
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	if s.log != nil && status >= 500 {
+		s.log.Printf("server: %v", err)
+	}
+	s.reply(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,568 @@
+// Package service runs FastFlip analyses as managed jobs behind a bounded
+// worker pool — the resident form of the cmd/fastflip workflow. A Manager
+// owns a submission queue, per-job lifecycle (queued → running →
+// done/failed/cancelled), live progress snapshots, retained results with
+// FIFO eviction, and an in-memory cache of section stores so repeated
+// submissions reuse per-section results across requests (§4.7 applied
+// across processes instead of within one).
+//
+// The store cache is keyed by benchmark name. The store itself is
+// content-addressed (a section's key hashes its executed code and input
+// values), so one store safely serves every variant of a benchmark: a
+// resubmission of the same version reuses everything, and a modified
+// version reuses its unchanged sections — the paper's cross-version reuse,
+// now surviving between requests.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fastflip/internal/bench"
+	"fastflip/internal/core"
+	"fastflip/internal/spec"
+	"fastflip/internal/store"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// The job lifecycle: Queued → Running → one of the terminal states.
+// A queued job can move directly to Cancelled.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Request describes one analysis submission.
+type Request struct {
+	// Bench and Variant select the program version, as in cmd/fastflip.
+	Bench   string `json:"bench"`
+	Variant string `json:"variant"`
+	// Targets are the protection value targets; empty means the paper's
+	// defaults (0.90, 0.95, 0.99).
+	Targets []float64 `json:"targets,omitempty"`
+	// Epsilon is the SDC-Bad threshold ε.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Baseline additionally runs the monolithic campaign and the utility
+	// comparison (slower; off by default).
+	Baseline bool `json:"baseline,omitempty"`
+	// Workers overrides the per-job injection parallelism (0 = the
+	// manager's default).
+	Workers int `json:"workers,omitempty"`
+	// Modified marks this as a modified version of the last analysis of
+	// the same benchmark (advances the §4.10 m_adj counter).
+	Modified bool `json:"modified,omitempty"`
+}
+
+// JobView is a point-in-time snapshot of a job, safe to serialize.
+type JobView struct {
+	ID         string        `json:"id"`
+	Bench      string        `json:"bench"`
+	Variant    string        `json:"variant"`
+	State      State         `json:"state"`
+	CreatedAt  time.Time     `json:"created_at"`
+	StartedAt  *time.Time    `json:"started_at,omitempty"`
+	FinishedAt *time.Time    `json:"finished_at,omitempty"`
+	Progress   core.Progress `json:"progress"`
+	Error      string        `json:"error,omitempty"`
+	Result     *core.Summary `json:"result,omitempty"`
+}
+
+// Metrics are the service's cumulative counters and gauges, served by
+// GET /metrics.
+type Metrics struct {
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsDone      uint64 `json:"jobs_done"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	JobsCancelled uint64 `json:"jobs_cancelled"`
+	JobsEvicted   uint64 `json:"jobs_evicted"`
+
+	JobsQueued  int `json:"jobs_queued"`  // gauge
+	JobsRunning int `json:"jobs_running"` // gauge
+	QueueDepth  int `json:"queue_depth"`  // gauge; same as jobs_queued
+
+	InjectionsRun uint64 `json:"injections_run"`
+	SimInstrs     uint64 `json:"sim_instrs"`
+
+	// StoreHits counts section instances resolved from the cache,
+	// StoreMisses those that had to be injected.
+	StoreHits     uint64 `json:"store_hits"`
+	StoreMisses   uint64 `json:"store_misses"`
+	StoreSections int    `json:"store_sections"`   // gauge
+	StoreBenches  int    `json:"store_benchmarks"` // gauge
+}
+
+// BenchmarkInfo describes one available benchmark, served by
+// GET /v1/benchmarks.
+type BenchmarkInfo struct {
+	Name            string   `json:"name"`
+	Variants        []string `json:"variants"`
+	PilotInaccuracy float64  `json:"pilot_inaccuracy,omitempty"`
+	CachedSections  int      `json:"cached_sections"`
+}
+
+// BuildFunc constructs the program for one benchmark version.
+type BuildFunc func(benchName, variant string) (*spec.Program, error)
+
+// Options configure a Manager. The zero value gets sensible defaults.
+type Options struct {
+	// Workers is the number of jobs analyzed concurrently (default 1 —
+	// one campaign already saturates GOMAXPROCS via injection workers).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting to run (default 64).
+	QueueDepth int
+	// MaxRetained bounds the finished jobs kept for retrieval; the oldest
+	// are evicted first (default 64).
+	MaxRetained int
+	// InjectWorkers is the default per-job injection parallelism
+	// (0 = GOMAXPROCS).
+	InjectWorkers int
+	// Build constructs programs (default bench.Build). Tests substitute
+	// small fixtures.
+	Build BuildFunc
+	// ListBenchmarks names the submittable benchmarks (default
+	// bench.Names).
+	ListBenchmarks func() []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.MaxRetained <= 0 {
+		o.MaxRetained = 64
+	}
+	if o.Build == nil {
+		o.Build = func(name, variant string) (*spec.Program, error) {
+			return bench.Build(name, bench.Variant(variant))
+		}
+	}
+	if o.ListBenchmarks == nil {
+		o.ListBenchmarks = bench.Names
+	}
+	return o
+}
+
+// Sentinel errors mapped by the HTTP layer onto status codes.
+var (
+	ErrNotFound  = errors.New("service: no such job")
+	ErrFinished  = errors.New("service: job already finished")
+	ErrQueueFull = errors.New("service: queue full")
+	ErrClosed    = errors.New("service: manager closed")
+)
+
+type job struct {
+	id       string
+	req      Request
+	prog     *spec.Program
+	state    State
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	progress core.Progress
+	err      string
+	result   *core.Summary
+	cancel   context.CancelFunc
+	done     chan struct{}
+}
+
+// Manager owns the job queue, the worker pool, and the store cache.
+type Manager struct {
+	opts  Options
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	nextID   int
+	jobs     map[string]*job
+	order    []string // submission order, for listing and FIFO eviction
+	stores   map[string]*store.Store
+	counters Metrics // cumulative fields only; gauges computed on demand
+}
+
+// New starts a Manager with opts.Workers job workers.
+func New(opts Options) *Manager {
+	m := &Manager{
+		opts:   opts.withDefaults(),
+		jobs:   make(map[string]*job),
+		stores: make(map[string]*store.Store),
+	}
+	m.queue = make(chan *job, m.opts.QueueDepth)
+	for i := 0; i < m.opts.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit validates req, builds its program, and enqueues a job, returning
+// its snapshot. Fails with ErrQueueFull when the queue is at capacity and
+// ErrClosed after Close.
+func (m *Manager) Submit(req Request) (JobView, error) {
+	if req.Variant == "" {
+		req.Variant = string(bench.None)
+	}
+	p, err := m.opts.Build(req.Bench, req.Variant)
+	if err != nil {
+		return JobView{}, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return JobView{}, ErrClosed
+	}
+	m.nextID++
+	j := &job{
+		id:      fmt.Sprintf("job-%d", m.nextID),
+		req:     req,
+		prog:    p,
+		state:   StateQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.nextID--
+		return JobView{}, ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.counters.JobsSubmitted++
+	return m.viewLocked(j), nil
+}
+
+// Get returns a snapshot of the job, or ErrNotFound.
+func (m *Manager) Get(id string) (JobView, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	return m.viewLocked(j), nil
+}
+
+// List returns snapshots of all retained jobs in submission order.
+func (m *Manager) List() []JobView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobView, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.viewLocked(m.jobs[id]))
+	}
+	return out
+}
+
+// Cancel stops a queued or running job. A queued job lands in
+// StateCancelled immediately; a running one is cancelled asynchronously —
+// its injection campaign observes the cancellation between experiments.
+// Cancelling a finished job returns ErrFinished.
+func (m *Manager) Cancel(id string) (JobView, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		m.finishLocked(j, StateCancelled)
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	default:
+		return m.viewLocked(j), ErrFinished
+	}
+	return m.viewLocked(j), nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done.
+func (m *Manager) Wait(ctx context.Context, id string) (JobView, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	select {
+	case <-j.done:
+		return m.Get(id)
+	case <-ctx.Done():
+		return JobView{}, ctx.Err()
+	}
+}
+
+// Metrics returns the current counters and gauges.
+func (m *Manager) Metrics() Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mt := m.counters
+	for _, j := range m.jobs {
+		switch j.state {
+		case StateQueued:
+			mt.JobsQueued++
+		case StateRunning:
+			mt.JobsRunning++
+		}
+	}
+	mt.QueueDepth = mt.JobsQueued
+	mt.StoreBenches = len(m.stores)
+	for _, st := range m.stores {
+		mt.StoreSections += len(st.Sections)
+	}
+	return mt
+}
+
+// Benchmarks describes the submittable benchmarks and their cache state.
+func (m *Manager) Benchmarks() []BenchmarkInfo {
+	names := m.opts.ListBenchmarks()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]BenchmarkInfo, 0, len(names))
+	for _, n := range names {
+		info := BenchmarkInfo{
+			Name:            n,
+			PilotInaccuracy: bench.PilotInaccuracies[n],
+		}
+		for _, v := range bench.Variants {
+			info.Variants = append(info.Variants, string(v))
+		}
+		if st := m.stores[n]; st != nil {
+			info.CachedSections = len(st.Sections)
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Close drains the service: no new submissions, queued jobs are
+// cancelled, and running jobs are given until ctx is done to finish
+// before being hard-cancelled. Returns ctx.Err() if the drain timed out.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	for _, id := range m.order {
+		if j := m.jobs[id]; j.state == StateQueued {
+			m.finishLocked(j, StateCancelled)
+		}
+	}
+	close(m.queue)
+	m.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		for _, j := range m.jobs {
+			if j.state == StateRunning && j.cancel != nil {
+				j.cancel()
+			}
+		}
+		m.mu.Unlock()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runJob(j)
+	}
+}
+
+func (m *Manager) runJob(j *job) {
+	m.mu.Lock()
+	if j.state != StateQueued { // cancelled while waiting in the queue
+		m.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	ctx, cancel := context.WithCancel(context.Background())
+	j.cancel = cancel
+	snap := m.storeSnapshotLocked(j.req.Bench)
+	m.mu.Unlock()
+	defer cancel()
+
+	a := core.NewAnalyzer(m.configFor(j.req))
+	a.Store = snap
+	a.Progress = func(p core.Progress) {
+		m.mu.Lock()
+		j.progress = p
+		m.mu.Unlock()
+	}
+	if j.req.Modified {
+		a.NoteModification()
+	}
+
+	r, err := a.AnalyzeContext(ctx, j.prog)
+	var evals []core.TargetEval
+	if err == nil && j.req.Baseline {
+		if err = a.RunBaselineContext(ctx, r); err == nil {
+			evals, err = a.Evaluate(r, j.req.Epsilon, j.req.Modified)
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Sections completed before a cancellation are valid (their keys are
+	// content hashes), so merge the snapshot back unconditionally: a
+	// cancelled job still warms the cache for its retry.
+	m.mergeStoreLocked(j.req.Bench, snap)
+	j.cancel = nil
+	switch {
+	case err == nil:
+		s := r.Summarize(j.req.Epsilon, evals)
+		s.Bench = j.req.Bench
+		s.Variant = j.req.Variant
+		j.result = s
+		m.finishLocked(j, StateDone)
+	case errors.Is(err, context.Canceled):
+		m.finishLocked(j, StateCancelled)
+	default:
+		j.err = err.Error()
+		m.finishLocked(j, StateFailed)
+	}
+	m.counters.InjectionsRun += uint64(j.progress.Experiments)
+	m.counters.SimInstrs += j.progress.SimInstrs
+	m.counters.StoreHits += uint64(j.progress.Reused)
+	m.counters.StoreMisses += uint64(j.progress.Injected)
+	if r != nil && len(evals) > 0 {
+		m.counters.InjectionsRun += uint64(r.BaseInject.Experiments)
+		m.counters.SimInstrs += r.BaseCost()
+	}
+}
+
+// finishLocked moves j to a terminal state, bumps the matching counter,
+// wakes waiters, and applies retention.
+func (m *Manager) finishLocked(j *job, s State) {
+	j.state = s
+	j.finished = time.Now()
+	switch s {
+	case StateDone:
+		m.counters.JobsDone++
+	case StateFailed:
+		m.counters.JobsFailed++
+	case StateCancelled:
+		m.counters.JobsCancelled++
+	}
+	close(j.done)
+	m.evictLocked()
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention cap.
+func (m *Manager) evictLocked() {
+	finished := 0
+	for _, id := range m.order {
+		if m.jobs[id].state.Terminal() {
+			finished++
+		}
+	}
+	for i := 0; finished > m.opts.MaxRetained && i < len(m.order); {
+		id := m.order[i]
+		if !m.jobs[id].state.Terminal() {
+			i++
+			continue
+		}
+		delete(m.jobs, id)
+		m.order = append(m.order[:i], m.order[i+1:]...)
+		finished--
+		m.counters.JobsEvicted++
+	}
+}
+
+// storeSnapshotLocked clones the benchmark's cached store (or a fresh one)
+// for a job to analyze against without racing other jobs.
+func (m *Manager) storeSnapshotLocked(benchName string) *store.Store {
+	if st := m.stores[benchName]; st != nil {
+		return st.Clone()
+	}
+	return store.New()
+}
+
+// mergeStoreLocked folds a job's store snapshot back into the cache.
+// Section payloads are immutable, so first-write-wins is safe; adjusted
+// targets and the m_adj counter take the latest job's view.
+func (m *Manager) mergeStoreLocked(benchName string, snap *store.Store) {
+	cached := m.stores[benchName]
+	if cached == nil {
+		m.stores[benchName] = snap
+		return
+	}
+	for k, v := range snap.Sections {
+		if _, ok := cached.Sections[k]; !ok {
+			cached.Sections[k] = v
+		}
+	}
+	for k, v := range snap.AdjustedTargets {
+		cached.AdjustedTargets[k] = v
+	}
+	cached.ModsSinceAdjust = snap.ModsSinceAdjust
+}
+
+func (m *Manager) configFor(req Request) core.Config {
+	cfg := core.DefaultConfig()
+	if len(req.Targets) > 0 {
+		cfg.Targets = append([]float64(nil), req.Targets...)
+	}
+	cfg.Workers = req.Workers
+	if cfg.Workers <= 0 {
+		cfg.Workers = m.opts.InjectWorkers
+	}
+	if pi, ok := bench.PilotInaccuracies[req.Bench]; ok {
+		cfg.PilotInaccuracy = pi
+	}
+	return cfg
+}
+
+func (m *Manager) viewLocked(j *job) JobView {
+	v := JobView{
+		ID:        j.id,
+		Bench:     j.req.Bench,
+		Variant:   j.req.Variant,
+		State:     j.state,
+		CreatedAt: j.created,
+		Progress:  j.progress,
+		Error:     j.err,
+		Result:    j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	return v
+}

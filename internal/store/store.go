@@ -13,6 +13,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"fastflip/internal/metrics"
 	"fastflip/internal/sites"
@@ -146,17 +147,35 @@ func (s *Store) Put(key Key, sec *Section) {
 }
 
 // Save writes the store to path with encoding/gob (gob round-trips the
-// ±Inf magnitudes JSON cannot represent).
+// ±Inf magnitudes JSON cannot represent). The write is atomic: the store
+// is encoded into a temporary file in the destination directory, synced,
+// and renamed over path, so a crash or cancellation mid-save never
+// truncates an existing store.
 func (s *Store) Save(path string) error {
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	defer f.Close()
-	if err := gob.NewEncoder(f).Encode(s); err != nil {
-		return fmt.Errorf("store: encoding %s: %w", path, err)
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
 	}
-	return f.Close()
+	if err := gob.NewEncoder(f).Encode(s); err != nil {
+		return fail(fmt.Errorf("store: encoding %s: %w", path, err))
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("store: syncing %s: %w", tmp, err))
+	}
+	if err := f.Close(); err != nil {
+		return fail(fmt.Errorf("store: %w", err))
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
 }
 
 // Load reads a store written by Save.

@@ -2,6 +2,7 @@ package store
 
 import (
 	"math"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -118,6 +119,59 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if got.ModsSinceAdjust != 2 {
 		t.Error("m_adj lost")
+	}
+}
+
+func TestSaveAtomicOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.gob")
+	s1 := New()
+	s1.Put(Key{1}, &Section{SimInstrs: 1})
+	if err := s1.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New()
+	s2.Put(Key{1}, &Section{SimInstrs: 1})
+	s2.Put(Key{2}, &Section{SimInstrs: 2})
+	if err := s2.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sections) != 2 {
+		t.Errorf("overwritten store has %d sections, want 2", len(got.Sections))
+	}
+	// No temp files may be left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "store.gob" {
+		t.Errorf("directory not clean after save: %v", entries)
+	}
+}
+
+func TestSaveFailureLeavesExistingStore(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.gob")
+	s := New()
+	s.Put(Key{7}, &Section{SimInstrs: 7})
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// Saving into a directory that doesn't exist must fail without
+	// touching the original file.
+	if err := s.Save(filepath.Join(dir, "missing", "store.gob")); err == nil {
+		t.Fatal("expected error saving into a missing directory")
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lookup(Key{7}) == nil {
+		t.Error("original store damaged by failed save")
 	}
 }
 
