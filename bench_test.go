@@ -10,6 +10,7 @@
 package fastflip_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -18,11 +19,13 @@ import (
 
 	"fastflip/internal/bench"
 	"fastflip/internal/core"
+	"fastflip/internal/inject"
 	"fastflip/internal/knap"
 	"fastflip/internal/sens"
 	"fastflip/internal/sites"
 	"fastflip/internal/tables"
 	"fastflip/internal/trace"
+	"fastflip/internal/vm"
 )
 
 // --- shared evaluation suite (computed once) ---
@@ -382,6 +385,86 @@ func BenchmarkAblationGreedy(b *testing.B) {
 			cost = knap.Greedy(items, target).Cost
 		}
 		b.ReportMetric(float64(cost), "protect-cost")
+	})
+}
+
+// --- replay engine microbenchmarks ---
+
+// BenchmarkInjectSection runs one section's full injection campaign under
+// the cursor/delta engine and the legacy per-experiment replay engine.
+// Outcomes are identical; the engines differ in clean-prefix work and
+// allocations (run with -benchmem).
+func BenchmarkInjectSection(b *testing.B) {
+	p := bench.MustBuild("fft", bench.None)
+	tr, err := trace.Record(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := tr.Instances[len(tr.Instances)/2]
+	classes := sites.ForInstance(tr, inst, sites.Options{Prune: true})
+	for _, legacy := range []bool{false, true} {
+		name := "cursor"
+		if legacy {
+			name = "legacy"
+		}
+		b.Run(name, func(b *testing.B) {
+			inj := &inject.Injector{T: tr, Legacy: legacy}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var stats inject.Stats
+			for i := 0; i < b.N; i++ {
+				_, stats = inj.RunSection(context.Background(), inst, classes)
+			}
+			b.ReportMetric(float64(stats.SimInstrs), "accounted-instrs")
+			b.ReportMetric(float64(stats.CleanInstrs), "clean-instrs")
+			b.ReportMetric(float64(stats.FaultyInstrs), "faulty-instrs")
+		})
+	}
+}
+
+// BenchmarkRestore compares reverting a machine after a bounded run via
+// journal undo (delta restore) against a full state copy. The run itself
+// happens with the timer stopped, so the figures isolate the revert.
+// Campipe has the largest memory image (5k words), where the delta restore
+// pays off most.
+func BenchmarkRestore(b *testing.B) {
+	p := bench.MustBuild("campipe", bench.None)
+	tr, err := trace.Record(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const span = 64 // dynamic instructions executed before each revert
+	b.Run("journal", func(b *testing.B) {
+		base := tr.Start.Clone()
+		m := base.Clone()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			m.BeginJournal()
+			if ev := m.RunUntilDyn(base.Dyn + span); ev.Kind != vm.EvNone {
+				b.Fatal(ev.Kind)
+			}
+			b.StartTimer()
+			if !m.UndoJournal() {
+				b.Fatal("journal overflow")
+			}
+			m.CopyScalarsFrom(base)
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		base := tr.Start.Clone()
+		m := base.Clone()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			if ev := m.RunUntilDyn(base.Dyn + span); ev.Kind != vm.EvNone {
+				b.Fatal(ev.Kind)
+			}
+			b.StartTimer()
+			m.RestoreFrom(base)
+		}
 	})
 }
 

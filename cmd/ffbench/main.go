@@ -7,9 +7,11 @@
 //	ffbench -benchmarks lud,sha2    # a subset
 //	ffbench -artifact table3        # one artifact
 //	ffbench -quick                  # fewer sensitivity samples
+//	ffbench -out bench.json         # machine-readable perf record
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +28,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "injection worker goroutines (0 = GOMAXPROCS)")
 		quick      = flag.Bool("quick", false, "fewer sensitivity samples for a faster run")
 		quiet      = flag.Bool("quiet", false, "suppress per-version progress lines")
+		out        = flag.String("out", "", "write per-version perf records (wall time, sim-instrs, clean/faulty split, speedup) as JSON to this file")
 	)
 	flag.Parse()
 
@@ -82,5 +85,17 @@ func main() {
 	}
 	if want("table6.4") {
 		fmt.Println(suite.Table64())
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(suite.PerfRecords(), "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ffbench: encode perf records:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "ffbench:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
@@ -42,8 +43,27 @@ func main() {
 		retain  = flag.Int("retain", 64, "finished jobs retained for retrieval")
 		workers = flag.Int("workers", 0, "default injection worker goroutines per job (0 = GOMAXPROCS)")
 		drain   = flag.Duration("drain", 30*time.Second, "how long to let running jobs finish on shutdown")
+		debug   = flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	)
 	flag.Parse()
+
+	if *debug != "" {
+		// pprof lives on its own mux and listener so profiling endpoints
+		// are never exposed on the service address.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", *debug)
+			dsrv := &http.Server{Addr: *debug, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof serve: %v", err)
+			}
+		}()
+	}
 
 	mgr := service.New(service.Options{
 		Workers:       *jobs,

@@ -65,6 +65,16 @@ type Config struct {
 	// PAdj is the number of accumulated modifications after which the
 	// adjusted targets are recomputed from a fresh baseline.
 	PAdj int
+	// CheckpointInterval is the dense replay-checkpoint spacing in dynamic
+	// instructions passed to trace recording: 0 uses the trace package
+	// default, negative disables dense checkpoints (section boundaries
+	// only). Denser checkpoints trade recording memory for shorter clean
+	// replays.
+	CheckpointInterval int64
+	// LegacyReplay selects the pre-cursor injection engine (full checkpoint
+	// restore + per-experiment clean replay). Outcomes are identical; this
+	// exists for equivalence testing and engine comparisons.
+	LegacyReplay bool
 }
 
 // DefaultConfig mirrors the paper's evaluation setup.
@@ -145,6 +155,11 @@ type Progress struct {
 	Injected    int    `json:"injected"`
 	Experiments int    `json:"experiments"`
 	SimInstrs   uint64 `json:"sim_instrs"`
+	// CleanInstrs/FaultyInstrs split the injection engine's actual work:
+	// clean-prefix replay vs post-flip execution. SimInstrs above stays the
+	// paper's accounted cost model.
+	CleanInstrs  uint64 `json:"clean_instrs"`
+	FaultyInstrs uint64 `json:"faulty_instrs"`
 }
 
 // Analyzer runs FastFlip over successive versions of a program, reusing
@@ -176,7 +191,7 @@ func (a *Analyzer) Analyze(p *spec.Program) (*Result, error) {
 // already been stored, so a later retry reuses them.
 func (a *Analyzer) AnalyzeContext(ctx context.Context, p *spec.Program) (*Result, error) {
 	started := time.Now()
-	t, err := trace.Record(p)
+	t, err := trace.RecordWith(p, trace.Options{CheckpointInterval: a.Cfg.CheckpointInterval})
 	if err != nil {
 		return nil, err
 	}
@@ -188,17 +203,19 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, p *spec.Program) (*Result
 		SiteCount:   sites.Count(t, siteOpts),
 		untestedBad: make(map[prog.StaticID]int),
 	}
-	inj := &inject.Injector{T: t, Workers: a.Cfg.Workers}
+	inj := &inject.Injector{T: t, Workers: a.Cfg.Workers, Legacy: a.Cfg.LegacyReplay}
 
 	report := func() {
 		if a.Progress != nil {
 			a.Progress(Progress{
-				Instances:   len(t.Instances),
-				Done:        r.ReusedInstances + r.InjectedInstances,
-				Reused:      r.ReusedInstances,
-				Injected:    r.InjectedInstances,
-				Experiments: r.FFInject.Experiments,
-				SimInstrs:   r.FFCost(),
+				Instances:    len(t.Instances),
+				Done:         r.ReusedInstances + r.InjectedInstances,
+				Reused:       r.ReusedInstances,
+				Injected:     r.InjectedInstances,
+				Experiments:  r.FFInject.Experiments,
+				SimInstrs:    r.FFCost(),
+				CleanInstrs:  r.FFInject.CleanInstrs,
+				FaultyInstrs: r.FFInject.FaultyInstrs,
 			})
 		}
 	}
@@ -321,7 +338,7 @@ func (a *Analyzer) RunBaseline(r *Result) {
 // baseline results, and ctx.Err() is returned.
 func (a *Analyzer) RunBaselineContext(ctx context.Context, r *Result) error {
 	started := time.Now()
-	inj := &inject.Injector{T: r.Trace, Workers: a.Cfg.Workers}
+	inj := &inject.Injector{T: r.Trace, Workers: a.Cfg.Workers, Legacy: a.Cfg.LegacyReplay}
 	classes := sites.Global(r.Trace, sites.Options{Prune: a.Cfg.Prune, Width: a.Cfg.BurstWidth})
 	outcomes, stats := inj.RunMonolithic(ctx, classes)
 	if err := ctx.Err(); err != nil {

@@ -29,6 +29,13 @@ type Summary struct {
 	FFExperiments int           `json:"ff_experiments"`
 	FFSimInstrs   uint64        `json:"ff_sim_instrs"`
 	FFWall        time.Duration `json:"ff_wall_ns"`
+	// FFCleanInstrs/FFFaultyInstrs split the injection engine's actual
+	// simulated work into clean-prefix replay and post-flip execution.
+	// FFSimInstrs above remains the paper's accounted cost model (per
+	// experiment, section checkpoint to experiment end), so the two clean
+	// figures differ under the cursor replay engine.
+	FFCleanInstrs  uint64 `json:"ff_clean_instrs"`
+	FFFaultyInstrs uint64 `json:"ff_faulty_instrs"`
 
 	Outcomes OutcomeStats `json:"outcomes"`
 
@@ -38,9 +45,11 @@ type Summary struct {
 
 // BaselineSummary digests the monolithic baseline campaign.
 type BaselineSummary struct {
-	Experiments int           `json:"experiments"`
-	SimInstrs   uint64        `json:"sim_instrs"`
-	Wall        time.Duration `json:"wall_ns"`
+	Experiments  int           `json:"experiments"`
+	SimInstrs    uint64        `json:"sim_instrs"`
+	CleanInstrs  uint64        `json:"clean_instrs"`
+	FaultyInstrs uint64        `json:"faulty_instrs"`
+	Wall         time.Duration `json:"wall_ns"`
 	// Speedup is baseline cost over FastFlip cost (the paper's headline
 	// ratio).
 	Speedup float64 `json:"speedup"`
@@ -77,14 +86,18 @@ func (r *Result) Summarize(eps float64, evals []TargetEval) *Summary {
 		StaticTotal:    total,
 		FFExperiments:  r.FFInject.Experiments,
 		FFSimInstrs:    r.FFCost(),
+		FFCleanInstrs:  r.FFInject.CleanInstrs,
+		FFFaultyInstrs: r.FFInject.FaultyInstrs,
 		FFWall:         r.FFWall,
 		Outcomes:       r.FFOutcomeStats(eps),
 	}
 	if len(r.baseClasses) > 0 {
 		b := &BaselineSummary{
-			Experiments: r.BaseInject.Experiments,
-			SimInstrs:   r.BaseCost(),
-			Wall:        r.BaseWall,
+			Experiments:  r.BaseInject.Experiments,
+			SimInstrs:    r.BaseCost(),
+			CleanInstrs:  r.BaseInject.CleanInstrs,
+			FaultyInstrs: r.BaseInject.FaultyInstrs,
+			Wall:         r.BaseWall,
 		}
 		if ff := r.FFCost(); ff > 0 {
 			b.Speedup = float64(r.BaseCost()) / float64(ff)

@@ -9,7 +9,17 @@
 // that section's outputs plus its live state.
 //
 // Analysis cost is accounted in simulated instructions, the dominant and
-// parallelizable part of the paper's core-hours (§6.2).
+// parallelizable part of the paper's core-hours (§6.2). Stats.SimInstrs is
+// the paper's per-experiment cost model (checkpoint to experiment end);
+// Stats.CleanInstrs/FaultyInstrs split what the replay engine *actually*
+// simulates. The default engine schedules a campaign's experiments in
+// dynamic-index order, advances one rolling clean-cursor machine per
+// worker, and forks each experiment off the cursor with a journal-based
+// delta restore — so a shared clean prefix is simulated once per worker
+// range instead of once per experiment, and restoring a fork undoes only
+// the memory words the faulty run touched. Outcomes are bit-identical to
+// the legacy checkpoint-replay engine (Injector.Legacy), which is kept for
+// equivalence testing.
 package inject
 
 import (
@@ -17,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -34,13 +45,25 @@ const TimeoutFactor = 5
 // Stats accumulates analysis cost.
 type Stats struct {
 	Experiments int
-	SimInstrs   uint64 // total simulated instructions across experiments
+	// SimInstrs is the accounted analysis cost under the paper's model:
+	// each experiment costs section-checkpoint-to-end, whatever the engine
+	// actually replayed. Tables and speedups are computed from this, so
+	// they stay comparable across engine versions.
+	SimInstrs uint64
+	// CleanInstrs counts the clean-prefix instructions the engine actually
+	// simulated (cursor advances, checkpoint-to-site replays); FaultyInstrs
+	// counts the instructions executed after a flip. Their sum is the real
+	// engine work, ≤ SimInstrs under the cursor scheduler.
+	CleanInstrs  uint64
+	FaultyInstrs uint64
 }
 
 // Add accumulates other into s.
 func (s *Stats) Add(other Stats) {
 	s.Experiments += other.Experiments
 	s.SimInstrs += other.SimInstrs
+	s.CleanInstrs += other.CleanInstrs
+	s.FaultyInstrs += other.FaultyInstrs
 }
 
 // Injector runs experiments against one recorded trace.
@@ -49,6 +72,11 @@ type Injector struct {
 	// Workers is the number of parallel experiment goroutines;
 	// 0 means GOMAXPROCS.
 	Workers int
+	// Legacy selects the pre-cursor replay engine: every experiment
+	// restores a full checkpoint copy and replays the clean prefix itself.
+	// Outcomes are identical; only the engine cost differs. Kept for
+	// equivalence tests and engine benchmarks.
+	Legacy bool
 }
 
 func (inj *Injector) workers() int {
@@ -59,14 +87,23 @@ func (inj *Injector) workers() int {
 }
 
 // prepare replays m to just before dynamic instruction dyn and applies the
-// flip dictated by the site: source operands flip before the instruction
-// reads them, destination operands flip after it writes.
+// flip dictated by the site (the legacy per-experiment path).
 func (inj *Injector) prepare(m *vm.Machine, site sites.Site, maxDyn uint64) error {
-	m.RestoreFrom(inj.T.NearestCheckpoint(site.Dyn))
+	seed, _ := inj.T.ReplaySeed(site.Dyn)
+	m.RestoreFrom(seed)
 	m.MaxDyn = maxDyn
 	if ev := m.RunUntilDyn(site.Dyn); ev.Kind != vm.EvNone {
 		return fmt.Errorf("inject: clean prefix to dyn %d ended with %v", site.Dyn, ev.Kind)
 	}
+	_, err := applyFlip(m, site)
+	return err
+}
+
+// applyFlip injects the site's burst into the positioned machine m (which
+// must sit just before dynamic instruction site.Dyn): source operands flip
+// before the instruction reads them, destination operands flip after it
+// writes. It returns the dynamic index at which faulty execution begins.
+func applyFlip(m *vm.Machine, site sites.Site) (uint64, error) {
 	width := int(site.Width)
 	if width < 1 {
 		width = 1
@@ -86,44 +123,56 @@ func (inj *Injector) prepare(m *vm.Machine, site sites.Site, maxDyn uint64) erro
 	}
 	if site.Operand.Role == isa.OperandDst {
 		if ev := m.Step(); ev.Kind != vm.EvNone {
-			return fmt.Errorf("inject: instruction at dyn %d raised %v in clean flow", site.Dyn, ev.Kind)
+			return m.Dyn, fmt.Errorf("inject: instruction at dyn %d raised %v in clean flow", site.Dyn, ev.Kind)
 		}
-		flip()
-	} else {
-		flip()
 	}
-	return nil
+	flip()
+	return m.Dyn, nil
+}
+
+// sectionLimit is the per-section timeout rule: the section may run up to
+// 5x its nominal length (§5.6) plus slack for the epilogue.
+func sectionLimit(inst *trace.Instance) uint64 {
+	return inst.BegDyn + 1 + TimeoutFactor*inst.Len() + 64
 }
 
 // Monolithic runs one whole-program experiment for site and classifies the
-// effect on the program's final outputs.
+// effect on the program's final outputs. The returned cost is the accounted
+// SimInstrs of the experiment.
 func (inj *Injector) Monolithic(m *vm.Machine, site sites.Site) (metrics.Outcome, uint64) {
 	t := inj.T
 	if err := inj.prepare(m, site, TimeoutFactor*t.TotalDyn); err != nil {
 		panic(err) // clean replay cannot fail; a failure is a harness bug
 	}
-	start := t.NearestCheckpointDyn(site.Dyn)
-	ev := m.Run()
-	cost := m.Dyn - start
-	switch ev.Kind {
+	out := inj.monolithicFinish(m)
+	return out, m.Dyn - t.NearestCheckpointDyn(site.Dyn)
+}
+
+// monolithicFinish resumes a prepared machine to termination and classifies
+// the effect on the final outputs.
+func (inj *Injector) monolithicFinish(m *vm.Machine) metrics.Outcome {
+	switch ev := m.Run(); ev.Kind {
 	case vm.EvCrash:
-		return metrics.Outcome{Kind: metrics.Detected, Reason: metrics.DetectCrash}, cost
+		return metrics.Outcome{Kind: metrics.Detected, Reason: metrics.DetectCrash}
 	case vm.EvTimeout:
-		return metrics.Outcome{Kind: metrics.Detected, Reason: metrics.DetectTimeout}, cost
+		return metrics.Outcome{Kind: metrics.Detected, Reason: metrics.DetectTimeout}
 	}
-	return metrics.Compare(t.Prog.FinalOutputs, t.Final, m), cost
+	return metrics.Compare(inj.T.Prog.FinalOutputs, inj.T.Final, m)
 }
 
 // Section runs one per-section experiment for a site inside inst and
 // classifies the effect on the instance's outputs and live state.
 func (inj *Injector) Section(m *vm.Machine, inst *trace.Instance, site sites.Site) (metrics.Outcome, uint64) {
-	t := inj.T
-	// Timeout when the section runs more than 5x its nominal length.
-	limit := inst.BegDyn + 1 + TimeoutFactor*inst.Len() + 64
-	if err := inj.prepare(m, site, limit); err != nil {
+	if err := inj.prepare(m, site, sectionLimit(inst)); err != nil {
 		panic(err)
 	}
-	start := t.NearestCheckpointDyn(site.Dyn)
+	out := inj.sectionFinish(m, inst)
+	return out, m.Dyn - inj.T.NearestCheckpointDyn(site.Dyn)
+}
+
+// sectionFinish resumes a prepared machine until the injected instance ends
+// and classifies the section-level outcome.
+func (inj *Injector) sectionFinish(m *vm.Machine, inst *trace.Instance) metrics.Outcome {
 	for {
 		ev := m.Step()
 		switch ev.Kind {
@@ -132,21 +181,21 @@ func (inj *Injector) Section(m *vm.Machine, inst *trace.Instance, site sites.Sit
 				// Control flow escaped into a different section: the
 				// instance never produced its outputs. Conservatively
 				// SDC-Bad (§4.9, side effects).
-				return conservativeSDC(len(inst.IO.Outputs)), m.Dyn - start
+				return conservativeSDC(len(inst.IO.Outputs))
 			}
 			out := metrics.Compare(inst.IO.Outputs, inst.Exit, m)
 			if out.Kind != metrics.Detected && liveSideEffect(inst, m) {
-				return conservativeSDC(len(inst.IO.Outputs)), m.Dyn - start
+				return conservativeSDC(len(inst.IO.Outputs))
 			}
-			return out, m.Dyn - start
+			return out
 		case vm.EvHalt:
 			// The program terminated before the section completed:
 			// corrupted control flow skipped the section's remainder.
-			return conservativeSDC(len(inst.IO.Outputs)), m.Dyn - start
+			return conservativeSDC(len(inst.IO.Outputs))
 		case vm.EvCrash:
-			return metrics.Outcome{Kind: metrics.Detected, Reason: metrics.DetectCrash}, m.Dyn - start
+			return metrics.Outcome{Kind: metrics.Detected, Reason: metrics.DetectCrash}
 		case vm.EvTimeout:
-			return metrics.Outcome{Kind: metrics.Detected, Reason: metrics.DetectTimeout}, m.Dyn - start
+			return metrics.Outcome{Kind: metrics.Detected, Reason: metrics.DetectTimeout}
 		}
 	}
 }
@@ -158,12 +207,17 @@ func (inj *Injector) Section(m *vm.Machine, inst *trace.Instance, site sites.Sit
 // ground-truth labels for target adjustment without a separate monolithic
 // campaign, at the cost of longer experiments.
 func (inj *Injector) SectionCoRun(m *vm.Machine, inst *trace.Instance, site sites.Site) (sec, fin metrics.Outcome, cost uint64) {
-	t := inj.T
-	limit := inst.BegDyn + 1 + TimeoutFactor*inst.Len() + 64
-	if err := inj.prepare(m, site, limit); err != nil {
+	if err := inj.prepare(m, site, sectionLimit(inst)); err != nil {
 		panic(err)
 	}
-	start := t.NearestCheckpointDyn(site.Dyn)
+	sec, fin = inj.coRunFinish(m, inst)
+	return sec, fin, m.Dyn - inj.T.NearestCheckpointDyn(site.Dyn)
+}
+
+// coRunFinish resumes a prepared machine through the injected instance and
+// on to program termination, classifying both levels.
+func (inj *Injector) coRunFinish(m *vm.Machine, inst *trace.Instance) (sec, fin metrics.Outcome) {
+	t := inj.T
 	secDone := false
 	for {
 		ev := m.Step()
@@ -188,19 +242,19 @@ func (inj *Injector) SectionCoRun(m *vm.Machine, inst *trace.Instance, site site
 				sec = conservativeSDC(len(inst.IO.Outputs))
 			}
 			fin = metrics.Compare(t.Prog.FinalOutputs, t.Final, m)
-			return sec, fin, m.Dyn - start
+			return sec, fin
 		case vm.EvCrash:
 			det := metrics.Outcome{Kind: metrics.Detected, Reason: metrics.DetectCrash}
 			if !secDone {
 				sec = det
 			}
-			return sec, det, m.Dyn - start
+			return sec, det
 		case vm.EvTimeout:
 			det := metrics.Outcome{Kind: metrics.Detected, Reason: metrics.DetectTimeout}
 			if !secDone {
 				sec = det
 			}
-			return sec, det, m.Dyn - start
+			return sec, det
 		}
 	}
 }
@@ -212,10 +266,13 @@ func (inj *Injector) SectionCoRun(m *vm.Machine, inst *trace.Instance, site site
 // discarded (check ctx.Err after the call).
 func (inj *Injector) RunSectionCoRun(ctx context.Context, inst *trace.Instance, classes []*sites.Class) (secs, fins []metrics.Outcome, stats Stats) {
 	fins = make([]metrics.Outcome, len(classes))
-	secs, stats = inj.runAll(ctx, classes, func(m *vm.Machine, i int, s sites.Site) (metrics.Outcome, uint64) {
-		sec, fin, cost := inj.SectionCoRun(m, inst, s)
-		fins[i] = fin
-		return sec, cost
+	secs, stats = inj.runAll(ctx, classes, experiment{
+		limit: func(sites.Site) uint64 { return sectionLimit(inst) },
+		finish: func(m *vm.Machine, i int, _ sites.Site) metrics.Outcome {
+			sec, fin := inj.coRunFinish(m, inst)
+			fins[i] = fin
+			return sec
+		},
 	})
 	return secs, fins, stats
 }
@@ -255,8 +312,9 @@ func liveSideEffect(inst *trace.Instance, m *vm.Machine) bool {
 // stops the campaign between experiments; the returned outcomes are then
 // partial and must be discarded (check ctx.Err after the call).
 func (inj *Injector) RunMonolithic(ctx context.Context, classes []*sites.Class) ([]metrics.Outcome, Stats) {
-	return inj.runAll(ctx, classes, func(m *vm.Machine, _ int, s sites.Site) (metrics.Outcome, uint64) {
-		return inj.Monolithic(m, s)
+	return inj.runAll(ctx, classes, experiment{
+		limit:  func(sites.Site) uint64 { return TimeoutFactor * inj.T.TotalDyn },
+		finish: func(m *vm.Machine, _ int, _ sites.Site) metrics.Outcome { return inj.monolithicFinish(m) },
 	})
 }
 
@@ -264,18 +322,152 @@ func (inj *Injector) RunMonolithic(ctx context.Context, classes []*sites.Class) 
 // per-class outcomes plus cost statistics. Cancellation behaves as in
 // RunMonolithic.
 func (inj *Injector) RunSection(ctx context.Context, inst *trace.Instance, classes []*sites.Class) ([]metrics.Outcome, Stats) {
-	return inj.runAll(ctx, classes, func(m *vm.Machine, _ int, s sites.Site) (metrics.Outcome, uint64) {
-		return inj.Section(m, inst, s)
+	return inj.runAll(ctx, classes, experiment{
+		limit:  func(sites.Site) uint64 { return sectionLimit(inst) },
+		finish: func(m *vm.Machine, _ int, _ sites.Site) metrics.Outcome { return inj.sectionFinish(m, inst) },
 	})
+}
+
+// experiment is the campaign-specific half of an injection: the timeout
+// limit for a site and the classification of a machine that is already
+// positioned at the site with the flip applied.
+type experiment struct {
+	limit  func(site sites.Site) uint64
+	finish func(m *vm.Machine, i int, site sites.Site) metrics.Outcome
+}
+
+// siteOf builds the pilot injection site of a class.
+func siteOf(c *sites.Class) sites.Site {
+	return sites.Site{
+		Dyn:     c.Pilot(),
+		Operand: isa.Operand{Role: c.Key.Role, Class: c.Class, Reg: c.Reg},
+		Bit:     c.Key.Bit,
+		Width:   c.Width,
+	}
 }
 
 // runAll distributes one experiment per class over the worker pool. Each
 // worker checks ctx between experiments, so a cancelled campaign stops
 // within one in-flight experiment per worker. Stats count only the
 // experiments actually run.
-func (inj *Injector) runAll(ctx context.Context, classes []*sites.Class, exp func(*vm.Machine, int, sites.Site) (metrics.Outcome, uint64)) ([]metrics.Outcome, Stats) {
+//
+// The default engine sorts the pilots by dynamic index, hands each worker
+// one contiguous dyn range, and replays the clean execution once per range
+// behind a rolling cursor; Legacy replays checkpoint-to-site per
+// experiment. Both engines produce identical outcomes.
+func (inj *Injector) runAll(ctx context.Context, classes []*sites.Class, exp experiment) ([]metrics.Outcome, Stats) {
+	if inj.Legacy {
+		return inj.runAllLegacy(ctx, classes, exp)
+	}
 	outcomes := make([]metrics.Outcome, len(classes))
-	var next, simInstrs, ran atomic.Uint64
+	if len(classes) == 0 {
+		return outcomes, Stats{}
+	}
+
+	// Dyn-sorted experiment order, contiguously partitioned so each
+	// worker's cursor only ever moves forward.
+	order := make([]int, len(classes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := classes[order[a]].Pilot(), classes[order[b]].Pilot()
+		if da != db {
+			return da < db
+		}
+		return order[a] < order[b]
+	})
+
+	nw := inj.workers()
+	if nw > len(order) {
+		nw = len(order)
+	}
+	statsPer := make([]Stats, nw)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		lo := w * len(order) / nw
+		hi := (w + 1) * len(order) / nw
+		wg.Add(1)
+		go func(w int, chunk []int) {
+			defer wg.Done()
+			statsPer[w] = inj.runRange(ctx, classes, chunk, exp, outcomes)
+		}(w, order[lo:hi])
+	}
+	wg.Wait()
+
+	var stats Stats
+	for _, s := range statsPer {
+		stats.Add(s)
+	}
+	return outcomes, stats
+}
+
+// runRange runs one worker's contiguous dyn-sorted chunk of experiments.
+// The cursor machine advances through the clean execution exactly once;
+// every experiment forks off it with a journal and is reverted by undoing
+// the words it wrote.
+func (inj *Injector) runRange(ctx context.Context, classes []*sites.Class, chunk []int, exp experiment, outcomes []metrics.Outcome) Stats {
+	t := inj.T
+	var stats Stats
+
+	seed, _ := t.ReplaySeed(classes[chunk[0]].Pilot())
+	cur := seed.Clone() // rolling clean cursor, only ever advances
+	em := cur.Clone()   // experiment machine, forked from the cursor
+
+	for _, i := range chunk {
+		if ctx.Err() != nil {
+			break
+		}
+		site := siteOf(classes[i])
+
+		// Advance the shared clean prefix once, mirroring the delta into
+		// the experiment machine.
+		if site.Dyn > cur.Dyn {
+			stats.CleanInstrs += site.Dyn - cur.Dyn
+			cur.BeginJournal()
+			if ev := cur.RunUntilDyn(site.Dyn); ev.Kind != vm.EvNone {
+				panic(fmt.Errorf("inject: clean cursor to dyn %d ended with %v", site.Dyn, ev.Kind))
+			}
+			if cur.ReplayJournalInto(em) {
+				em.CopyScalarsFrom(cur)
+			} else {
+				em.RestoreFrom(cur)
+			}
+			cur.EndJournal()
+		}
+
+		// Fork: em mirrors the clean state at site.Dyn. Run the faulty
+		// suffix under a journal, classify, then undo only what it wrote.
+		em.MaxDyn = exp.limit(site)
+		em.BeginJournal()
+		flipDyn, err := applyFlip(em, site)
+		if err != nil {
+			panic(err)
+		}
+		outcomes[i] = exp.finish(em, i, site)
+
+		stats.Experiments++
+		stats.SimInstrs += em.Dyn - t.NearestCheckpointDyn(site.Dyn)
+		stats.CleanInstrs += flipDyn - site.Dyn // the clean dst step, if any
+		stats.FaultyInstrs += em.Dyn - flipDyn
+
+		if em.UndoJournal() {
+			em.CopyScalarsFrom(cur)
+		} else {
+			em.RestoreFrom(cur)
+		}
+	}
+	return stats
+}
+
+// runAllLegacy is the pre-cursor engine: every experiment restores a full
+// checkpoint copy and replays its own clean prefix.
+func (inj *Injector) runAllLegacy(ctx context.Context, classes []*sites.Class, exp experiment) ([]metrics.Outcome, Stats) {
+	t := inj.T
+	outcomes := make([]metrics.Outcome, len(classes))
+	var next atomic.Uint64
+	var mu sync.Mutex
+	var stats Stats
 	var wg sync.WaitGroup
 	nw := inj.workers()
 	if nw > len(classes) {
@@ -285,29 +477,34 @@ func (inj *Injector) runAll(ctx context.Context, classes []*sites.Class, exp fun
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			m := inj.T.Start.Clone()
+			m := t.Start.Clone()
+			var local Stats
 			for {
 				if ctx.Err() != nil {
-					return
+					break
 				}
 				i := next.Add(1) - 1
 				if i >= uint64(len(classes)) {
-					return
+					break
 				}
-				c := classes[i]
-				site := sites.Site{
-					Dyn:     c.Pilot(),
-					Operand: isa.Operand{Role: c.Key.Role, Class: c.Class, Reg: c.Reg},
-					Bit:     c.Key.Bit,
-					Width:   c.Width,
+				site := siteOf(classes[i])
+				_, replayDyn := t.ReplaySeed(site.Dyn)
+				if err := inj.prepare(m, site, exp.limit(site)); err != nil {
+					panic(err)
 				}
-				out, cost := exp(m, int(i), site)
-				outcomes[i] = out
-				simInstrs.Add(cost)
-				ran.Add(1)
+				flipDyn := m.Dyn
+				outcomes[i] = exp.finish(m, int(i), site)
+
+				local.Experiments++
+				local.SimInstrs += m.Dyn - t.NearestCheckpointDyn(site.Dyn)
+				local.CleanInstrs += flipDyn - replayDyn
+				local.FaultyInstrs += m.Dyn - flipDyn
 			}
+			mu.Lock()
+			stats.Add(local)
+			mu.Unlock()
 		}()
 	}
 	wg.Wait()
-	return outcomes, Stats{Experiments: int(ran.Load()), SimInstrs: simInstrs.Load()}
+	return outcomes, stats
 }

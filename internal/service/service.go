@@ -95,6 +95,11 @@ type Metrics struct {
 
 	InjectionsRun uint64 `json:"injections_run"`
 	SimInstrs     uint64 `json:"sim_instrs"`
+	// CleanInstrs/FaultyInstrs split the replay engine's actual simulated
+	// work (clean-prefix replay vs post-flip execution); SimInstrs above is
+	// the accounted cost model and stays comparable across engine versions.
+	CleanInstrs  uint64 `json:"clean_instrs"`
+	FaultyInstrs uint64 `json:"faulty_instrs"`
 
 	// StoreHits counts section instances resolved from the cache,
 	// StoreMisses those that had to be injected.
@@ -455,11 +460,15 @@ func (m *Manager) runJob(j *job) {
 	}
 	m.counters.InjectionsRun += uint64(j.progress.Experiments)
 	m.counters.SimInstrs += j.progress.SimInstrs
+	m.counters.CleanInstrs += j.progress.CleanInstrs
+	m.counters.FaultyInstrs += j.progress.FaultyInstrs
 	m.counters.StoreHits += uint64(j.progress.Reused)
 	m.counters.StoreMisses += uint64(j.progress.Injected)
 	if r != nil && len(evals) > 0 {
 		m.counters.InjectionsRun += uint64(r.BaseInject.Experiments)
 		m.counters.SimInstrs += r.BaseCost()
+		m.counters.CleanInstrs += r.BaseInject.CleanInstrs
+		m.counters.FaultyInstrs += r.BaseInject.FaultyInstrs
 	}
 }
 

@@ -124,9 +124,15 @@ func CountRange(t *trace.Trace, lo, hi uint64, opts Options) int {
 func classify(t *trace.Trace, lo, hi uint64, opts Options) []*Class {
 	prune := opts.Prune
 	width := opts.width()
+	per := SitesPerOperand(width)
 	byKey := make(map[ClassKey]*Class)
 	var classes []*Class
 	var ops []isa.Operand
+	// Static identity is a function of the pc alone; resolving it does a
+	// binary search over function bounds, so cache it per pc instead of
+	// recomputing per dynamic instruction.
+	statics := make([]prog.StaticID, len(t.Prog.Linked.Code))
+	haveStatic := make([]bool, len(statics))
 	for d := lo; d < hi; d++ {
 		pc := int(t.PCs[d])
 		in := t.Prog.Linked.Code[pc]
@@ -134,9 +140,13 @@ func classify(t *trace.Trace, lo, hi uint64, opts Options) []*Class {
 		if len(ops) == 0 {
 			continue
 		}
-		static := t.Prog.Linked.StaticIDOf(pc)
+		if !haveStatic[pc] {
+			statics[pc] = t.Prog.Linked.StaticIDOf(pc)
+			haveStatic[pc] = true
+		}
+		static := statics[pc]
 		for _, op := range ops {
-			for bit := 0; bit < SitesPerOperand(width); bit++ {
+			for bit := 0; bit < per; bit++ {
 				key := ClassKey{Static: static, Role: op.Role, Bit: uint8(bit)}
 				if !prune {
 					classes = append(classes, &Class{

@@ -142,3 +142,18 @@ func TestMarkersHaveNoSites(t *testing.T) {
 		}
 	}
 }
+
+func BenchmarkClassify(b *testing.B) {
+	tr, err := trace.Record(testprog.Pipeline())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		classes := Global(tr, Options{Prune: true})
+		if len(classes) == 0 {
+			b.Fatal("no classes")
+		}
+	}
+}

@@ -335,6 +335,60 @@ func (s *Suite) Eq2(name string) (string, error) {
 	return b.String(), nil
 }
 
+// PerfRecord is the machine-readable performance digest of one benchmark
+// version, written by `ffbench -out`. Sim-instruction figures use the
+// paper's accounted cost model; the clean/faulty pairs report the replay
+// engine's actual simulated work (see DESIGN.md, "Replay engine").
+type PerfRecord struct {
+	Bench   string `json:"bench"`
+	Variant string `json:"variant"`
+
+	SiteCount int    `json:"site_count"`
+	DynInstrs uint64 `json:"dyn_instrs"`
+	Reused    int    `json:"reused_instances"`
+	Injected  int    `json:"injected_instances"`
+
+	FFExperiments  int     `json:"ff_experiments"`
+	FFSimInstrs    uint64  `json:"ff_sim_instrs"`
+	FFCleanInstrs  uint64  `json:"ff_clean_instrs"`
+	FFFaultyInstrs uint64  `json:"ff_faulty_instrs"`
+	FFWallNs       int64   `json:"ff_wall_ns"`
+	BaseExperims   int     `json:"base_experiments"`
+	BaseSimInstrs  uint64  `json:"base_sim_instrs"`
+	BaseCleanInstr uint64  `json:"base_clean_instrs"`
+	BaseFaultyInst uint64  `json:"base_faulty_instrs"`
+	BaseWallNs     int64   `json:"base_wall_ns"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// PerfRecords digests every run of the suite for machine-readable output.
+func (s *Suite) PerfRecords() []PerfRecord {
+	recs := make([]PerfRecord, 0, len(s.Runs))
+	for _, run := range s.Runs {
+		r := run.R
+		recs = append(recs, PerfRecord{
+			Bench:          run.Bench,
+			Variant:        string(run.Variant),
+			SiteCount:      r.SiteCount,
+			DynInstrs:      r.Trace.TotalDyn,
+			Reused:         r.ReusedInstances,
+			Injected:       r.InjectedInstances,
+			FFExperiments:  r.FFInject.Experiments,
+			FFSimInstrs:    r.FFCost(),
+			FFCleanInstrs:  r.FFInject.CleanInstrs,
+			FFFaultyInstrs: r.FFInject.FaultyInstrs,
+			FFWallNs:       r.FFWall.Nanoseconds(),
+			BaseExperims:   r.BaseInject.Experiments,
+			BaseSimInstrs:  r.BaseCost(),
+			BaseCleanInstr: r.BaseInject.CleanInstrs,
+			BaseFaultyInst: r.BaseInject.FaultyInstrs,
+			BaseWallNs:     r.BaseWall.Nanoseconds(),
+			Speedup:        float64(r.BaseCost()) / float64(max(r.FFCost(), 1)),
+		})
+	}
+	return recs
+}
+
 func (s *Suite) benchNames() []string {
 	seen := map[string]bool{}
 	var names []string

@@ -1,11 +1,15 @@
 // Package trace records the error-free execution of a program: the dynamic
 // instruction stream, the region of interest, and every section instance
-// with entry/exit checkpoints. The trace is the substrate both injection
-// analyses replay against.
+// with entry/exit checkpoints, plus an optional dense checkpoint stream
+// inside the ROI (every K dynamic instructions, memory-bounded). All
+// checkpoints live in one sorted index, so finding the replay seed for an
+// injection site is a binary search. The trace is the substrate both
+// injection analyses replay against.
 package trace
 
 import (
 	"fmt"
+	"sort"
 
 	"fastflip/internal/prog"
 	"fastflip/internal/spec"
@@ -15,6 +19,31 @@ import (
 // safetyCap aborts clean runs that appear to loop forever; it is far above
 // any benchmark's nominal length.
 const safetyCap = 200_000_000
+
+// Dense checkpointing defaults (see Options).
+const (
+	// DefaultCheckpointInterval is the dense-checkpoint spacing in dynamic
+	// instructions when Options.CheckpointInterval is 0.
+	DefaultCheckpointInterval = 1024
+	// DefaultMaxCheckpoints bounds the dense checkpoints held in memory
+	// when Options.MaxCheckpoints is 0.
+	DefaultMaxCheckpoints = 256
+)
+
+// Options configure trace recording.
+type Options struct {
+	// CheckpointInterval is the dense-checkpoint spacing inside the region
+	// of interest, in dynamic instructions: 0 uses
+	// DefaultCheckpointInterval, negative disables dense checkpointing
+	// (the section entry/exit checkpoints remain). Denser checkpoints cut
+	// replay distance at the price of one memory image per checkpoint.
+	CheckpointInterval int64
+	// MaxCheckpoints bounds how many dense checkpoints are held
+	// (0 = DefaultMaxCheckpoints). When the cap is hit, every other
+	// checkpoint is dropped and the interval doubles, so memory stays
+	// bounded however long the trace runs.
+	MaxCheckpoints int
+}
 
 // Instance is one dynamic execution of a static section.
 type Instance struct {
@@ -58,19 +87,50 @@ type Trace struct {
 	Final *vm.Machine // halted state
 
 	TotalDyn uint64
+
+	// cps is the full checkpoint index — program start, section
+	// entry/exit states, and dense ROI snapshots — sorted by dynamic
+	// index, for O(log n) replay seeding.
+	cps []checkpoint
+	// anchorDyns are the dynamic indices of the section checkpoints only
+	// (start, entries, exits), sorted. They anchor the paper's per-
+	// experiment cost model, which dense engine checkpoints must not
+	// move (see NearestCheckpointDyn).
+	anchorDyns []uint64
 }
 
-// Record executes p cleanly and captures the trace. The clean run must halt
-// normally; a crash, timeout, or malformed marker nesting is an error in
-// the benchmark itself.
+// checkpoint is one recorded clean state: the machine just after dynamic
+// instruction dyn-1 executed (machine.Dyn == dyn).
+type checkpoint struct {
+	dyn uint64
+	m   *vm.Machine
+}
+
+// Record executes p cleanly and captures the trace with default Options.
 func Record(p *spec.Program) (*Trace, error) {
+	return RecordWith(p, Options{})
+}
+
+// RecordWith executes p cleanly and captures the trace. The clean run must
+// halt normally; a crash, timeout, or malformed marker nesting is an error
+// in the benchmark itself.
+func RecordWith(p *spec.Program, opts Options) (*Trace, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	interval := opts.CheckpointInterval
+	if interval == 0 {
+		interval = DefaultCheckpointInterval
+	}
+	maxDense := opts.MaxCheckpoints
+	if maxDense <= 0 {
+		maxDense = DefaultMaxCheckpoints
 	}
 	m := p.NewMachine()
 	m.MaxDyn = safetyCap
 
 	t := &Trace{Prog: p, Start: m.Clone()}
+	var dense []checkpoint
 	occur := make([]int, len(p.Sections))
 	var open *Instance
 	roiOpen, roiSeen := false, false
@@ -136,6 +196,23 @@ func Record(p *spec.Program) (*Trace, error) {
 				open.Funcs[fi] = true
 			}
 		}
+
+		// Dense checkpointing: snapshot the clean state every interval
+		// dynamic instructions inside the ROI. When the cap is hit, thin
+		// to every other snapshot and double the interval.
+		if roiOpen && interval > 0 && m.Dyn%uint64(interval) == 0 {
+			dense = append(dense, checkpoint{dyn: m.Dyn, m: m.Clone()})
+			if len(dense) > maxDense {
+				interval *= 2
+				kept := dense[:0]
+				for _, cp := range dense {
+					if cp.dyn%uint64(interval) == 0 {
+						kept = append(kept, cp)
+					}
+				}
+				dense = kept
+			}
+		}
 	}
 	if open != nil {
 		return nil, fmt.Errorf("trace %s: section %d never closed", p.Name, open.Sec)
@@ -153,47 +230,65 @@ func Record(p *spec.Program) (*Trace, error) {
 				p.Name, inst.Sec, inst.Occur)
 		}
 	}
+	t.buildIndex(dense)
 	return t, nil
+}
+
+// buildIndex assembles the sorted checkpoint index and the cost-model
+// anchor list from the section checkpoints plus the dense snapshots.
+func (t *Trace) buildIndex(dense []checkpoint) {
+	t.cps = make([]checkpoint, 0, 1+2*len(t.Instances)+len(dense))
+	t.cps = append(t.cps, checkpoint{dyn: 0, m: t.Start})
+	for _, inst := range t.Instances {
+		t.cps = append(t.cps,
+			checkpoint{dyn: inst.BegDyn + 1, m: inst.Entry},
+			checkpoint{dyn: inst.EndDyn + 1, m: inst.Exit})
+	}
+	t.anchorDyns = make([]uint64, len(t.cps))
+	for i, cp := range t.cps {
+		t.anchorDyns[i] = cp.dyn
+	}
+	t.cps = append(t.cps, dense...)
+	sort.Slice(t.cps, func(i, j int) bool { return t.cps[i].dyn < t.cps[j].dyn })
 }
 
 // InstanceAt returns the section instance containing dynamic index d, or
 // nil if d falls outside every section (an untested site in §4.9 terms).
+// Instances are disjoint and sorted by BegDyn (sections cannot nest), so
+// this is a binary search.
 func (t *Trace) InstanceAt(d uint64) *Instance {
-	for _, inst := range t.Instances {
-		if inst.Contains(d) {
-			return inst
-		}
+	i := sort.Search(len(t.Instances), func(i int) bool { return t.Instances[i].BegDyn >= d }) - 1
+	if i >= 0 && t.Instances[i].Contains(d) {
+		return t.Instances[i]
 	}
 	return nil
 }
 
 // NearestCheckpoint returns the latest recorded machine state at or before
-// dynamic index d, to seed a replay. It is the program start or a section
-// entry/exit checkpoint.
+// dynamic index d, to seed a replay: the program start, a section
+// entry/exit checkpoint, or a dense ROI snapshot.
 func (t *Trace) NearestCheckpoint(d uint64) *vm.Machine {
-	m, _ := t.nearest(d)
+	m, _ := t.ReplaySeed(d)
 	return m
 }
 
-// NearestCheckpointDyn returns the dynamic index of the checkpoint that
-// NearestCheckpoint(d) would return, for cost accounting.
-func (t *Trace) NearestCheckpointDyn(d uint64) uint64 {
-	_, dyn := t.nearest(d)
-	return dyn
+// ReplaySeed returns NearestCheckpoint(d) together with its dynamic index,
+// so replay engines can account the clean instructions they actually
+// simulate.
+func (t *Trace) ReplaySeed(d uint64) (*vm.Machine, uint64) {
+	i := sort.Search(len(t.cps), func(i int) bool { return t.cps[i].dyn > d }) - 1
+	cp := t.cps[i]
+	return cp.m, cp.dyn
 }
 
-func (t *Trace) nearest(d uint64) (*vm.Machine, uint64) {
-	best := t.Start
-	bestDyn := uint64(0)
-	for _, inst := range t.Instances {
-		if e := inst.BegDyn + 1; e <= d && e >= bestDyn {
-			best, bestDyn = inst.Entry, e
-		}
-		if e := inst.EndDyn + 1; e <= d && e >= bestDyn {
-			best, bestDyn = inst.Exit, e
-		}
-	}
-	return best, bestDyn
+// NearestCheckpointDyn returns the dynamic index of the nearest *section*
+// checkpoint (program start or section entry/exit) at or before d. This is
+// the per-experiment cost anchor of the paper's checkpoint model: dense
+// engine checkpoints deliberately do not move it, so accounted analysis
+// costs stay comparable across replay-engine versions.
+func (t *Trace) NearestCheckpointDyn(d uint64) uint64 {
+	i := sort.Search(len(t.anchorDyns), func(i int) bool { return t.anchorDyns[i] > d }) - 1
+	return t.anchorDyns[i]
 }
 
 // StaticIDOfDyn returns the stable static identity of dynamic instruction d.

@@ -110,6 +110,110 @@ func TestNearestCheckpoint(t *testing.T) {
 	}
 }
 
+func TestInstanceAtBoundaries(t *testing.T) {
+	tr := record(t)
+	// Marker indices and instance edges.
+	for _, inst := range tr.Instances {
+		if got := tr.InstanceAt(inst.BegDyn); got != nil {
+			t.Errorf("InstanceAt(BegDyn %d) = section %d, want nil", inst.BegDyn, got.Sec)
+		}
+		if got := tr.InstanceAt(inst.EndDyn); got != nil {
+			t.Errorf("InstanceAt(EndDyn %d) = section %d, want nil", inst.EndDyn, got.Sec)
+		}
+		if got := tr.InstanceAt(inst.BegDyn + 1); got != inst {
+			t.Errorf("InstanceAt(%d) missed its instance", inst.BegDyn+1)
+		}
+		if got := tr.InstanceAt(inst.EndDyn - 1); got != inst {
+			t.Errorf("InstanceAt(%d) missed its instance", inst.EndDyn-1)
+		}
+	}
+	// The gap between the two instances belongs to no section.
+	s0, s1 := tr.Instances[0], tr.Instances[1]
+	for d := s0.EndDyn; d <= s1.BegDyn; d++ {
+		if got := tr.InstanceAt(d); got != nil {
+			t.Errorf("InstanceAt(%d) in the gap = section %d", d, got.Sec)
+		}
+	}
+	// Exhaustive agreement with the linear scan it replaced.
+	linear := func(d uint64) *Instance {
+		for _, inst := range tr.Instances {
+			if inst.Contains(d) {
+				return inst
+			}
+		}
+		return nil
+	}
+	for d := uint64(0); d <= tr.TotalDyn; d++ {
+		if got, want := tr.InstanceAt(d), linear(d); got != want {
+			t.Fatalf("InstanceAt(%d) = %v, linear scan = %v", d, got, want)
+		}
+	}
+}
+
+func TestDenseCheckpointsSeedReplay(t *testing.T) {
+	tr, err := RecordWith(testprog.Pipeline(), Options{CheckpointInterval: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.cps) <= 1+2*len(tr.Instances) {
+		t.Fatal("no dense checkpoints recorded at interval 2")
+	}
+	for d := tr.ROIBeg; d < tr.ROIEnd; d++ {
+		seed, dyn := tr.ReplaySeed(d)
+		if dyn > d || seed.Dyn != dyn {
+			t.Fatalf("ReplaySeed(%d) = dyn %d (machine at %d)", d, dyn, seed.Dyn)
+		}
+		// Replaying the seed forward must reproduce the clean state.
+		got := seed.Clone()
+		got.RunUntilDyn(d)
+		want := tr.Start.Clone()
+		want.RunUntilDyn(d)
+		if got.PC != want.PC || got.R != want.R || got.F != want.F {
+			t.Fatalf("replay from seed diverged at dyn %d", d)
+		}
+		for i := range want.Mem {
+			if got.Mem[i] != want.Mem[i] {
+				t.Fatalf("replay from seed: mem[%d] differs at dyn %d", i, d)
+			}
+		}
+	}
+}
+
+func TestDenseCheckpointCompaction(t *testing.T) {
+	tr, err := RecordWith(testprog.Pipeline(), Options{CheckpointInterval: 1, MaxCheckpoints: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseCount := len(tr.cps) - 1 - 2*len(tr.Instances)
+	if denseCount > 4 {
+		t.Errorf("compaction kept %d dense checkpoints, cap 4", denseCount)
+	}
+	if denseCount == 0 {
+		t.Error("compaction dropped every dense checkpoint")
+	}
+}
+
+func TestCostAnchorIgnoresDenseCheckpoints(t *testing.T) {
+	sparse, err := RecordWith(testprog.Pipeline(), Options{CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := RecordWith(testprog.Pipeline(), Options{CheckpointInterval: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := uint64(0); d < sparse.TotalDyn; d++ {
+		if s, g := sparse.NearestCheckpointDyn(d), dense.NearestCheckpointDyn(d); s != g {
+			t.Fatalf("cost anchor moved with checkpoint density at dyn %d: %d vs %d", d, s, g)
+		}
+	}
+	// But the replay seed does get closer.
+	mid := (sparse.Instances[1].BegDyn + sparse.Instances[1].EndDyn) / 2
+	if _, dyn := dense.ReplaySeed(mid); dyn != mid {
+		t.Errorf("interval-1 replay seed for dyn %d is %d", mid, dyn)
+	}
+}
+
 func TestDynCounts(t *testing.T) {
 	tr := record(t)
 	counts := tr.DynCounts()

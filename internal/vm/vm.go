@@ -6,7 +6,9 @@
 // It detects the paper's "detected" outcome classes natively: crashes
 // (invalid memory access, division error, bad control flow) and timeouts
 // (dynamic instruction count exceeding a limit). Checkpoint/restore via
-// Clone supports both per-section injection and fast re-execution.
+// Clone supports both per-section injection and fast re-execution, and an
+// optional write journal (BeginJournal) lets a forked execution be
+// reverted to its fork point by undoing only the memory words it touched.
 package vm
 
 import (
@@ -114,6 +116,21 @@ type Machine struct {
 
 	Status Status
 	Crash  CrashKind
+
+	// Write journal (BeginJournal): an undo log of overwritten memory
+	// words, so a forked execution can be reverted to its fork point
+	// without copying all of Mem.
+	journal    []memWrite
+	journaling bool
+	overflowed bool
+}
+
+// memWrite is one journaled memory write: the word's value before the
+// write. The pre-images suffice to undo the run in reverse, and the
+// addresses alone suffice to redo it into another machine.
+type memWrite struct {
+	addr uint64
+	prev uint64
 }
 
 // New returns a machine for the linked code with memWords words of zeroed
@@ -128,19 +145,22 @@ func New(code []isa.Instr, entry int, memWords int) *Machine {
 
 // Clone returns a deep copy of the machine. The instruction slice is shared
 // (it is immutable during execution); memory and the call stack are copied.
+// The clone starts with no journal regardless of m's journaling state.
 func (m *Machine) Clone() *Machine {
 	c := *m
 	c.Mem = make([]uint64, len(m.Mem))
 	copy(c.Mem, m.Mem)
 	c.Stack = make([]int, len(m.Stack))
 	copy(c.Stack, m.Stack)
+	c.journal, c.journaling, c.overflowed = nil, false, false
 	return &c
 }
 
 // RestoreFrom overwrites m's state from src without allocating when the
-// memory sizes match. Code is shared.
+// memory sizes match. Code is shared. Any journal m was keeping is reset:
+// a full restore supersedes it.
 func (m *Machine) RestoreFrom(src *Machine) {
-	mem, stack := m.Mem, m.Stack
+	mem, stack, journal := m.Mem, m.Stack, m.journal
 	*m = *src
 	if len(mem) == len(src.Mem) {
 		copy(mem, src.Mem)
@@ -150,6 +170,89 @@ func (m *Machine) RestoreFrom(src *Machine) {
 		copy(m.Mem, src.Mem)
 	}
 	m.Stack = append(stack[:0], src.Stack...)
+	m.journal, m.journaling, m.overflowed = journal[:0], false, false
+}
+
+// CopyScalarsFrom copies every piece of architectural state except memory
+// from src: registers, PC, call stack, counters, and status. Combined with
+// UndoJournal (or ReplayJournalInto on the source side) it restores a fork
+// to its fork point without touching untouched memory.
+func (m *Machine) CopyScalarsFrom(src *Machine) {
+	m.R = src.R
+	m.F = src.F
+	m.PC = src.PC
+	m.Stack = append(m.Stack[:0], src.Stack...)
+	m.Dyn = src.Dyn
+	m.MaxDyn = src.MaxDyn
+	m.Status = src.Status
+	m.Crash = src.Crash
+}
+
+// journalCap bounds the journal: past this many entries an undo walk costs
+// more than a flat memory copy, so journaling turns itself off and the
+// caller falls back to RestoreFrom.
+func (m *Machine) journalCap() int {
+	if c := len(m.Mem) / 4; c > 64 {
+		return c
+	}
+	return 64
+}
+
+// BeginJournal resets the journal and starts recording the pre-image of
+// every memory write, so the run from this point can be undone by
+// UndoJournal or replayed into a sibling by ReplayJournalInto.
+func (m *Machine) BeginJournal() {
+	m.journal = m.journal[:0]
+	m.journaling = true
+	m.overflowed = false
+}
+
+// EndJournal stops recording without reverting anything.
+func (m *Machine) EndJournal() { m.journaling = false }
+
+// JournalOverflowed reports whether the journal hit its size bound since
+// BeginJournal; if so Undo/Replay refuse and the caller must full-restore.
+func (m *Machine) JournalOverflowed() bool { return m.overflowed }
+
+// UndoJournal reverts the journaled memory writes newest-first and stops
+// journaling, returning false (with memory untouched) if the journal
+// overflowed and the undo log is incomplete.
+func (m *Machine) UndoJournal() bool {
+	m.journaling = false
+	if m.overflowed {
+		return false
+	}
+	for i := len(m.journal) - 1; i >= 0; i-- {
+		w := m.journal[i]
+		m.Mem[w.addr] = w.prev
+	}
+	m.journal = m.journal[:0]
+	return true
+}
+
+// ReplayJournalInto copies m's current value of every journaled address
+// into dst.Mem, bringing a dst that matched m at BeginJournal up to date
+// without a full memory copy. Returns false if the journal overflowed (dst
+// is untouched; the caller must full-restore).
+func (m *Machine) ReplayJournalInto(dst *Machine) bool {
+	if m.overflowed {
+		return false
+	}
+	for _, w := range m.journal {
+		dst.Mem[w.addr] = m.Mem[w.addr]
+	}
+	return true
+}
+
+// recordWrite journals the pre-image of Mem[addr], disabling the journal
+// at its size bound.
+func (m *Machine) recordWrite(addr uint64) {
+	if len(m.journal) >= m.journalCap() {
+		m.journaling = false
+		m.overflowed = true
+		return
+	}
+	m.journal = append(m.journal, memWrite{addr: addr, prev: m.Mem[addr]})
 }
 
 // Fl returns float register f as a float64.
@@ -319,6 +422,9 @@ func (m *Machine) Step() Event {
 		if addr >= uint64(len(m.Mem)) {
 			return m.crash(CrashMemOOB)
 		}
+		if m.journaling {
+			m.recordWrite(addr)
+		}
 		m.Mem[addr] = m.R[in.Ra]
 	case isa.FLD:
 		addr := m.R[in.Ra] + uint64(in.Imm)
@@ -330,6 +436,9 @@ func (m *Machine) Step() Event {
 		addr := m.R[in.Rb] + uint64(in.Imm)
 		if addr >= uint64(len(m.Mem)) {
 			return m.crash(CrashMemOOB)
+		}
+		if m.journaling {
+			m.recordWrite(addr)
 		}
 		m.Mem[addr] = m.F[in.Ra]
 

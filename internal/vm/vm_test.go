@@ -471,6 +471,103 @@ func TestStatusAndCrashStrings(t *testing.T) {
 	}
 }
 
+func TestJournalUndoRevertsMemory(t *testing.T) {
+	code := []isa.Instr{
+		{Op: isa.LI, Rd: 1, Imm: 7},
+		{Op: isa.ST, Ra: 1, Rb: 0, Imm: 3}, // Mem[3] = 7
+		{Op: isa.ST, Ra: 1, Rb: 0, Imm: 5}, // Mem[5] = 7
+		{Op: isa.ST, Ra: 0, Rb: 0, Imm: 3}, // Mem[3] = r0 (second write, same word)
+		{Op: isa.HALT},
+	}
+	m := New(code, 0, 16)
+	m.Mem[3], m.Mem[5] = 100, 200
+	snap := m.Clone()
+
+	m.BeginJournal()
+	m.Run()
+	if m.Mem[3] != 0 || m.Mem[5] != 7 {
+		t.Fatalf("run state: mem[3]=%d mem[5]=%d", m.Mem[3], m.Mem[5])
+	}
+	if !m.UndoJournal() {
+		t.Fatal("UndoJournal reported overflow on a short run")
+	}
+	m.CopyScalarsFrom(snap)
+	for i, want := range snap.Mem {
+		if m.Mem[i] != want {
+			t.Errorf("mem[%d] = %d after undo, want %d", i, m.Mem[i], want)
+		}
+	}
+	if m.Dyn != snap.Dyn || m.PC != snap.PC || m.Status != snap.Status {
+		t.Errorf("scalars not reverted: dyn=%d pc=%d status=%v", m.Dyn, m.PC, m.Status)
+	}
+}
+
+func TestJournalReplayInto(t *testing.T) {
+	code := []isa.Instr{
+		{Op: isa.LI, Rd: 1, Imm: 9},
+		{Op: isa.ST, Ra: 1, Rb: 0, Imm: 2},
+		{Op: isa.ST, Ra: 1, Rb: 0, Imm: 8},
+		{Op: isa.HALT},
+	}
+	m := New(code, 0, 16)
+	sibling := m.Clone()
+	m.BeginJournal()
+	m.Run()
+	if !m.ReplayJournalInto(sibling) {
+		t.Fatal("ReplayJournalInto reported overflow")
+	}
+	sibling.CopyScalarsFrom(m)
+	for i := range m.Mem {
+		if sibling.Mem[i] != m.Mem[i] {
+			t.Errorf("mem[%d]: sibling %d, source %d", i, sibling.Mem[i], m.Mem[i])
+		}
+	}
+}
+
+func TestJournalOverflowFallsBack(t *testing.T) {
+	// A tight store loop overruns the journal bound (len(Mem)/4 min 64);
+	// Undo must refuse and leave memory as the run left it.
+	code := []isa.Instr{
+		{Op: isa.LI, Rd: 1, Imm: 1},
+		{Op: isa.ADD, Rd: 2, Ra: 2, Rb: 1},  // r2++
+		{Op: isa.ST, Ra: 2, Rb: 0, Imm: 0},  // Mem[0] = r2
+		{Op: isa.BLT, Ra: 2, Rb: 3, Imm: 1}, // loop while r2 < r3
+		{Op: isa.HALT},
+	}
+	m := New(code, 0, 16)
+	m.R[3] = 1000
+	snap := m.Clone()
+	m.BeginJournal()
+	m.Run()
+	if !m.JournalOverflowed() {
+		t.Fatal("journal did not overflow after 1000 stores")
+	}
+	if m.UndoJournal() {
+		t.Fatal("UndoJournal succeeded despite overflow")
+	}
+	if m.ReplayJournalInto(snap) {
+		t.Fatal("ReplayJournalInto succeeded despite overflow")
+	}
+	m.RestoreFrom(snap) // the documented fallback
+	if m.Mem[0] != 0 || m.Dyn != 0 {
+		t.Errorf("fallback restore failed: mem[0]=%d dyn=%d", m.Mem[0], m.Dyn)
+	}
+	// The journal is reusable after the full restore.
+	m.BeginJournal()
+	if m.JournalOverflowed() {
+		t.Error("overflow flag survived BeginJournal")
+	}
+}
+
+func TestCloneDropsJournal(t *testing.T) {
+	m := New([]isa.Instr{{Op: isa.HALT}}, 0, 16)
+	m.BeginJournal()
+	c := m.Clone()
+	if c.journaling || len(c.journal) != 0 {
+		t.Error("Clone inherited an active journal")
+	}
+}
+
 func BenchmarkStepALU(b *testing.B) {
 	code := []isa.Instr{
 		{Op: isa.ADD, Rd: 1, Ra: 1, Rb: 2},
