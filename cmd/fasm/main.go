@@ -16,6 +16,7 @@ import (
 
 	"fastflip/internal/asm"
 	"fastflip/internal/bench"
+	"fastflip/internal/inject"
 	"fastflip/internal/vm"
 )
 
@@ -29,8 +30,27 @@ func main() {
 		entry     = flag.String("entry", "main", "entry function for -run")
 		mem       = flag.Int("mem", 1024, "memory words for -run")
 		dump      = flag.Int("dump", 8, "memory words to print after -run")
+		walInfo   = flag.String("wal-info", "", "describe a write-ahead campaign log segment (records, seal state, torn tail)")
 	)
 	flag.Parse()
+
+	if *walInfo != "" {
+		info, err := inject.InspectSegment(*walInfo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("segment:     %s\n", *walInfo)
+		fmt.Printf("format:      v%d\n", info.Version)
+		fmt.Printf("section key: %x\n", info.Key)
+		fmt.Printf("fingerprint: %016x\n", info.Fingerprint)
+		fmt.Printf("experiments: %d\n", info.Experiments)
+		fmt.Printf("sensitivity: %v\n", info.HasAmp)
+		fmt.Printf("sealed:      %v\n", info.Sealed)
+		if info.TailBytes > 0 {
+			fmt.Printf("torn tail:   %d bytes (resume will truncate)\n", info.TailBytes)
+		}
+		return
+	}
 
 	if *dumpBench != "" {
 		p, err := bench.Build(*dumpBench, bench.Variant(*variant))

@@ -40,6 +40,8 @@ func main() {
 		spec      = flag.Bool("spec", false, "print the composed end-to-end SDC specification")
 		report    = flag.Bool("report", false, "print the per-instruction vulnerability report")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON (the shape ffserved returns) instead of text")
+		walDir    = flag.String("wal-dir", "", "write-ahead campaign log directory (crash-safe persistence of completed experiments)")
+		resume    = flag.Bool("resume", false, "with -wal-dir: merge experiments a previous (crashed) run logged and re-execute only the remainder")
 	)
 	flag.Parse()
 	if *benchName == "" {
@@ -49,6 +51,11 @@ func main() {
 
 	cfg := fastflip.DefaultConfig()
 	cfg.Workers = *workers
+	cfg.WALDir = *walDir
+	cfg.Resume = *resume
+	if *resume && *walDir == "" {
+		log.Fatal("-resume requires -wal-dir")
+	}
 	cfg.Targets = nil
 	for _, f := range strings.Split(*targets, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
@@ -85,6 +92,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	for _, n := range r.WALNotes {
+		log.Printf("wal: %s", n)
+	}
 
 	var evals []fastflip.TargetEval
 	if *baseline {
@@ -110,6 +120,10 @@ func main() {
 		fmt.Printf("static coverage: %d/%d instructions of interest executed\n", exec, total)
 		fmt.Printf("FastFlip: %d experiments, %.1f Mi simulated instructions, %v wall (%d sections reused)\n",
 			r.FFInject.Experiments, float64(r.FFCost())/1e6, r.FFWall.Round(1e6), r.ReusedInstances)
+		if n := r.ResumedExperiments(); n > 0 {
+			fmt.Printf("resumed: %d experiments recovered from the campaign log, %d re-executed\n",
+				n, r.FFInject.Experiments-n)
+		}
 		st := r.FFOutcomeStats(*eps)
 		fmt.Printf("outcomes (FastFlip labels): masked %.1f%%, detected %.1f%%, SDC-good %.1f%%, SDC-bad %.1f%%, untested %.1f%%\n",
 			pct(st.Masked, st.Total()), pct(st.Detected, st.Total()),

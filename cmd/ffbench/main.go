@@ -29,11 +29,20 @@ func main() {
 		quick      = flag.Bool("quick", false, "fewer sensitivity samples for a faster run")
 		quiet      = flag.Bool("quiet", false, "suppress per-version progress lines")
 		out        = flag.String("out", "", "write per-version perf records (wall time, sim-instrs, clean/faulty split, speedup) as JSON to this file")
+		walDir     = flag.String("wal-dir", "", "write-ahead campaign log directory (crash-safe persistence of completed experiments)")
+		resume     = flag.Bool("resume", false, "with -wal-dir: merge experiments a previous (crashed) run logged and re-execute only the remainder")
 	)
 	flag.Parse()
 
+	if *resume && *walDir == "" {
+		fmt.Fprintln(os.Stderr, "ffbench: -resume requires -wal-dir")
+		os.Exit(2)
+	}
+
 	opts := tables.DefaultOptions()
 	opts.Workers = *workers
+	opts.WALDir = *walDir
+	opts.Resume = *resume
 	if *benchmarks != "" {
 		opts.Benchmarks = strings.Split(*benchmarks, ",")
 	}

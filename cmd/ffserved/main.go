@@ -44,6 +44,8 @@ func main() {
 		workers = flag.Int("workers", 0, "default injection worker goroutines per job (0 = GOMAXPROCS)")
 		drain   = flag.Duration("drain", 30*time.Second, "how long to let running jobs finish on shutdown")
 		debug   = flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
+		walDir  = flag.String("wal-dir", "", "write-ahead campaign log directory; a job re-POSTed over a crashed campaign resumes it and reports resumed_experiments")
+		benches = flag.Int("max-benches", 0, "benchmark stores kept in the cache, LRU-evicted beyond this (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -66,10 +68,12 @@ func main() {
 	}
 
 	mgr := service.New(service.Options{
-		Workers:       *jobs,
-		QueueDepth:    *queue,
-		MaxRetained:   *retain,
-		InjectWorkers: *workers,
+		Workers:          *jobs,
+		QueueDepth:       *queue,
+		MaxRetained:      *retain,
+		InjectWorkers:    *workers,
+		WALDir:           *walDir,
+		MaxCachedBenches: *benches,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

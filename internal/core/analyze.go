@@ -14,6 +14,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"fastflip/internal/chisel"
@@ -75,6 +76,17 @@ type Config struct {
 	// restore + per-experiment clean replay). Outcomes are identical; this
 	// exists for equivalence testing and engine comparisons.
 	LegacyReplay bool
+	// WALDir, when non-empty, enables the write-ahead campaign log: every
+	// completed experiment is appended to a per-section segment under
+	// <WALDir>/<program>/ before the campaign proceeds, so a crashed
+	// analysis can resume at experiment granularity.
+	WALDir string
+	// Resume makes Analyze recover a matching campaign from WALDir —
+	// logged experiments are merged instead of re-executed and only the
+	// remainder is scheduled. Without Resume, existing campaign state for
+	// the program is wiped and the log starts fresh. Ignored when WALDir
+	// is empty.
+	Resume bool
 }
 
 // DefaultConfig mirrors the paper's evaluation setup.
@@ -134,9 +146,21 @@ type Result struct {
 	FFWall     time.Duration
 	BaseWall   time.Duration
 
+	// FFRecovered is the portion of FFInject merged from a write-ahead log
+	// instead of re-executed; newly simulated work is FFInject minus
+	// FFRecovered. Zero unless Cfg.WALDir and Cfg.Resume are set.
+	FFRecovered inject.Stats
+	// WALNotes records non-fatal write-ahead-log anomalies: torn tails
+	// truncated during recovery, lock conflicts, discarded stale state.
+	WALNotes []string
+
 	ReusedInstances   int
 	InjectedInstances int
 }
+
+// ResumedExperiments returns the number of experiments recovered from the
+// write-ahead log rather than re-executed.
+func (r *Result) ResumedExperiments() int { return r.FFRecovered.Experiments }
 
 // FFCost returns FastFlip's total analysis cost in simulated instructions.
 func (r *Result) FFCost() uint64 { return r.FFInject.SimInstrs + r.FFSens.SimInstrs }
@@ -160,6 +184,9 @@ type Progress struct {
 	// paper's accounted cost model.
 	CleanInstrs  uint64 `json:"clean_instrs"`
 	FaultyInstrs uint64 `json:"faulty_instrs"`
+	// ResumedExperiments counts experiments recovered from a write-ahead
+	// log instead of re-executed (included in Experiments).
+	ResumedExperiments int `json:"resumed_experiments"`
 }
 
 // Analyzer runs FastFlip over successive versions of a program, reusing
@@ -205,17 +232,29 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, p *spec.Program) (*Result
 	}
 	inj := &inject.Injector{T: t, Workers: a.Cfg.Workers, Legacy: a.Cfg.LegacyReplay}
 
+	var cam *campaign
+	if a.Cfg.WALDir != "" {
+		if cam, err = openCampaign(a.Cfg.WALDir, p, t, a.Cfg); err != nil {
+			return nil, err
+		}
+		defer func() {
+			r.WALNotes = cam.takeNotes()
+			cam.closeCampaign()
+		}()
+	}
+
 	report := func() {
 		if a.Progress != nil {
 			a.Progress(Progress{
-				Instances:    len(t.Instances),
-				Done:         r.ReusedInstances + r.InjectedInstances,
-				Reused:       r.ReusedInstances,
-				Injected:     r.InjectedInstances,
-				Experiments:  r.FFInject.Experiments,
-				SimInstrs:    r.FFCost(),
-				CleanInstrs:  r.FFInject.CleanInstrs,
-				FaultyInstrs: r.FFInject.FaultyInstrs,
+				Instances:          len(t.Instances),
+				Done:               r.ReusedInstances + r.InjectedInstances,
+				Reused:             r.ReusedInstances,
+				Injected:           r.InjectedInstances,
+				Experiments:        r.FFInject.Experiments,
+				SimInstrs:          r.FFCost(),
+				CleanInstrs:        r.FFInject.CleanInstrs,
+				FaultyInstrs:       r.FFInject.FaultyInstrs,
+				ResumedExperiments: r.FFRecovered.Experiments,
 			})
 		}
 	}
@@ -243,29 +282,103 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, p *spec.Program) (*Result
 			continue
 		}
 
+		// Open this section's write-ahead segment. Experiments recovered
+		// from it are marked in skip and merged instead of re-executed;
+		// everything the engine runs is appended through the record hook
+		// before the campaign moves on.
+		wal, recovered := cam.openSection(key)
+		var skip []bool
+		var recStats inject.Stats
+		nRecovered := 0
+		if wal != nil && len(recovered.Records) > 0 {
+			skip = make([]bool, len(classes))
+			for i, c := range classes {
+				if rec, ok := recovered.Records[c.Key]; ok && (!a.Cfg.CoRunBaseline || rec.Fin != nil) {
+					skip[i] = true
+					nRecovered++
+					recStats.Add(rec.Cost)
+				}
+			}
+		}
+		hooks := inject.CampaignHooks{Skip: skip}
+		if wal != nil {
+			var appendErr sync.Once
+			hooks.Record = func(i int, out metrics.Outcome, fin *metrics.Outcome, cost inject.Stats) {
+				if err := wal.Append(inject.WALRecord{Key: classes[i].Key, Out: out, Fin: fin, Cost: cost}); err != nil {
+					appendErr.Do(func() { cam.note(fmt.Sprintf("section %s: wal append: %v", key, err)) })
+				}
+			}
+		}
+
 		var outcomes, fins []metrics.Outcome
 		var stats inject.Stats
 		if a.Cfg.CoRunBaseline {
-			outcomes, fins, stats = inj.RunSectionCoRun(ctx, inst, classes)
+			outcomes, fins, stats = inj.RunSectionCoRunResume(ctx, inst, classes, hooks)
 		} else {
-			outcomes, stats = inj.RunSection(ctx, inst, classes)
+			outcomes, stats = inj.RunSectionResume(ctx, inst, classes, hooks)
 		}
 		r.FFInject.Add(stats)
 		if err := ctx.Err(); err != nil {
 			// The campaign was cut short: the outcome slices are partial
-			// and must not be recorded or stored.
+			// and must not be recorded or stored. The WAL keeps every
+			// completed experiment for the retry.
+			if wal != nil {
+				cam.markPartial(key, wal.Count())
+				wal.Close()
+			}
 			return nil, err
 		}
-		amp, sstats := sens.Analyze(t, inst, a.Cfg.Sens)
-		r.FFSens.Runs += sstats.Runs
-		r.FFSens.SimInstrs += sstats.SimInstrs
+		// Fill the skipped slots from the recovered records so the merged
+		// section is indistinguishable from an uninterrupted campaign.
+		for i := range classes {
+			if i < len(skip) && skip[i] {
+				rec := recovered.Records[classes[i].Key]
+				outcomes[i] = rec.Out
+				if fins != nil && rec.Fin != nil {
+					fins[i] = *rec.Fin
+				}
+			}
+		}
+		r.FFInject.Add(recStats)
+		r.FFRecovered.Add(recStats)
+
+		// A fully recovered, sealed section reuses its logged sensitivity
+		// matrix; otherwise the (deterministic) estimation reruns and the
+		// segment is sealed behind it.
+		var amp *sens.Amplification
+		if nRecovered == len(classes) && recovered.Amp != nil {
+			amp = &sens.Amplification{K: recovered.Amp.K}
+			r.FFSens.Runs += recovered.Amp.Runs
+			r.FFSens.SimInstrs += recovered.Amp.SimInstrs
+		} else {
+			var sstats sens.Stats
+			amp, sstats = sens.Analyze(t, inst, a.Cfg.Sens)
+			r.FFSens.Runs += sstats.Runs
+			r.FFSens.SimInstrs += sstats.SimInstrs
+			if wal != nil {
+				if err := wal.AppendAmp(inject.WALAmp{K: amp.K, Runs: sstats.Runs, SimInstrs: sstats.SimInstrs}); err != nil {
+					cam.note(fmt.Sprintf("section %s: wal amp append: %v", key, err))
+				}
+			}
+		}
+		if wal != nil {
+			if !recovered.Sealed {
+				if err := wal.Seal(); err != nil {
+					cam.note(fmt.Sprintf("section %s: wal seal: %v", key, err))
+				}
+			}
+			cam.markSealed(key, wal.Count())
+			wal.Close()
+		}
 		r.Amps[idx] = amp
 		r.InjectedInstances++
 
+		secStats := recStats
+		secStats.Add(stats)
 		stored := &store.Section{
 			Outcomes:  make(map[sites.ClassKey]store.Outcome, len(classes)),
 			Amp:       amp.K,
-			SimInstrs: stats.SimInstrs,
+			SimInstrs: secStats.SimInstrs,
 		}
 		if fins != nil {
 			stored.Final = make(map[sites.ClassKey]store.Outcome, len(classes))

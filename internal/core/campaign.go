@@ -1,0 +1,236 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+
+	"fastflip/internal/inject"
+	"fastflip/internal/mix"
+	"fastflip/internal/spec"
+	"fastflip/internal/store"
+	"fastflip/internal/trace"
+)
+
+// manifestName and lockName are the fixed files inside a campaign
+// directory; everything else in it is a per-section WAL segment.
+const (
+	manifestName = "campaign.manifest"
+	lockName     = "campaign.lock"
+)
+
+// campaign is the write-ahead state of one Analyze run: a directory of
+// per-section WAL segments plus a versioned manifest, exclusively locked
+// for the duration of the analysis. A nil *campaign (or one that failed to
+// acquire its lock) degrades every method to a no-op, so AnalyzeContext
+// can call through unconditionally.
+type campaign struct {
+	dir          string
+	manifestPath string
+	manifest     *store.Manifest
+	lock         *os.File
+	walFP        uint64 // per-segment header fingerprint (trace ⊕ config)
+	resume       bool
+	disabled     bool
+
+	mu    sync.Mutex
+	notes []string
+}
+
+// openCampaign prepares the campaign directory for p under walDir. With
+// resume set, a matching manifest keeps its section segments; a missing or
+// mismatched manifest (different trace, config, or format version) wipes
+// them. Without resume, the directory is always wiped. A held lock —
+// another process or job is running the same campaign — disables the WAL
+// for this run instead of failing the analysis.
+func openCampaign(walDir string, p *spec.Program, t *trace.Trace, cfg Config) (*campaign, error) {
+	dir := filepath.Join(walDir, sanitizeName(p.Name))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: wal campaign: %w", err)
+	}
+	traceFP := t.Fingerprint()
+	configFP := configFingerprint(cfg)
+	c := &campaign{
+		dir:          dir,
+		manifestPath: filepath.Join(dir, manifestName),
+		walFP:        mix.Fold(traceFP, configFP),
+		resume:       cfg.Resume,
+	}
+
+	// The lock is flock-based so it dies with the process: a SIGKILLed
+	// campaign never wedges its successor.
+	lf, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("core: wal campaign: %w", err)
+	}
+	if err := syscall.Flock(int(lf.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lf.Close()
+		c.disabled = true
+		c.note(fmt.Sprintf("campaign %s is locked by another run; continuing without WAL", dir))
+		return c, nil
+	}
+	c.lock = lf
+
+	if cfg.Resume {
+		switch m, err := store.LoadManifest(c.manifestPath); {
+		case err == nil && m.Matches(traceFP, configFP):
+			c.manifest = m
+		case err == nil:
+			c.note(fmt.Sprintf("campaign %s: manifest belongs to a different trace or config; starting fresh", dir))
+		case !errors.Is(err, os.ErrNotExist):
+			c.note(fmt.Sprintf("campaign %s: discarding unreadable manifest (%v)", dir, err))
+		}
+	}
+	if c.manifest == nil {
+		// Fresh campaign: stale segments from any previous identity must
+		// not be picked up by per-section opens.
+		if err := c.wipeSegments(); err != nil {
+			c.closeCampaign()
+			return nil, err
+		}
+		c.manifest = store.NewManifest(p.Name, traceFP, configFP)
+		if err := c.manifest.Save(c.manifestPath); err != nil {
+			c.closeCampaign()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// openSection opens (or recovers) the WAL segment of one section. Errors
+// and torn-tail truncations are demoted to notes: a broken segment costs
+// re-injection, never the analysis.
+func (c *campaign) openSection(key store.Key) (*inject.SectionWAL, *inject.Recovered) {
+	if c == nil || c.disabled {
+		return nil, nil
+	}
+	w, rec, err := inject.OpenSectionWAL(c.dir, key, c.walFP, c.resume)
+	if err != nil {
+		c.note(fmt.Sprintf("section %s: wal disabled: %v", key, err))
+		return nil, nil
+	}
+	if rec.TruncatedBytes > 0 {
+		c.note(fmt.Sprintf("section %s: truncated %d bytes of torn wal tail, %d experiments recovered", key, rec.TruncatedBytes, len(rec.Records)))
+	}
+	c.setStatus(key, store.SectionStatus{Experiments: len(rec.Records), Sealed: rec.Sealed})
+	return w, rec
+}
+
+// markSealed records a finished section in the manifest.
+func (c *campaign) markSealed(key store.Key, experiments int) {
+	if c == nil || c.disabled {
+		return
+	}
+	c.setStatus(key, store.SectionStatus{Experiments: experiments, Sealed: true})
+}
+
+// markPartial records an interrupted section in the manifest.
+func (c *campaign) markPartial(key store.Key, experiments int) {
+	if c == nil || c.disabled {
+		return
+	}
+	c.setStatus(key, store.SectionStatus{Experiments: experiments, Sealed: false})
+}
+
+func (c *campaign) setStatus(key store.Key, st store.SectionStatus) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.manifest.Sections[key] = st
+	if err := c.manifest.Save(c.manifestPath); err != nil {
+		c.notes = append(c.notes, fmt.Sprintf("campaign manifest: %v", err))
+	}
+}
+
+// note appends a non-fatal WAL anomaly for Result.WALNotes.
+func (c *campaign) note(s string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.notes = append(c.notes, s)
+}
+
+// takeNotes returns the accumulated notes.
+func (c *campaign) takeNotes() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.notes...)
+}
+
+// closeCampaign releases the campaign lock.
+func (c *campaign) closeCampaign() {
+	if c == nil || c.lock == nil {
+		return
+	}
+	syscall.Flock(int(c.lock.Fd()), syscall.LOCK_UN)
+	c.lock.Close()
+	c.lock = nil
+}
+
+// wipeSegments removes every WAL segment and the manifest from the
+// campaign directory (the lock file stays: it is held).
+func (c *campaign) wipeSegments() error {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("core: wal campaign: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == lockName {
+			continue
+		}
+		if name == manifestName || strings.HasSuffix(name, ".wal") {
+			if err := os.Remove(filepath.Join(c.dir, name)); err != nil {
+				return fmt.Errorf("core: wal campaign: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// configFingerprint hashes the configuration knobs that change experiment
+// outcomes, class enumeration, or cost accounting — the parts a WAL
+// segment's contents depend on. Knobs that only change scheduling
+// (Workers) or downstream evaluation (Targets, Epsilon) are deliberately
+// excluded so they do not invalidate a resumable campaign.
+func configFingerprint(cfg Config) uint64 {
+	b := func(v bool) uint64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	acc := mix.Splitmix64(uint64(store.ManifestVersion))
+	acc = mix.Fold(acc, b(cfg.Prune))
+	acc = mix.Fold(acc, uint64(cfg.BurstWidth))
+	acc = mix.Fold(acc, b(cfg.CoRunBaseline))
+	acc = mix.Fold(acc, b(cfg.LegacyReplay))
+	acc = mix.Fold(acc, uint64(cfg.Sens.Samples))
+	acc = mix.Fold(acc, math.Float64bits(cfg.Sens.PhiMax))
+	acc = mix.Fold(acc, uint64(cfg.Sens.Seed))
+	return acc
+}
+
+// sanitizeName maps a program name onto a safe directory name.
+func sanitizeName(name string) string {
+	if name == "" {
+		return "program"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '-'
+		}
+	}, name)
+}

@@ -37,6 +37,13 @@ type Summary struct {
 	FFCleanInstrs  uint64 `json:"ff_clean_instrs"`
 	FFFaultyInstrs uint64 `json:"ff_faulty_instrs"`
 
+	// ResumedExperiments counts experiments recovered from a write-ahead
+	// campaign log instead of re-executed (included in FFExperiments).
+	// WALNotes records non-fatal WAL anomalies (torn tails truncated,
+	// lock conflicts).
+	ResumedExperiments int      `json:"resumed_experiments,omitempty"`
+	WALNotes           []string `json:"wal_notes,omitempty"`
+
 	Outcomes OutcomeStats `json:"outcomes"`
 
 	Baseline *BaselineSummary `json:"baseline,omitempty"`
@@ -91,6 +98,8 @@ func (r *Result) Summarize(eps float64, evals []TargetEval) *Summary {
 		FFWall:         r.FFWall,
 		Outcomes:       r.FFOutcomeStats(eps),
 	}
+	s.ResumedExperiments = r.FFRecovered.Experiments
+	s.WALNotes = append([]string(nil), r.WALNotes...)
 	if len(r.baseClasses) > 0 {
 		b := &BaselineSummary{
 			Experiments:  r.BaseInject.Experiments,

@@ -265,7 +265,22 @@ func (inj *Injector) coRunFinish(m *vm.Machine, inst *trace.Instance) (sec, fin 
 // experiments; the returned outcomes are then partial and must be
 // discarded (check ctx.Err after the call).
 func (inj *Injector) RunSectionCoRun(ctx context.Context, inst *trace.Instance, classes []*sites.Class) (secs, fins []metrics.Outcome, stats Stats) {
+	return inj.RunSectionCoRunResume(ctx, inst, classes, CampaignHooks{})
+}
+
+// RunSectionCoRunResume is RunSectionCoRun with resume hooks: classes
+// marked in hooks.Skip are not injected (their outcome slots stay zero for
+// the caller to fill from recovered records) and hooks.Record observes
+// each completed experiment for write-ahead logging.
+func (inj *Injector) RunSectionCoRunResume(ctx context.Context, inst *trace.Instance, classes []*sites.Class, hooks CampaignHooks) (secs, fins []metrics.Outcome, stats Stats) {
 	fins = make([]metrics.Outcome, len(classes))
+	if rec := hooks.Record; rec != nil {
+		// Attach the co-run end-to-end outcome: fins[i] is written by the
+		// same worker in finish before the engine invokes Record.
+		hooks.Record = func(i int, out metrics.Outcome, _ *metrics.Outcome, cost Stats) {
+			rec(i, out, &fins[i], cost)
+		}
+	}
 	secs, stats = inj.runAll(ctx, classes, experiment{
 		limit: func(sites.Site) uint64 { return sectionLimit(inst) },
 		finish: func(m *vm.Machine, i int, _ sites.Site) metrics.Outcome {
@@ -273,6 +288,7 @@ func (inj *Injector) RunSectionCoRun(ctx context.Context, inst *trace.Instance, 
 			fins[i] = fin
 			return sec
 		},
+		hooks: hooks,
 	})
 	return secs, fins, stats
 }
@@ -322,9 +338,16 @@ func (inj *Injector) RunMonolithic(ctx context.Context, classes []*sites.Class) 
 // per-class outcomes plus cost statistics. Cancellation behaves as in
 // RunMonolithic.
 func (inj *Injector) RunSection(ctx context.Context, inst *trace.Instance, classes []*sites.Class) ([]metrics.Outcome, Stats) {
+	return inj.RunSectionResume(ctx, inst, classes, CampaignHooks{})
+}
+
+// RunSectionResume is RunSection with resume hooks; see
+// RunSectionCoRunResume for their semantics.
+func (inj *Injector) RunSectionResume(ctx context.Context, inst *trace.Instance, classes []*sites.Class, hooks CampaignHooks) ([]metrics.Outcome, Stats) {
 	return inj.runAll(ctx, classes, experiment{
 		limit:  func(sites.Site) uint64 { return sectionLimit(inst) },
 		finish: func(m *vm.Machine, _ int, _ sites.Site) metrics.Outcome { return inj.sectionFinish(m, inst) },
+		hooks:  hooks,
 	})
 }
 
@@ -334,6 +357,30 @@ func (inj *Injector) RunSection(ctx context.Context, inst *trace.Instance, class
 type experiment struct {
 	limit  func(site sites.Site) uint64
 	finish func(m *vm.Machine, i int, site sites.Site) metrics.Outcome
+	hooks  CampaignHooks
+}
+
+// CampaignHooks carries the optional resume/WAL hooks of a campaign.
+type CampaignHooks struct {
+	// Skip marks classes whose outcome is already known (recovered from a
+	// write-ahead log); they are excluded from scheduling. The filtered
+	// experiment list is still dyn-sorted and contiguously partitioned, so
+	// the clean-cursor invariant (each worker's cursor only moves forward)
+	// holds unchanged. Nil or shorter-than-classes entries mean "run".
+	Skip []bool
+	// Record, when non-nil, observes each completed experiment: the class
+	// index, its outcome(s) (fin is the co-run end-to-end outcome, nil
+	// otherwise), and the experiment's accounted cost share (cursor advance
+	// plus flip plus faulty suffix; cost.Experiments is 1). Workers call it
+	// concurrently and before the campaign returns, which is exactly what a
+	// write-ahead append needs. Per-experiment costs sum to the campaign
+	// Stats.
+	Record func(i int, out metrics.Outcome, fin *metrics.Outcome, cost Stats)
+}
+
+// skips reports whether class index i is marked done.
+func (h *CampaignHooks) skips(i int) bool {
+	return i < len(h.Skip) && h.Skip[i]
 }
 
 // siteOf builds the pilot injection site of a class.
@@ -365,10 +412,17 @@ func (inj *Injector) runAll(ctx context.Context, classes []*sites.Class, exp exp
 	}
 
 	// Dyn-sorted experiment order, contiguously partitioned so each
-	// worker's cursor only ever moves forward.
-	order := make([]int, len(classes))
-	for i := range order {
-		order[i] = i
+	// worker's cursor only ever moves forward. Classes recovered from a WAL
+	// are filtered out up front: the remainder is still dyn-sorted, so the
+	// contiguous-range invariant survives resume.
+	order := make([]int, 0, len(classes))
+	for i := range classes {
+		if !exp.hooks.skips(i) {
+			order = append(order, i)
+		}
+	}
+	if len(order) == 0 {
+		return outcomes, Stats{}
 	}
 	sort.Slice(order, func(a, b int) bool {
 		da, db := classes[order[a]].Pilot(), classes[order[b]].Pilot()
@@ -420,10 +474,14 @@ func (inj *Injector) runRange(ctx context.Context, classes []*sites.Class, chunk
 		}
 		site := siteOf(classes[i])
 
+		// Per-experiment cost share; the cursor advance is attributed to the
+		// experiment that triggered it so shares sum to the campaign Stats.
+		expStats := Stats{Experiments: 1}
+
 		// Advance the shared clean prefix once, mirroring the delta into
 		// the experiment machine.
 		if site.Dyn > cur.Dyn {
-			stats.CleanInstrs += site.Dyn - cur.Dyn
+			expStats.CleanInstrs += site.Dyn - cur.Dyn
 			cur.BeginJournal()
 			if ev := cur.RunUntilDyn(site.Dyn); ev.Kind != vm.EvNone {
 				panic(fmt.Errorf("inject: clean cursor to dyn %d ended with %v", site.Dyn, ev.Kind))
@@ -446,15 +504,18 @@ func (inj *Injector) runRange(ctx context.Context, classes []*sites.Class, chunk
 		}
 		outcomes[i] = exp.finish(em, i, site)
 
-		stats.Experiments++
-		stats.SimInstrs += em.Dyn - t.NearestCheckpointDyn(site.Dyn)
-		stats.CleanInstrs += flipDyn - site.Dyn // the clean dst step, if any
-		stats.FaultyInstrs += em.Dyn - flipDyn
+		expStats.SimInstrs += em.Dyn - t.NearestCheckpointDyn(site.Dyn)
+		expStats.CleanInstrs += flipDyn - site.Dyn // the clean dst step, if any
+		expStats.FaultyInstrs += em.Dyn - flipDyn
+		stats.Add(expStats)
 
 		if em.UndoJournal() {
 			em.CopyScalarsFrom(cur)
 		} else {
 			em.RestoreFrom(cur)
+		}
+		if exp.hooks.Record != nil {
+			exp.hooks.Record(i, outcomes[i], nil, expStats)
 		}
 	}
 	return stats
@@ -487,6 +548,9 @@ func (inj *Injector) runAllLegacy(ctx context.Context, classes []*sites.Class, e
 				if i >= uint64(len(classes)) {
 					break
 				}
+				if exp.hooks.skips(int(i)) {
+					continue
+				}
 				site := siteOf(classes[i])
 				_, replayDyn := t.ReplaySeed(site.Dyn)
 				if err := inj.prepare(m, site, exp.limit(site)); err != nil {
@@ -495,10 +559,16 @@ func (inj *Injector) runAllLegacy(ctx context.Context, classes []*sites.Class, e
 				flipDyn := m.Dyn
 				outcomes[i] = exp.finish(m, int(i), site)
 
-				local.Experiments++
-				local.SimInstrs += m.Dyn - t.NearestCheckpointDyn(site.Dyn)
-				local.CleanInstrs += flipDyn - replayDyn
-				local.FaultyInstrs += m.Dyn - flipDyn
+				expStats := Stats{
+					Experiments:  1,
+					SimInstrs:    m.Dyn - t.NearestCheckpointDyn(site.Dyn),
+					CleanInstrs:  flipDyn - replayDyn,
+					FaultyInstrs: m.Dyn - flipDyn,
+				}
+				local.Add(expStats)
+				if exp.hooks.Record != nil {
+					exp.hooks.Record(int(i), outcomes[i], nil, expStats)
+				}
 			}
 			mu.Lock()
 			stats.Add(local)

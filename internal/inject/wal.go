@@ -1,0 +1,604 @@
+// Write-ahead campaign log: crash-safe persistence of per-section
+// injection campaigns at experiment granularity.
+//
+// Each section instance gets one append-only segment file. Every completed
+// experiment is appended as a length-prefixed, checksummed record before
+// the campaign moves on, so a crash (OOM, eviction, kill -9) loses at most
+// the experiments still in flight. When the section's campaign finishes,
+// the sensitivity result and a seal record are appended and the segment is
+// fsynced — a sealed segment is a complete substitute for re-injecting the
+// section.
+//
+// Segment layout:
+//
+//	header   magic "FFWAL" + format version, section content key (32 bytes),
+//	         campaign config fingerprint (8 bytes)
+//	records  u32 payload length, u32 CRC-32C of payload, payload
+//
+// Record payloads start with a one-byte type: experiment (class key,
+// outcome, optional co-run final outcome, per-experiment cost counters),
+// amplification (the section's sensitivity matrix and its cost), and seal
+// (the total experiment count, for validation).
+//
+// Recovery reads records until the first torn or corrupt one — a length
+// that overruns the file, or a checksum mismatch — and truncates the file
+// there, reporting how many bytes were dropped. A torn tail is therefore
+// detected and discarded, never silently merged. A header that fails
+// validation (unknown version, different section key or fingerprint)
+// invalidates the whole segment: the file is recreated fresh.
+package inject
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"fastflip/internal/isa"
+	"fastflip/internal/metrics"
+	"fastflip/internal/sites"
+)
+
+// walMagic identifies a WAL segment and its format version. Bump the
+// version byte on any incompatible format change; old segments are then
+// discarded rather than misparsed.
+var walMagic = [8]byte{'F', 'F', 'W', 'A', 'L', 0, 0, 1}
+
+// walHeaderSize is the fixed segment header: magic, section key,
+// campaign fingerprint.
+const walHeaderSize = len(walMagic) + 32 + 8
+
+// Record payload types.
+const (
+	walRecExperiment = byte(1)
+	walRecAmp        = byte(2)
+	walRecSeal       = byte(3)
+)
+
+// maxWALPayload bounds a single record so a corrupt length prefix cannot
+// trigger a huge allocation during recovery.
+const maxWALPayload = 1 << 24
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on the
+// platforms we run on.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WALRecord is one logged experiment: the equivalence class injected, its
+// outcome(s), and the cost the engine accounted for it.
+type WALRecord struct {
+	Key sites.ClassKey
+	Out metrics.Outcome
+	// Fin is the co-run end-to-end outcome; nil outside co-run campaigns.
+	Fin *metrics.Outcome
+	// Cost is this experiment's share of the campaign stats
+	// (Cost.Experiments is always 1).
+	Cost Stats
+}
+
+// WALAmp is the logged sensitivity result of a completed section.
+type WALAmp struct {
+	K         [][]float64
+	Runs      int
+	SimInstrs uint64
+}
+
+// Recovered is what OpenSectionWAL salvaged from an existing segment.
+type Recovered struct {
+	// Records maps class keys to their logged experiments.
+	Records map[sites.ClassKey]WALRecord
+	// Amp is the logged sensitivity result, nil if the crash preceded it.
+	Amp *WALAmp
+	// Sealed reports a complete section campaign: outcomes, amplification,
+	// and the seal record all present and consistent.
+	Sealed bool
+	// TruncatedBytes counts the torn/corrupt tail bytes dropped during
+	// recovery (0 for a clean segment).
+	TruncatedBytes int64
+}
+
+// SectionWAL is an open append handle for one section's segment. Append,
+// AppendAmp, and Seal are safe for concurrent use by injection workers.
+type SectionWAL struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	count  int // experiment records in the file
+	sealed bool
+}
+
+// SegmentPath returns the segment file path for a section content key.
+func SegmentPath(dir string, key [32]byte) string {
+	return filepath.Join(dir, fmt.Sprintf("%x.wal", key))
+}
+
+// OpenSectionWAL opens (or creates) the WAL segment for the section with
+// the given content key. With resume set, an existing valid segment is
+// recovered first and appends continue behind the recovered records; the
+// returned Recovered reports what was salvaged and whether a torn tail was
+// truncated. Without resume, or when the existing segment's header does
+// not match (different format version, section key, or campaign
+// fingerprint), the segment is recreated empty.
+func OpenSectionWAL(dir string, key [32]byte, fingerprint uint64, resume bool) (*SectionWAL, *Recovered, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("inject: wal: %w", err)
+	}
+	path := SegmentPath(dir, key)
+	var rec *Recovered
+	if resume {
+		r, err := recoverSegment(path, key, fingerprint)
+		if err != nil && !os.IsNotExist(err) {
+			return nil, nil, err
+		}
+		rec = r
+	}
+	if rec == nil {
+		if err := writeSegmentHeader(path, key, fingerprint); err != nil {
+			return nil, nil, err
+		}
+		rec = &Recovered{Records: map[sites.ClassKey]WALRecord{}}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("inject: wal: %w", err)
+	}
+	w := &SectionWAL{f: f, path: path, count: len(rec.Records), sealed: rec.Sealed}
+	return w, rec, nil
+}
+
+// writeSegmentHeader (re)creates the segment with just a synced header.
+func writeSegmentHeader(path string, key [32]byte, fingerprint uint64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("inject: wal: %w", err)
+	}
+	hdr := make([]byte, 0, walHeaderSize)
+	hdr = append(hdr, walMagic[:]...)
+	hdr = append(hdr, key[:]...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, fingerprint)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("inject: wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("inject: wal: %w", err)
+	}
+	return f.Close()
+}
+
+// Append logs one completed experiment. The record is durable against
+// process death as soon as Append returns (it is written with a single
+// write syscall); durability against machine crash is established by the
+// fsync in Seal.
+func (w *SectionWAL) Append(rec WALRecord) error {
+	payload := appendExperimentPayload(nil, rec)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.writeRecord(payload); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// AppendAmp logs the section's sensitivity result.
+func (w *SectionWAL) AppendAmp(a WALAmp) error {
+	payload := appendAmpPayload(nil, a)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writeRecord(payload)
+}
+
+// Seal marks the section campaign complete and fsyncs the segment — the
+// "segment roll": after Seal returns, the section's results survive a
+// machine crash, and resume will reconstruct the section without
+// re-injecting anything.
+func (w *SectionWAL) Seal() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	payload := []byte{walRecSeal}
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(w.count))
+	if err := w.writeRecord(payload); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("inject: wal %s: %w", w.path, err)
+	}
+	w.sealed = true
+	return nil
+}
+
+// Count returns the number of experiment records in the segment
+// (recovered plus appended).
+func (w *SectionWAL) Count() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.count
+}
+
+// Close releases the file handle without sealing.
+func (w *SectionWAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// writeRecord frames and writes one payload under w.mu.
+func (w *SectionWAL) writeRecord(payload []byte) error {
+	buf := make([]byte, 0, 8+len(payload))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
+	buf = append(buf, payload...)
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("inject: wal %s: %w", w.path, err)
+	}
+	return nil
+}
+
+// recoverSegment reads an existing segment. It returns nil (no error) when
+// the header is invalid or mismatched — the segment belongs to a different
+// format, section, or campaign and must be recreated. A torn or corrupt
+// record tail is truncated off the file and counted in TruncatedBytes.
+func recoverSegment(path string, key [32]byte, fingerprint uint64) (*Recovered, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < walHeaderSize {
+		return nil, nil
+	}
+	hdr := data[:walHeaderSize]
+	if string(hdr[:len(walMagic)]) != string(walMagic[:]) {
+		return nil, nil
+	}
+	if string(hdr[len(walMagic):len(walMagic)+32]) != string(key[:]) {
+		return nil, nil
+	}
+	if binary.LittleEndian.Uint64(hdr[len(walMagic)+32:]) != fingerprint {
+		return nil, nil
+	}
+
+	rec := &Recovered{Records: map[sites.ClassKey]WALRecord{}}
+	off := walHeaderSize
+	valid := off // end of the last well-formed record
+	sealCount := -1
+	for {
+		payload, next, ok := nextRecord(data, off)
+		if !ok {
+			break
+		}
+		typ := payload[0]
+		body := payload[1:]
+		switch typ {
+		case walRecExperiment:
+			r, perr := parseExperimentPayload(body)
+			if perr != nil {
+				// Structurally corrupt despite a matching checksum: stop
+				// here and drop the rest of the file.
+				rec.TruncatedBytes = int64(len(data) - valid)
+				return rec, truncateTo(path, valid, rec)
+			}
+			rec.Records[r.Key] = r
+		case walRecAmp:
+			a, perr := parseAmpPayload(body)
+			if perr != nil {
+				rec.TruncatedBytes = int64(len(data) - valid)
+				return rec, truncateTo(path, valid, rec)
+			}
+			rec.Amp = a
+		case walRecSeal:
+			if len(body) == 4 {
+				sealCount = int(binary.LittleEndian.Uint32(body))
+			}
+		}
+		off = next
+		valid = next
+	}
+	if valid < len(data) {
+		rec.TruncatedBytes = int64(len(data) - valid)
+		if err := truncateTo(path, valid, rec); err != nil {
+			return rec, err
+		}
+	}
+	rec.Sealed = sealCount >= 0 && sealCount == len(rec.Records) && rec.Amp != nil
+	return rec, nil
+}
+
+// SegmentInfo is a read-only description of one WAL segment, taken without
+// validating it against any campaign (no key or fingerprint check) — the
+// view `fasm -wal-info` prints when debugging a crashed campaign.
+type SegmentInfo struct {
+	Key         [32]byte
+	Version     byte
+	Fingerprint uint64
+	Experiments int
+	HasAmp      bool
+	Sealed      bool
+	// TailBytes counts trailing bytes that do not frame as complete,
+	// checksummed records — the torn tail a resume would truncate.
+	TailBytes int64
+}
+
+// InspectSegment reads a segment's header and record stream without
+// modifying the file. Unlike recovery it accepts any section key and
+// fingerprint, but still requires the magic and format version.
+func InspectSegment(path string) (SegmentInfo, error) {
+	var info SegmentInfo
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return info, err
+	}
+	if len(data) < walHeaderSize || string(data[:len(walMagic)-1]) != string(walMagic[:len(walMagic)-1]) {
+		return info, fmt.Errorf("inject: wal %s: not a WAL segment", path)
+	}
+	info.Version = data[len(walMagic)-1]
+	copy(info.Key[:], data[len(walMagic):])
+	info.Fingerprint = binary.LittleEndian.Uint64(data[len(walMagic)+32:])
+	if info.Version != walMagic[len(walMagic)-1] {
+		return info, fmt.Errorf("inject: wal %s: unknown format version %d", path, info.Version)
+	}
+	off := walHeaderSize
+	sealCount := -1
+	for {
+		payload, next, ok := nextRecord(data, off)
+		if !ok {
+			break
+		}
+		switch payload[0] {
+		case walRecExperiment:
+			info.Experiments++
+		case walRecAmp:
+			info.HasAmp = true
+		case walRecSeal:
+			if len(payload) == 5 {
+				sealCount = int(binary.LittleEndian.Uint32(payload[1:]))
+			}
+		}
+		off = next
+	}
+	info.TailBytes = int64(len(data) - off)
+	info.Sealed = sealCount >= 0 && sealCount == info.Experiments && info.HasAmp
+	return info, nil
+}
+
+// nextRecord frames the record at off, verifying length and checksum.
+func nextRecord(data []byte, off int) (payload []byte, next int, ok bool) {
+	if off+8 > len(data) {
+		return nil, 0, false
+	}
+	n := int(binary.LittleEndian.Uint32(data[off:]))
+	sum := binary.LittleEndian.Uint32(data[off+4:])
+	if n == 0 || n > maxWALPayload || off+8+n > len(data) {
+		return nil, 0, false
+	}
+	payload = data[off+8 : off+8+n]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, 0, false
+	}
+	return payload, off + 8 + n, true
+}
+
+// truncateTo cuts the segment file back to its last well-formed record.
+func truncateTo(path string, size int, _ *Recovered) error {
+	if err := os.Truncate(path, int64(size)); err != nil {
+		return fmt.Errorf("inject: wal %s: truncating torn tail: %w", path, err)
+	}
+	return nil
+}
+
+// --- payload encoding -------------------------------------------------
+
+func appendExperimentPayload(buf []byte, rec WALRecord) []byte {
+	buf = append(buf, walRecExperiment)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Key.Static.Func)))
+	buf = append(buf, rec.Key.Static.Func...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.Key.Static.Local))
+	buf = append(buf, byte(rec.Key.Role), rec.Key.Bit)
+	buf = appendOutcome(buf, rec.Out)
+	if rec.Fin != nil {
+		buf = append(buf, 1)
+		buf = appendOutcome(buf, *rec.Fin)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, rec.Cost.SimInstrs)
+	buf = binary.LittleEndian.AppendUint64(buf, rec.Cost.CleanInstrs)
+	buf = binary.LittleEndian.AppendUint64(buf, rec.Cost.FaultyInstrs)
+	return buf
+}
+
+func appendOutcome(buf []byte, o metrics.Outcome) []byte {
+	buf = append(buf, byte(o.Kind), byte(o.Reason))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(o.Magnitudes)))
+	for _, m := range o.Magnitudes {
+		// Raw bits round-trip the ±Inf conservative magnitudes exactly.
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m))
+	}
+	return buf
+}
+
+var errWALShort = errors.New("inject: wal: short record payload")
+
+type walReader struct {
+	b []byte
+}
+
+func (r *walReader) bytes(n int) ([]byte, error) {
+	if n < 0 || len(r.b) < n {
+		return nil, errWALShort
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out, nil
+}
+
+func (r *walReader) u8() (byte, error) {
+	b, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *walReader) u32() (uint32, error) {
+	b, err := r.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *walReader) u64() (uint64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func parseExperimentPayload(body []byte) (WALRecord, error) {
+	r := &walReader{b: body}
+	var rec WALRecord
+	n, err := r.u32()
+	if err != nil {
+		return rec, err
+	}
+	fn, err := r.bytes(int(n))
+	if err != nil {
+		return rec, err
+	}
+	rec.Key.Static.Func = string(fn)
+	local, err := r.u32()
+	if err != nil {
+		return rec, err
+	}
+	rec.Key.Static.Local = int(int32(local))
+	role, err := r.u8()
+	if err != nil {
+		return rec, err
+	}
+	bit, err := r.u8()
+	if err != nil {
+		return rec, err
+	}
+	rec.Key.Role, rec.Key.Bit = isa.OperandRole(role), bit
+	if rec.Out, err = parseOutcome(r); err != nil {
+		return rec, err
+	}
+	hasFin, err := r.u8()
+	if err != nil {
+		return rec, err
+	}
+	if hasFin != 0 {
+		fin, err := parseOutcome(r)
+		if err != nil {
+			return rec, err
+		}
+		rec.Fin = &fin
+	}
+	rec.Cost.Experiments = 1
+	if rec.Cost.SimInstrs, err = r.u64(); err != nil {
+		return rec, err
+	}
+	if rec.Cost.CleanInstrs, err = r.u64(); err != nil {
+		return rec, err
+	}
+	if rec.Cost.FaultyInstrs, err = r.u64(); err != nil {
+		return rec, err
+	}
+	if len(r.b) != 0 {
+		return rec, errWALShort
+	}
+	return rec, nil
+}
+
+func parseOutcome(r *walReader) (metrics.Outcome, error) {
+	var o metrics.Outcome
+	kind, err := r.u8()
+	if err != nil {
+		return o, err
+	}
+	reason, err := r.u8()
+	if err != nil {
+		return o, err
+	}
+	o.Kind, o.Reason = metrics.OutcomeKind(kind), metrics.DetectReason(reason)
+	n, err := r.u32()
+	if err != nil {
+		return o, err
+	}
+	if n > maxWALPayload/8 {
+		return o, errWALShort
+	}
+	if n > 0 {
+		o.Magnitudes = make([]float64, n)
+		for i := range o.Magnitudes {
+			bits, err := r.u64()
+			if err != nil {
+				return o, err
+			}
+			o.Magnitudes[i] = math.Float64frombits(bits)
+		}
+	}
+	return o, nil
+}
+
+func appendAmpPayload(buf []byte, a WALAmp) []byte {
+	buf = append(buf, walRecAmp)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(a.K)))
+	cols := 0
+	if len(a.K) > 0 {
+		cols = len(a.K[0])
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(cols))
+	for _, row := range a.K {
+		for _, v := range row {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(a.Runs))
+	buf = binary.LittleEndian.AppendUint64(buf, a.SimInstrs)
+	return buf
+}
+
+func parseAmpPayload(body []byte) (*WALAmp, error) {
+	r := &walReader{b: body}
+	rows, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(rows)*uint64(cols) > maxWALPayload/8 {
+		return nil, errWALShort
+	}
+	a := &WALAmp{K: make([][]float64, rows)}
+	for i := range a.K {
+		a.K[i] = make([]float64, cols)
+		for j := range a.K[i] {
+			bits, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			a.K[i][j] = math.Float64frombits(bits)
+		}
+	}
+	runs, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	a.Runs = int(runs)
+	if a.SimInstrs, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if len(r.b) != 0 {
+		return nil, errWALShort
+	}
+	return a, nil
+}

@@ -1,0 +1,132 @@
+package knap
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fastflip/internal/prog"
+)
+
+// permutations to feed each case through: the solver must emit the same
+// selection no matter how the caller ordered the items (map iteration
+// order is the usual source of shuffling).
+func permuted(items []Item, seed int64) []Item {
+	out := append([]Item(nil), items...)
+	rand.New(rand.NewSource(seed)).Shuffle(len(out), func(i, j int) {
+		out[i], out[j] = out[j], out[i]
+	})
+	return out
+}
+
+// TestSelectionDeterministicUnderPermutation is the regression test for
+// knapsack tie-breaking: zero-cost items and exact value ties must resolve
+// stably by static ID, so a resumed run and a fresh run — which may
+// enumerate protectable instructions in different orders — emit identical
+// protection sets.
+func TestSelectionDeterministicUnderPermutation(t *testing.T) {
+	cases := []struct {
+		name     string
+		items    []Item
+		target   float64
+		wantIDs  []prog.StaticID
+		wantCost int
+	}{
+		{
+			name: "value tie picks smallest ID",
+			items: []Item{
+				{ID: id(3), Value: 0.5, Cost: 2},
+				{ID: id(1), Value: 0.5, Cost: 2},
+				{ID: id(2), Value: 0.5, Cost: 2},
+			},
+			target:   0.5,
+			wantIDs:  []prog.StaticID{id(1)},
+			wantCost: 2,
+		},
+		{
+			name: "zero-cost items always taken",
+			items: []Item{
+				{ID: id(2), Value: 0.2, Cost: 0},
+				{ID: id(0), Value: 0.5, Cost: 4},
+				{ID: id(1), Value: 0.3, Cost: 0},
+			},
+			target:   0.5,
+			wantIDs:  []prog.StaticID{id(1), id(2)},
+			wantCost: 0,
+		},
+		{
+			name: "tie across functions orders by name",
+			items: []Item{
+				{ID: prog.StaticID{Func: "zz", Local: 0}, Value: 0.5, Cost: 3},
+				{ID: prog.StaticID{Func: "aa", Local: 9}, Value: 0.5, Cost: 3},
+			},
+			target:   0.5,
+			wantIDs:  []prog.StaticID{{Func: "aa", Local: 9}},
+			wantCost: 3,
+		},
+		{
+			name: "mixed ties and zero cost",
+			items: []Item{
+				{ID: id(5), Value: 0.25, Cost: 1},
+				{ID: id(4), Value: 0.25, Cost: 1},
+				{ID: id(9), Value: 0.1, Cost: 0},
+				{ID: id(0), Value: 0.4, Cost: 6},
+			},
+			target:   0.35,
+			wantIDs:  []prog.StaticID{id(4), id(9)},
+			wantCost: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(0); seed < 6; seed++ {
+				items := permuted(tc.items, seed)
+				sel, err := New(items).MinCostFor(tc.target)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(sel.IDs, tc.wantIDs) || sel.Cost != tc.wantCost {
+					t.Fatalf("permutation %d: selected %v (cost %d), want %v (cost %d)",
+						seed, sel.IDs, sel.Cost, tc.wantIDs, tc.wantCost)
+				}
+			}
+		})
+	}
+}
+
+// TestSolverDoesNotMutateCallerItems guards the copy-then-sort contract:
+// callers may hold their item slice in a meaningful order.
+func TestSolverDoesNotMutateCallerItems(t *testing.T) {
+	items := []Item{
+		{ID: id(2), Value: 0.3, Cost: 1},
+		{ID: id(0), Value: 0.3, Cost: 1},
+		{ID: id(1), Value: 0.4, Cost: 2},
+	}
+	orig := append([]Item(nil), items...)
+	if _, err := New(items).MinCostFor(0.3); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(items, orig) {
+		t.Errorf("New reordered the caller's slice: %v", items)
+	}
+}
+
+// TestGreedyDeterministicUnderPermutation covers the ablation heuristic's
+// tie-breaking the same way: equal density and cost resolve by static ID.
+func TestGreedyDeterministicUnderPermutation(t *testing.T) {
+	items := []Item{
+		{ID: id(7), Value: 0.25, Cost: 5},
+		{ID: id(3), Value: 0.25, Cost: 5},
+		{ID: id(5), Value: 0.5, Cost: 20},
+	}
+	want := Greedy(items, 0.25)
+	if !reflect.DeepEqual(want.IDs, []prog.StaticID{id(3)}) {
+		t.Fatalf("greedy picked %v, want the smallest tied ID", want.IDs)
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		got := Greedy(permuted(items, seed), 0.25)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("permutation %d: greedy %+v, want %+v", seed, got, want)
+		}
+	}
+}

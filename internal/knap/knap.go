@@ -34,8 +34,24 @@ type Solver struct {
 	take      [][]uint64
 }
 
+// lessID orders static IDs canonically (function name, then local index).
+func lessID(a, b prog.StaticID) bool {
+	if a.Func != b.Func {
+		return a.Func < b.Func
+	}
+	return a.Local < b.Local
+}
+
 // New builds the DP table: O(len(items) × total cost) time.
+//
+// Items are canonicalized by static ID first (the caller's slice is left
+// untouched): the DP breaks value ties by item order, so without a fixed
+// order two runs fed the same items from differently-ordered maps would
+// emit different — equally optimal — protection sets, and resumed runs
+// could not be compared byte-for-byte against fresh ones.
 func New(items []Item) *Solver {
+	items = append([]Item(nil), items...)
+	sort.SliceStable(items, func(a, b int) bool { return lessID(items[a].ID, items[b].ID) })
 	s := &Solver{items: items}
 	for _, it := range items {
 		if it.Cost < 0 || it.Value < 0 {
@@ -107,18 +123,24 @@ func (s *Solver) MinCostFor(target float64) (*Selection, error) {
 	return s.reconstruct(cost), nil
 }
 
-// reconstruct walks the take bits backward from cost.
+// reconstruct walks the take bits backward from cost. The selection is
+// rendered in canonical ID order, with value and cost accumulated in that
+// same order so the recorded sums are bit-reproducible from the IDs.
 func (s *Solver) reconstruct(cost int) *Selection {
-	sel := &Selection{}
+	var chosen []Item
 	c := cost
 	for i := len(s.items) - 1; i >= 0; i-- {
 		if s.take[i][c/64]&(1<<(c%64)) != 0 {
-			it := s.items[i]
-			sel.IDs = append(sel.IDs, it.ID)
-			sel.Value += it.Value
-			sel.Cost += it.Cost
-			c -= it.Cost
+			chosen = append(chosen, s.items[i])
+			c -= s.items[i].Cost
 		}
+	}
+	sort.Slice(chosen, func(a, b int) bool { return lessID(chosen[a].ID, chosen[b].ID) })
+	sel := &Selection{}
+	for _, it := range chosen {
+		sel.IDs = append(sel.IDs, it.ID)
+		sel.Value += it.Value
+		sel.Cost += it.Cost
 	}
 	return sel
 }
@@ -152,7 +174,12 @@ func Greedy(items []Item, target float64) *Selection {
 		if da != db {
 			return da > db
 		}
-		return ia.Cost < ib.Cost
+		if ia.Cost != ib.Cost {
+			return ia.Cost < ib.Cost
+		}
+		// Full tie: order by static ID so the heuristic, like the DP, is
+		// independent of the caller's item ordering.
+		return lessID(ia.ID, ib.ID)
 	})
 	sel := &Selection{}
 	for _, i := range order {
@@ -167,6 +194,7 @@ func Greedy(items []Item, target float64) *Selection {
 		sel.Value += it.Value
 		sel.Cost += it.Cost
 	}
+	sort.Slice(sel.IDs, func(a, b int) bool { return lessID(sel.IDs[a], sel.IDs[b]) })
 	return sel
 }
 

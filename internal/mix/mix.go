@@ -1,0 +1,23 @@
+// Package mix provides splitmix64, a small finalizer-quality 64-bit hash
+// used wherever the analysis needs to derive well-separated values from
+// structured inputs: sensitivity RNG seeds (distinct streams per section
+// instance) and campaign fingerprints (trace and config identity for
+// WAL resume validation). It is deterministic across runs and platforms,
+// which resume correctness depends on.
+package mix
+
+// Splitmix64 is the finalizer of the splitmix64 generator (Steele et al.,
+// "Fast splittable pseudorandom number generators"). It avalanche-mixes
+// its input: any single-bit change flips about half the output bits.
+func Splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Fold chains acc with v through Splitmix64, for hashing a sequence of
+// words into one fingerprint.
+func Fold(acc, v uint64) uint64 {
+	return Splitmix64(acc ^ Splitmix64(v))
+}

@@ -18,6 +18,7 @@ import (
 	"math"
 	"math/rand"
 
+	"fastflip/internal/mix"
 	"fastflip/internal/spec"
 	"fastflip/internal/trace"
 	"fastflip/internal/vm"
@@ -57,6 +58,20 @@ type Stats struct {
 	SimInstrs uint64
 }
 
+// streamSeed derives the perturbation RNG seed of one section instance.
+// The instance's full identity — section ID, occurrence index, and dynamic
+// position — is avalanche-mixed with the configured seed, so two instances
+// never share a perturbation stream even when an edit leaves them at equal
+// BegDyn (a plain XOR of cfg.Seed and BegDyn collided exactly there).
+// Everything mixed in comes from the trace, so a resumed analysis draws
+// the same streams as an uninterrupted one.
+func streamSeed(seed int64, inst *trace.Instance) int64 {
+	acc := mix.Fold(uint64(seed), uint64(inst.Sec))
+	acc = mix.Fold(acc, uint64(inst.Occur))
+	acc = mix.Fold(acc, inst.BegDyn)
+	return int64(acc)
+}
+
 // Analyze estimates the amplification matrix of one section instance.
 func Analyze(t *trace.Trace, inst *trace.Instance, cfg Config) (*Amplification, Stats) {
 	nIn, nOut := len(inst.IO.Inputs), len(inst.IO.Outputs)
@@ -79,7 +94,7 @@ func Analyze(t *trace.Trace, inst *trace.Instance, cfg Config) (*Amplification, 
 		return amp, stats
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(inst.BegDyn)))
+	rng := rand.New(rand.NewSource(streamSeed(cfg.Seed, inst)))
 	m := inst.Entry.Clone()
 	limit := inst.BegDyn + 1 + 16*inst.Len() + 64
 

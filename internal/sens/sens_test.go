@@ -115,6 +115,27 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 	}
 }
 
+func TestDistinctInstancesDrawDistinctStreams(t *testing.T) {
+	tr := recorded(t)
+	// The regression this guards: seeding with cfg.Seed ^ BegDyn gave two
+	// instances with equal BegDyn identical perturbation streams. Identity
+	// must separate streams even at a shared dynamic position.
+	a := &trace.Instance{Sec: 0, Occur: 0, BegDyn: 1000}
+	b := &trace.Instance{Sec: 1, Occur: 0, BegDyn: 1000}
+	c := &trace.Instance{Sec: 0, Occur: 1, BegDyn: 1000}
+	cfg := DefaultConfig()
+	sa, sb, sc := streamSeed(cfg.Seed, a), streamSeed(cfg.Seed, b), streamSeed(cfg.Seed, c)
+	if sa == sb || sa == sc || sb == sc {
+		t.Fatalf("instances share an RNG seed: sec0/occ0=%d sec1/occ0=%d sec0/occ1=%d", sa, sb, sc)
+	}
+	// And the real instances of the pipeline trace must differ too.
+	s0 := streamSeed(cfg.Seed, tr.Instances[0])
+	s1 := streamSeed(cfg.Seed, tr.Instances[1])
+	if s0 == s1 {
+		t.Fatalf("trace instances share an RNG seed: %d", s0)
+	}
+}
+
 func TestSeedVariesEstimate(t *testing.T) {
 	tr := recorded(t)
 	cfg1 := DefaultConfig()

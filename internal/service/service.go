@@ -140,6 +140,16 @@ type Options struct {
 	// ListBenchmarks names the submittable benchmarks (default
 	// bench.Names).
 	ListBenchmarks func() []string
+	// WALDir, when non-empty, gives every job a write-ahead campaign log
+	// under this directory (core.Config.WALDir) with resume enabled: a job
+	// re-POSTed over a crashed or cancelled campaign merges the logged
+	// experiments and reports them as resumed_experiments.
+	WALDir string
+	// MaxCachedBenches bounds the per-benchmark store cache; the least
+	// recently used benchmark's store is evicted first. Benchmarks with a
+	// queued or running job are pinned and never evicted mid-merge.
+	// 0 means unlimited.
+	MaxCachedBenches int
 }
 
 func (o Options) withDefaults() Options {
@@ -192,13 +202,14 @@ type Manager struct {
 	queue chan *job
 	wg    sync.WaitGroup
 
-	mu       sync.Mutex
-	closed   bool
-	nextID   int
-	jobs     map[string]*job
-	order    []string // submission order, for listing and FIFO eviction
-	stores   map[string]*store.Store
-	counters Metrics // cumulative fields only; gauges computed on demand
+	mu         sync.Mutex
+	closed     bool
+	nextID     int
+	jobs       map[string]*job
+	order      []string // submission order, for listing and FIFO eviction
+	stores     map[string]*store.Store
+	storeOrder []string // benchmark names, least recently used first
+	counters   Metrics  // cumulative fields only; gauges computed on demand
 }
 
 // New starts a Manager with opts.Workers job workers.
@@ -514,6 +525,7 @@ func (m *Manager) evictLocked() {
 // for a job to analyze against without racing other jobs.
 func (m *Manager) storeSnapshotLocked(benchName string) *store.Store {
 	if st := m.stores[benchName]; st != nil {
+		m.touchStoreLocked(benchName)
 		return st.Clone()
 	}
 	return store.New()
@@ -521,22 +533,65 @@ func (m *Manager) storeSnapshotLocked(benchName string) *store.Store {
 
 // mergeStoreLocked folds a job's store snapshot back into the cache.
 // Section payloads are immutable, so first-write-wins is safe; adjusted
-// targets and the m_adj counter take the latest job's view.
+// targets and the m_adj counter take the latest job's view. The merge
+// writes only into maps owned by m.stores under m.mu — a concurrent
+// DELETE (cancel) or bench eviction can never free the entry mid-merge,
+// because eviction also runs under m.mu and skips benchmarks with live
+// jobs.
 func (m *Manager) mergeStoreLocked(benchName string, snap *store.Store) {
 	cached := m.stores[benchName]
 	if cached == nil {
 		m.stores[benchName] = snap
-		return
+	} else {
+		for k, v := range snap.Sections {
+			if _, ok := cached.Sections[k]; !ok {
+				cached.Sections[k] = v
+			}
+		}
+		for k, v := range snap.AdjustedTargets {
+			cached.AdjustedTargets[k] = v
+		}
+		cached.ModsSinceAdjust = snap.ModsSinceAdjust
 	}
-	for k, v := range snap.Sections {
-		if _, ok := cached.Sections[k]; !ok {
-			cached.Sections[k] = v
+	m.touchStoreLocked(benchName)
+	m.evictStoresLocked()
+}
+
+// touchStoreLocked moves benchName to the most-recently-used end of the
+// store cache order.
+func (m *Manager) touchStoreLocked(benchName string) {
+	for i, n := range m.storeOrder {
+		if n == benchName {
+			m.storeOrder = append(m.storeOrder[:i], m.storeOrder[i+1:]...)
+			break
 		}
 	}
-	for k, v := range snap.AdjustedTargets {
-		cached.AdjustedTargets[k] = v
+	m.storeOrder = append(m.storeOrder, benchName)
+}
+
+// evictStoresLocked drops least-recently-used benchmark stores beyond
+// MaxCachedBenches. A benchmark with a queued or running job is pinned:
+// its store may be about to receive that job's merge, and evicting it
+// would discard completed sections the retry could have reused.
+func (m *Manager) evictStoresLocked() {
+	if m.opts.MaxCachedBenches <= 0 {
+		return
 	}
-	cached.ModsSinceAdjust = snap.ModsSinceAdjust
+	pinned := make(map[string]bool)
+	for _, j := range m.jobs {
+		if !j.state.Terminal() {
+			pinned[j.req.Bench] = true
+		}
+	}
+	for i := 0; len(m.stores) > m.opts.MaxCachedBenches && i < len(m.storeOrder); {
+		name := m.storeOrder[i]
+		if pinned[name] {
+			i++
+			continue
+		}
+		delete(m.stores, name)
+		m.storeOrder = append(m.storeOrder[:i], m.storeOrder[i+1:]...)
+	}
 }
 
 func (m *Manager) configFor(req Request) core.Config {
@@ -550,6 +605,13 @@ func (m *Manager) configFor(req Request) core.Config {
 	}
 	if pi, ok := bench.PilotInaccuracies[req.Bench]; ok {
 		cfg.PilotInaccuracy = pi
+	}
+	if m.opts.WALDir != "" {
+		// Always resume: the WAL segments are content-validated against the
+		// trace and config fingerprints, so stale state is discarded and a
+		// re-POSTed job over a crashed campaign merges what survived.
+		cfg.WALDir = m.opts.WALDir
+		cfg.Resume = true
 	}
 	return cfg
 }

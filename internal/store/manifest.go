@@ -1,0 +1,120 @@
+package store
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ManifestVersion is the on-disk manifest format version. A manifest with
+// a different version is rejected by LoadManifest so a resume never trusts
+// state written by an incompatible binary.
+const ManifestVersion = 1
+
+// SectionStatus is the campaign progress of one section instance.
+type SectionStatus struct {
+	// Experiments counts the outcomes durably logged for the section.
+	Experiments int
+	// Sealed marks a finished section: all experiments plus the sensitivity
+	// matrix are in its WAL segment. A manifest entry with Sealed unset is a
+	// partially-injected section whose remainder must be scheduled on
+	// resume.
+	Sealed bool
+}
+
+// Manifest is the versioned ledger of an injection campaign: which
+// sections have WAL segments, how far each got, and the fingerprints that
+// gate resume. It lives next to the per-section segments in the campaign
+// directory and is rewritten atomically after every section transition, so
+// a crashed campaign is distinguishable — per section — from a finished
+// one without parsing any segment.
+type Manifest struct {
+	// Version is ManifestVersion at write time.
+	Version int
+	// Program names the analyzed program (bench/variant), informational.
+	Program string
+	// TraceFP fingerprints the recorded trace the campaign ran against.
+	TraceFP uint64
+	// ConfigFP fingerprints the campaign configuration knobs that change
+	// experiment outcomes or schedules.
+	ConfigFP uint64
+	// Sections maps section content keys to their campaign status.
+	Sections map[Key]SectionStatus
+}
+
+// NewManifest returns an empty manifest for the given identity.
+func NewManifest(program string, traceFP, configFP uint64) *Manifest {
+	return &Manifest{
+		Version:  ManifestVersion,
+		Program:  program,
+		TraceFP:  traceFP,
+		ConfigFP: configFP,
+		Sections: make(map[Key]SectionStatus),
+	}
+}
+
+// Matches reports whether the manifest belongs to the same campaign
+// identity: same format version, trace, and configuration. A mismatch
+// means the on-disk WAL state describes a different campaign and must not
+// be resumed into this one.
+func (m *Manifest) Matches(traceFP, configFP uint64) bool {
+	return m != nil && m.Version == ManifestVersion && m.TraceFP == traceFP && m.ConfigFP == configFP
+}
+
+// Save atomically writes the manifest to path (temp file in the target
+// directory, sync, rename) — the same crash discipline as Store.Save.
+func (m *Manifest) Save(path string) error {
+	return atomicWriteGob(path, m)
+}
+
+// LoadManifest reads a manifest written by Save. An unknown version is an
+// error: resume code treats it as "no usable manifest".
+func LoadManifest(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	m := &Manifest{}
+	if err := gob.NewDecoder(f).Decode(m); err != nil {
+		return nil, fmt.Errorf("store: decoding manifest %s: %w", path, err)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("store: manifest %s has version %d, want %d", path, m.Version, ManifestVersion)
+	}
+	if m.Sections == nil {
+		m.Sections = make(map[Key]SectionStatus)
+	}
+	return m, nil
+}
+
+// atomicWriteGob gob-encodes v into a temporary file in path's directory,
+// syncs it, and renames it over path, so a crash mid-write never corrupts
+// an existing file.
+func atomicWriteGob(path string, v any) error {
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(v); err != nil {
+		return fail(fmt.Errorf("store: encoding %s: %w", path, err))
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("store: syncing %s: %w", tmp, err))
+	}
+	if err := f.Close(); err != nil {
+		return fail(fmt.Errorf("store: %w", err))
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package store
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.manifest")
+	m := NewManifest("fft/small", 111, 222)
+	var k1, k2 Key
+	k1[0], k2[0] = 1, 2
+	m.Sections[k1] = SectionStatus{Experiments: 40, Sealed: true}
+	m.Sections[k2] = SectionStatus{Experiments: 7}
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Matches(111, 222) {
+		t.Fatalf("loaded manifest does not match its own identity: %+v", got)
+	}
+	if got.Matches(111, 223) || got.Matches(112, 222) {
+		t.Fatal("manifest matched a different fingerprint")
+	}
+	if s := got.Sections[k1]; !s.Sealed || s.Experiments != 40 {
+		t.Fatalf("section 1 status = %+v", s)
+	}
+	if s := got.Sections[k2]; s.Sealed || s.Experiments != 7 {
+		t.Fatalf("section 2 status = %+v (partial section must not read as sealed)", s)
+	}
+}
+
+func TestManifestVersionRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.manifest")
+	m := NewManifest("x", 1, 2)
+	m.Version = ManifestVersion + 1
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(path); err == nil {
+		t.Fatal("manifest with unknown version was accepted")
+	}
+}

@@ -13,7 +13,6 @@ import (
 	"encoding/gob"
 	"fmt"
 	"os"
-	"path/filepath"
 
 	"fastflip/internal/metrics"
 	"fastflip/internal/sites"
@@ -152,30 +151,7 @@ func (s *Store) Put(key Key, sec *Section) {
 // and renamed over path, so a crash or cancellation mid-save never
 // truncates an existing store.
 func (s *Store) Save(path string) error {
-	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	tmp := f.Name()
-	fail := func(err error) error {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := gob.NewEncoder(f).Encode(s); err != nil {
-		return fail(fmt.Errorf("store: encoding %s: %w", path, err))
-	}
-	if err := f.Sync(); err != nil {
-		return fail(fmt.Errorf("store: syncing %s: %w", tmp, err))
-	}
-	if err := f.Close(); err != nil {
-		return fail(fmt.Errorf("store: %w", err))
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("store: %w", err)
-	}
-	return nil
+	return atomicWriteGob(path, s)
 }
 
 // Load reads a store written by Save.

@@ -35,6 +35,11 @@ type Options struct {
 	Sens sens.Config
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// WALDir, when non-empty, gives every campaign a write-ahead log under
+	// this directory; with Resume set, experiments a previous (crashed)
+	// suite run logged are merged instead of re-executed.
+	WALDir string
+	Resume bool
 }
 
 // DefaultOptions mirrors the paper's evaluation setup.
@@ -118,6 +123,8 @@ func RunSuite(opts Options) (*Suite, error) {
 		cfg.Targets = opts.Targets
 		cfg.Workers = opts.Workers
 		cfg.Sens = opts.Sens
+		cfg.WALDir = opts.WALDir
+		cfg.Resume = opts.Resume
 		if inacc, ok := bench.PilotInaccuracies[name]; ok {
 			cfg.PilotInaccuracy = inacc
 		}

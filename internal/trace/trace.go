@@ -8,9 +8,11 @@
 package trace
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 
+	"fastflip/internal/mix"
 	"fastflip/internal/prog"
 	"fastflip/internal/spec"
 	"fastflip/internal/vm"
@@ -327,6 +329,32 @@ func (t *Trace) Coverage() (executed, total int) {
 		}
 	}
 	return executed, total
+}
+
+// Fingerprint summarizes the recorded clean execution in one 64-bit hash:
+// the full program code identity plus the shape of the section schedule
+// (ROI bounds, total length, and every instance's identity and extent).
+// Two traces with the same fingerprint ran the same code over the same
+// section schedule, which is the precondition for resuming a write-ahead
+// campaign log recorded against one of them.
+func (t *Trace) Fingerprint() uint64 {
+	acc := mix.Splitmix64(0xFA57F11F)
+	for _, h := range t.Prog.Linked.FuncHashes {
+		for i := 0; i+8 <= len(h); i += 8 {
+			acc = mix.Fold(acc, binary.LittleEndian.Uint64(h[i:]))
+		}
+	}
+	acc = mix.Fold(acc, t.ROIBeg)
+	acc = mix.Fold(acc, t.ROIEnd)
+	acc = mix.Fold(acc, t.TotalDyn)
+	acc = mix.Fold(acc, uint64(len(t.Instances)))
+	for _, inst := range t.Instances {
+		acc = mix.Fold(acc, uint64(inst.Sec))
+		acc = mix.Fold(acc, uint64(inst.Occur))
+		acc = mix.Fold(acc, inst.BegDyn)
+		acc = mix.Fold(acc, inst.EndDyn)
+	}
+	return acc
 }
 
 // CodeKey identifies the code executed by a section instance across program
