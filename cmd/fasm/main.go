@@ -46,6 +46,9 @@ func main() {
 		fmt.Printf("experiments: %d\n", info.Experiments)
 		fmt.Printf("sensitivity: %v\n", info.HasAmp)
 		fmt.Printf("sealed:      %v\n", info.Sealed)
+		if info.Poisoned > 0 {
+			fmt.Printf("poisoned:    %d quarantined experiment(s) with panic diagnostics\n", info.Poisoned)
+		}
 		if info.TailBytes > 0 {
 			fmt.Printf("torn tail:   %d bytes (resume will truncate)\n", info.TailBytes)
 		}

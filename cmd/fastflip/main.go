@@ -95,6 +95,16 @@ func main() {
 	for _, n := range r.WALNotes {
 		log.Printf("wal: %s", n)
 	}
+	if r.WALDegraded {
+		log.Printf("warning: campaign log degraded after persistent write failures; results are memory-only and a resume will re-inject the affected sections")
+	}
+	if r.PanicRetries > 0 {
+		log.Printf("warning: %d experiment(s) panicked once and succeeded on a retried clean machine", r.PanicRetries)
+	}
+	for _, p := range r.Poisoned {
+		log.Printf("warning: experiment quarantined after %d panics (class %v/%v.bit%d, machine %016x); outcome filled conservatively",
+			p.Attempts, p.Key.Static, p.Key.Role, p.Key.Bit, p.MachineFP)
+	}
 
 	var evals []fastflip.TargetEval
 	if *baseline {

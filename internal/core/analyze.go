@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"fastflip/internal/chisel"
+	"fastflip/internal/errfs"
 	"fastflip/internal/inject"
 	"fastflip/internal/metrics"
 	"fastflip/internal/prog"
@@ -87,6 +88,20 @@ type Config struct {
 	// the program is wiped and the log starts fresh. Ignored when WALDir
 	// is empty.
 	Resume bool
+	// FaultFS, when non-nil, routes all campaign WAL and manifest I/O
+	// through the given filesystem seam so chaos tests can inject write
+	// faults; nil uses the real filesystem. Excluded from the campaign
+	// fingerprint: it changes durability, never outcomes.
+	FaultFS errfs.FS
+	// WALRetry overrides the backoff policy applied to transient WAL write
+	// failures (zero value = package defaults). Excluded from the campaign
+	// fingerprint.
+	WALRetry inject.RetryPolicy
+	// ExperimentPanicHook is installed as inject.Injector.PanicHook: a test
+	// seam invoked at the start of every experiment attempt, used to force
+	// panics and exercise the supervision path. Production leaves it nil.
+	// Excluded from the campaign fingerprint.
+	ExperimentPanicHook func(class, attempt int)
 }
 
 // DefaultConfig mirrors the paper's evaluation setup.
@@ -153,6 +168,17 @@ type Result struct {
 	// WALNotes records non-fatal write-ahead-log anomalies: torn tails
 	// truncated during recovery, lock conflicts, discarded stale state.
 	WALNotes []string
+	// WALDegraded reports that at least one section's WAL segment hit a
+	// persistent write failure: the analysis completed, but that section's
+	// results are memory-only and a resume will re-inject it.
+	WALDegraded bool
+	// Poisoned lists the experiments quarantined after panicking twice;
+	// their outcome slots carry the conservative SDC-Bad fill.
+	Poisoned []inject.Poison
+	// PanicRetries counts experiment attempts that panicked and were
+	// retried on fresh machines (the retried runs are indistinguishable in
+	// cost accounting from panic-free ones).
+	PanicRetries int
 
 	ReusedInstances   int
 	InjectedInstances int
@@ -187,6 +213,11 @@ type Progress struct {
 	// ResumedExperiments counts experiments recovered from a write-ahead
 	// log instead of re-executed (included in Experiments).
 	ResumedExperiments int `json:"resumed_experiments"`
+	// WALDegraded reports that the campaign's write-ahead log latched off
+	// after a persistent write failure; the analysis continues memory-only.
+	WALDegraded bool `json:"wal_degraded,omitempty"`
+	// Poisoned counts experiments quarantined by the panic supervisor.
+	Poisoned int `json:"poisoned,omitempty"`
 }
 
 // Analyzer runs FastFlip over successive versions of a program, reusing
@@ -230,7 +261,7 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, p *spec.Program) (*Result
 		SiteCount:   sites.Count(t, siteOpts),
 		untestedBad: make(map[prog.StaticID]int),
 	}
-	inj := &inject.Injector{T: t, Workers: a.Cfg.Workers, Legacy: a.Cfg.LegacyReplay}
+	inj := &inject.Injector{T: t, Workers: a.Cfg.Workers, Legacy: a.Cfg.LegacyReplay, PanicHook: a.Cfg.ExperimentPanicHook}
 
 	var cam *campaign
 	if a.Cfg.WALDir != "" {
@@ -239,9 +270,14 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, p *spec.Program) (*Result
 		}
 		defer func() {
 			r.WALNotes = cam.takeNotes()
+			r.WALDegraded = cam.wasDegraded()
 			cam.closeCampaign()
 		}()
 	}
+	defer func() {
+		r.Poisoned = inj.Poisoned()
+		r.PanicRetries = inj.PanicRetries()
+	}()
 
 	report := func() {
 		if a.Progress != nil {
@@ -255,6 +291,8 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, p *spec.Program) (*Result
 				CleanInstrs:        r.FFInject.CleanInstrs,
 				FaultyInstrs:       r.FFInject.FaultyInstrs,
 				ResumedExperiments: r.FFRecovered.Experiments,
+				WALDegraded:        cam.wasDegraded(),
+				Poisoned:           len(inj.Poisoned()),
 			})
 		}
 	}
@@ -306,6 +344,11 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, p *spec.Program) (*Result
 			hooks.Record = func(i int, out metrics.Outcome, fin *metrics.Outcome, cost inject.Stats) {
 				if err := wal.Append(inject.WALRecord{Key: classes[i].Key, Out: out, Fin: fin, Cost: cost}); err != nil {
 					appendErr.Do(func() { cam.note(fmt.Sprintf("section %s: wal append: %v", key, err)) })
+				}
+			}
+			hooks.Poison = func(p inject.Poison) {
+				if err := wal.AppendPoison(inject.WALPoison{Key: p.Key, Attempts: p.Attempts, MachineFP: p.MachineFP, Stack: p.Stack}); err != nil {
+					cam.note(fmt.Sprintf("section %s: wal poison append: %v", key, err))
 				}
 			}
 		}
@@ -362,12 +405,22 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, p *spec.Program) (*Result
 			}
 		}
 		if wal != nil {
-			if !recovered.Sealed {
+			if !recovered.Sealed && !wal.Degraded() {
 				if err := wal.Seal(); err != nil {
 					cam.note(fmt.Sprintf("section %s: wal seal: %v", key, err))
 				}
 			}
-			cam.markSealed(key, wal.Count())
+			if wal.Degraded() {
+				// The segment latched off after a persistent write failure.
+				// This section's results live only in memory — the manifest
+				// keeps it partial so a resume re-injects the unlogged
+				// remainder — and the next section re-arms the log with a
+				// fresh segment.
+				cam.setDegraded(key)
+				cam.markPartial(key, wal.Count())
+			} else {
+				cam.markSealed(key, wal.Count())
+			}
 			wal.Close()
 		}
 		r.Amps[idx] = amp

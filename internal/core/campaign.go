@@ -10,6 +10,7 @@ import (
 	"sync"
 	"syscall"
 
+	"fastflip/internal/errfs"
 	"fastflip/internal/inject"
 	"fastflip/internal/mix"
 	"fastflip/internal/spec"
@@ -37,9 +38,12 @@ type campaign struct {
 	walFP        uint64 // per-segment header fingerprint (trace ⊕ config)
 	resume       bool
 	disabled     bool
+	fs           errfs.FS           // seam for all WAL/manifest writes
+	retry        inject.RetryPolicy // backoff for transient write failures
 
-	mu    sync.Mutex
-	notes []string
+	mu       sync.Mutex
+	notes    []string
+	degraded bool // latched when any section's segment degraded
 }
 
 // openCampaign prepares the campaign directory for p under walDir. With
@@ -49,8 +53,12 @@ type campaign struct {
 // another process or job is running the same campaign — disables the WAL
 // for this run instead of failing the analysis.
 func openCampaign(walDir string, p *spec.Program, t *trace.Trace, cfg Config) (*campaign, error) {
+	fsys := cfg.FaultFS
+	if fsys == nil {
+		fsys = errfs.OS()
+	}
 	dir := filepath.Join(walDir, sanitizeName(p.Name))
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: wal campaign: %w", err)
 	}
 	traceFP := t.Fingerprint()
@@ -60,6 +68,8 @@ func openCampaign(walDir string, p *spec.Program, t *trace.Trace, cfg Config) (*
 		manifestPath: filepath.Join(dir, manifestName),
 		walFP:        mix.Fold(traceFP, configFP),
 		resume:       cfg.Resume,
+		fs:           fsys,
+		retry:        cfg.WALRetry,
 	}
 
 	// The lock is flock-based so it dies with the process: a SIGKILLed
@@ -94,7 +104,7 @@ func openCampaign(walDir string, p *spec.Program, t *trace.Trace, cfg Config) (*
 			return nil, err
 		}
 		c.manifest = store.NewManifest(p.Name, traceFP, configFP)
-		if err := c.manifest.Save(c.manifestPath); err != nil {
+		if err := c.manifest.SaveFS(c.fs, c.manifestPath); err != nil {
 			c.closeCampaign()
 			return nil, err
 		}
@@ -109,13 +119,16 @@ func (c *campaign) openSection(key store.Key) (*inject.SectionWAL, *inject.Recov
 	if c == nil || c.disabled {
 		return nil, nil
 	}
-	w, rec, err := inject.OpenSectionWAL(c.dir, key, c.walFP, c.resume)
+	w, rec, err := inject.OpenSectionWALOpts(c.dir, key, c.walFP, c.resume, inject.WALOptions{FS: c.fs, Retry: c.retry})
 	if err != nil {
 		c.note(fmt.Sprintf("section %s: wal disabled: %v", key, err))
 		return nil, nil
 	}
 	if rec.TruncatedBytes > 0 {
 		c.note(fmt.Sprintf("section %s: truncated %d bytes of torn wal tail, %d experiments recovered", key, rec.TruncatedBytes, len(rec.Records)))
+	}
+	if n := len(rec.Poisoned); n > 0 {
+		c.note(fmt.Sprintf("section %s: %d poison record(s) from a previous run; their classes will be re-executed", key, n))
 	}
 	c.setStatus(key, store.SectionStatus{Experiments: len(rec.Records), Sealed: rec.Sealed})
 	return w, rec
@@ -141,9 +154,33 @@ func (c *campaign) setStatus(key store.Key, st store.SectionStatus) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.manifest.Sections[key] = st
-	if err := c.manifest.Save(c.manifestPath); err != nil {
+	if err := c.manifest.SaveFS(c.fs, c.manifestPath); err != nil {
 		c.notes = append(c.notes, fmt.Sprintf("campaign manifest: %v", err))
 	}
+}
+
+// setDegraded latches the campaign's degraded flag after key's segment
+// hit a persistent write failure. The analysis continues memory-only for
+// that section; the flag surfaces as Result.WALDegraded so callers know a
+// resume will re-inject it.
+func (c *campaign) setDegraded(key store.Key) {
+	if c == nil || c.disabled {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.degraded = true
+	c.notes = append(c.notes, fmt.Sprintf("section %s: wal degraded after persistent write failure; section results are memory-only", key))
+}
+
+// wasDegraded reports whether any section's segment degraded this run.
+func (c *campaign) wasDegraded() bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded
 }
 
 // note appends a non-fatal WAL anomaly for Result.WALNotes.

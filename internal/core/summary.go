@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -43,11 +44,33 @@ type Summary struct {
 	// lock conflicts).
 	ResumedExperiments int      `json:"resumed_experiments,omitempty"`
 	WALNotes           []string `json:"wal_notes,omitempty"`
+	// WALDegraded marks a campaign whose write-ahead log hit a persistent
+	// write failure: the analysis completed, but at least one section's
+	// results are memory-only and a resume will re-inject that section.
+	WALDegraded bool `json:"wal_degraded,omitempty"`
+	// Poisoned lists experiments quarantined by the panic supervisor
+	// (panicked twice on fresh machines); their outcomes are the
+	// conservative SDC-Bad fill, so protection analysis stays sound.
+	Poisoned []PoisonSummary `json:"poisoned,omitempty"`
+	// PanicRetries counts experiment attempts that panicked once and
+	// succeeded on retry. Retries are cost-neutral: the accounted figures
+	// above match a panic-free run exactly.
+	PanicRetries int `json:"panic_retries,omitempty"`
 
 	Outcomes OutcomeStats `json:"outcomes"`
 
 	Baseline *BaselineSummary `json:"baseline,omitempty"`
 	Targets  []TargetSummary  `json:"targets,omitempty"`
+}
+
+// PoisonSummary is the serializable digest of one quarantined experiment:
+// which class panicked twice, a fingerprint of the machine the second
+// panic left behind, and the captured stack for post-mortem debugging.
+type PoisonSummary struct {
+	Class     string `json:"class"`
+	Attempts  int    `json:"attempts"`
+	MachineFP string `json:"machine_fp"`
+	Stack     string `json:"stack"`
 }
 
 // BaselineSummary digests the monolithic baseline campaign.
@@ -100,6 +123,16 @@ func (r *Result) Summarize(eps float64, evals []TargetEval) *Summary {
 	}
 	s.ResumedExperiments = r.FFRecovered.Experiments
 	s.WALNotes = append([]string(nil), r.WALNotes...)
+	s.WALDegraded = r.WALDegraded
+	s.PanicRetries = r.PanicRetries
+	for _, p := range r.Poisoned {
+		s.Poisoned = append(s.Poisoned, PoisonSummary{
+			Class:     fmt.Sprintf("%v/%v.bit%d", p.Key.Static, p.Key.Role, p.Key.Bit),
+			Attempts:  p.Attempts,
+			MachineFP: fmt.Sprintf("%016x", p.MachineFP),
+			Stack:     p.Stack,
+		})
+	}
 	if len(r.baseClasses) > 0 {
 		b := &BaselineSummary{
 			Experiments:  r.BaseInject.Experiments,

@@ -77,6 +77,15 @@ type Injector struct {
 	// Outcomes are identical; only the engine cost differs. Kept for
 	// equivalence tests and engine benchmarks.
 	Legacy bool
+	// PanicHook, when non-nil, is invoked at the start of every experiment
+	// attempt with the class index and the 1-based attempt number. It is a
+	// test seam: chaos tests panic from it to exercise the supervision
+	// path. Production leaves it nil.
+	PanicHook func(class, attempt int)
+
+	mu           sync.Mutex
+	poisoned     []Poison
+	panicRetries int
 }
 
 func (inj *Injector) workers() int {
@@ -288,6 +297,10 @@ func (inj *Injector) RunSectionCoRunResume(ctx context.Context, inst *trace.Inst
 			fins[i] = fin
 			return sec
 		},
+		conserv: func(i int) metrics.Outcome {
+			fins[i] = conservativeSDC(len(inj.T.Prog.FinalOutputs))
+			return conservativeSDC(len(inst.IO.Outputs))
+		},
 		hooks: hooks,
 	})
 	return secs, fins, stats
@@ -329,8 +342,9 @@ func liveSideEffect(inst *trace.Instance, m *vm.Machine) bool {
 // partial and must be discarded (check ctx.Err after the call).
 func (inj *Injector) RunMonolithic(ctx context.Context, classes []*sites.Class) ([]metrics.Outcome, Stats) {
 	return inj.runAll(ctx, classes, experiment{
-		limit:  func(sites.Site) uint64 { return TimeoutFactor * inj.T.TotalDyn },
-		finish: func(m *vm.Machine, _ int, _ sites.Site) metrics.Outcome { return inj.monolithicFinish(m) },
+		limit:   func(sites.Site) uint64 { return TimeoutFactor * inj.T.TotalDyn },
+		finish:  func(m *vm.Machine, _ int, _ sites.Site) metrics.Outcome { return inj.monolithicFinish(m) },
+		conserv: func(int) metrics.Outcome { return conservativeSDC(len(inj.T.Prog.FinalOutputs)) },
 	})
 }
 
@@ -345,9 +359,10 @@ func (inj *Injector) RunSection(ctx context.Context, inst *trace.Instance, class
 // RunSectionCoRunResume for their semantics.
 func (inj *Injector) RunSectionResume(ctx context.Context, inst *trace.Instance, classes []*sites.Class, hooks CampaignHooks) ([]metrics.Outcome, Stats) {
 	return inj.runAll(ctx, classes, experiment{
-		limit:  func(sites.Site) uint64 { return sectionLimit(inst) },
-		finish: func(m *vm.Machine, _ int, _ sites.Site) metrics.Outcome { return inj.sectionFinish(m, inst) },
-		hooks:  hooks,
+		limit:   func(sites.Site) uint64 { return sectionLimit(inst) },
+		finish:  func(m *vm.Machine, _ int, _ sites.Site) metrics.Outcome { return inj.sectionFinish(m, inst) },
+		conserv: func(int) metrics.Outcome { return conservativeSDC(len(inst.IO.Outputs)) },
+		hooks:   hooks,
 	})
 }
 
@@ -357,7 +372,19 @@ func (inj *Injector) RunSectionResume(ctx context.Context, inst *trace.Instance,
 type experiment struct {
 	limit  func(site sites.Site) uint64
 	finish func(m *vm.Machine, i int, site sites.Site) metrics.Outcome
-	hooks  CampaignHooks
+	// conserv yields the conservative worst-case outcome for class i, used
+	// to fill the slot of a quarantined (twice-panicked) experiment so the
+	// downstream analysis stays sound. Nil means conservativeSDC(0).
+	conserv func(i int) metrics.Outcome
+	hooks   CampaignHooks
+}
+
+// conservative returns the quarantine outcome for class i.
+func (e *experiment) conservative(i int) metrics.Outcome {
+	if e.conserv == nil {
+		return conservativeSDC(0)
+	}
+	return e.conserv(i)
 }
 
 // CampaignHooks carries the optional resume/WAL hooks of a campaign.
@@ -376,6 +403,12 @@ type CampaignHooks struct {
 	// write-ahead append needs. Per-experiment costs sum to the campaign
 	// Stats.
 	Record func(i int, out metrics.Outcome, fin *metrics.Outcome, cost Stats)
+	// Poison, when non-nil, observes each quarantined class (an experiment
+	// that panicked twice on fresh machines) so the campaign can log it
+	// durably. A poisoned class is NOT delivered to Record: its outcome is
+	// the conservative fill, not a measured one, and a resumed campaign
+	// must re-execute the class rather than trust it.
+	Poison func(p Poison)
 }
 
 // skips reports whether class index i is marked done.
@@ -460,6 +493,15 @@ func (inj *Injector) runAll(ctx context.Context, classes []*sites.Class, exp exp
 // The cursor machine advances through the clean execution exactly once;
 // every experiment forks off it with a journal and is reverted by undoing
 // the words it wrote.
+//
+// Each experiment attempt runs under panic supervision: a panic discards
+// the (possibly wedged) cursor and fork machines, rebuilds both from the
+// replay seed, and retries the experiment once. A second panic
+// quarantines the class as a Poison with the conservative outcome and the
+// chunk moves on. The accounted cost shares are captured against the
+// cursor position before the first attempt, so a retried-but-successful
+// experiment reports exactly the Stats a panic-free run would — retries
+// change real engine work, never the accounting.
 func (inj *Injector) runRange(ctx context.Context, classes []*sites.Class, chunk []int, exp experiment, outcomes []metrics.Outcome) Stats {
 	t := inj.T
 	var stats Stats
@@ -476,45 +518,85 @@ func (inj *Injector) runRange(ctx context.Context, classes []*sites.Class, chunk
 
 		// Per-experiment cost share; the cursor advance is attributed to the
 		// experiment that triggered it so shares sum to the campaign Stats.
-		expStats := Stats{Experiments: 1}
-
-		// Advance the shared clean prefix once, mirroring the delta into
-		// the experiment machine.
+		// Captured before the first attempt for panic-retry neutrality.
+		var cleanShare uint64
 		if site.Dyn > cur.Dyn {
-			expStats.CleanInstrs += site.Dyn - cur.Dyn
-			cur.BeginJournal()
-			if ev := cur.RunUntilDyn(site.Dyn); ev.Kind != vm.EvNone {
-				panic(fmt.Errorf("inject: clean cursor to dyn %d ended with %v", site.Dyn, ev.Kind))
+			cleanShare = site.Dyn - cur.Dyn
+		}
+
+		run := func(attempt int) Stats {
+			if inj.PanicHook != nil {
+				inj.PanicHook(i, attempt)
 			}
-			if cur.ReplayJournalInto(em) {
+			// Advance the shared clean prefix once, mirroring the delta
+			// into the experiment machine.
+			if site.Dyn > cur.Dyn {
+				cur.BeginJournal()
+				if ev := cur.RunUntilDyn(site.Dyn); ev.Kind != vm.EvNone {
+					panic(fmt.Errorf("inject: clean cursor to dyn %d ended with %v", site.Dyn, ev.Kind))
+				}
+				if cur.ReplayJournalInto(em) {
+					em.CopyScalarsFrom(cur)
+				} else {
+					em.RestoreFrom(cur)
+				}
+				cur.EndJournal()
+			}
+
+			// Fork: em mirrors the clean state at site.Dyn. Run the faulty
+			// suffix under a journal, classify, then undo only what it
+			// wrote.
+			em.MaxDyn = exp.limit(site)
+			em.BeginJournal()
+			flipDyn, err := applyFlip(em, site)
+			if err != nil {
+				panic(err)
+			}
+			outcomes[i] = exp.finish(em, i, site)
+
+			expStats := Stats{Experiments: 1}
+			expStats.SimInstrs += em.Dyn - t.NearestCheckpointDyn(site.Dyn)
+			expStats.CleanInstrs += cleanShare + (flipDyn - site.Dyn)
+			expStats.FaultyInstrs += em.Dyn - flipDyn
+
+			if em.UndoJournal() {
 				em.CopyScalarsFrom(cur)
 			} else {
 				em.RestoreFrom(cur)
 			}
-			cur.EndJournal()
+			return expStats
 		}
 
-		// Fork: em mirrors the clean state at site.Dyn. Run the faulty
-		// suffix under a journal, classify, then undo only what it wrote.
-		em.MaxDyn = exp.limit(site)
-		em.BeginJournal()
-		flipDyn, err := applyFlip(em, site)
-		if err != nil {
-			panic(err)
+		var expStats Stats
+		poisoned := false
+		for attempt := 1; ; attempt++ {
+			st, rec := runSupervised(func() *vm.Machine { return em }, func() Stats { return run(attempt) })
+			if rec == nil {
+				expStats = st
+				break
+			}
+			// The panic may have left either machine mid-journal or
+			// half-restored; both are rebuilt from the seed before any
+			// further use.
+			seed, _ := t.ReplaySeed(site.Dyn)
+			cur = seed.Clone()
+			em = cur.Clone()
+			if attempt == 1 {
+				inj.notePanicRetry()
+				continue
+			}
+			p := Poison{Class: i, Key: classes[i].Key, Attempts: attempt, MachineFP: rec.fp, Stack: rec.stack}
+			inj.notePoison(p)
+			outcomes[i] = exp.conservative(i)
+			expStats = Stats{Experiments: 1}
+			if exp.hooks.Poison != nil {
+				exp.hooks.Poison(p)
+			}
+			poisoned = true
+			break
 		}
-		outcomes[i] = exp.finish(em, i, site)
-
-		expStats.SimInstrs += em.Dyn - t.NearestCheckpointDyn(site.Dyn)
-		expStats.CleanInstrs += flipDyn - site.Dyn // the clean dst step, if any
-		expStats.FaultyInstrs += em.Dyn - flipDyn
 		stats.Add(expStats)
-
-		if em.UndoJournal() {
-			em.CopyScalarsFrom(cur)
-		} else {
-			em.RestoreFrom(cur)
-		}
-		if exp.hooks.Record != nil {
+		if !poisoned && exp.hooks.Record != nil {
 			exp.hooks.Record(i, outcomes[i], nil, expStats)
 		}
 	}
@@ -553,20 +635,51 @@ func (inj *Injector) runAllLegacy(ctx context.Context, classes []*sites.Class, e
 				}
 				site := siteOf(classes[i])
 				_, replayDyn := t.ReplaySeed(site.Dyn)
-				if err := inj.prepare(m, site, exp.limit(site)); err != nil {
-					panic(err)
-				}
-				flipDyn := m.Dyn
-				outcomes[i] = exp.finish(m, int(i), site)
 
-				expStats := Stats{
-					Experiments:  1,
-					SimInstrs:    m.Dyn - t.NearestCheckpointDyn(site.Dyn),
-					CleanInstrs:  flipDyn - replayDyn,
-					FaultyInstrs: m.Dyn - flipDyn,
+				// Same supervision contract as runRange: one retry on a
+				// fresh machine, then quarantine. prepare restores the
+				// checkpoint itself, so the rebuild only matters when the
+				// panic corrupted the machine's buffers.
+				var expStats Stats
+				poisoned := false
+				for attempt := 1; ; attempt++ {
+					st, rec := runSupervised(func() *vm.Machine { return m }, func() Stats {
+						if inj.PanicHook != nil {
+							inj.PanicHook(int(i), attempt)
+						}
+						if err := inj.prepare(m, site, exp.limit(site)); err != nil {
+							panic(err)
+						}
+						flipDyn := m.Dyn
+						outcomes[i] = exp.finish(m, int(i), site)
+						return Stats{
+							Experiments:  1,
+							SimInstrs:    m.Dyn - t.NearestCheckpointDyn(site.Dyn),
+							CleanInstrs:  flipDyn - replayDyn,
+							FaultyInstrs: m.Dyn - flipDyn,
+						}
+					})
+					if rec == nil {
+						expStats = st
+						break
+					}
+					m = t.Start.Clone()
+					if attempt == 1 {
+						inj.notePanicRetry()
+						continue
+					}
+					p := Poison{Class: int(i), Key: classes[i].Key, Attempts: attempt, MachineFP: rec.fp, Stack: rec.stack}
+					inj.notePoison(p)
+					outcomes[i] = exp.conservative(int(i))
+					expStats = Stats{Experiments: 1}
+					if exp.hooks.Poison != nil {
+						exp.hooks.Poison(p)
+					}
+					poisoned = true
+					break
 				}
 				local.Add(expStats)
-				if exp.hooks.Record != nil {
+				if !poisoned && exp.hooks.Record != nil {
 					exp.hooks.Record(int(i), outcomes[i], nil, expStats)
 				}
 			}

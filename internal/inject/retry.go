@@ -1,0 +1,88 @@
+package inject
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy bounds the retries applied to transient WAL and store
+// write failures: a capped, jittered exponential backoff. The zero value
+// means "use the defaults"; campaigns override it through
+// core.Config.WALRetry (tests shrink the delays and stub Sleep).
+type RetryPolicy struct {
+	// Attempts is the total number of tries per operation, first included
+	// (default 4).
+	Attempts int
+	// Base is the backoff before the first retry (default 2ms); each
+	// subsequent retry doubles it up to Max (default 100ms). The actual
+	// sleep is jittered uniformly over [d/2, d] so retries from parallel
+	// workers do not synchronize against a recovering disk.
+	Base time.Duration
+	Max  time.Duration
+	// Sleep replaces time.Sleep, for tests. Nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 4
+	}
+	if p.Base <= 0 {
+		p.Base = 2 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 100 * time.Millisecond
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// permanentError marks a failure the retry loop must surface immediately
+// — retrying cannot help (e.g. the segment could not be truncated back
+// to a clean record boundary, so further appends would corrupt it).
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// permanent wraps err so RetryPolicy.Do gives up on it at once.
+func permanent(err error) error { return &permanentError{err: err} }
+
+// Do runs op under the policy: up to Attempts tries with capped jittered
+// backoff between them. It returns nil on the first success, the
+// unwrapped error as soon as op reports a permanent failure, and op's
+// last error once the attempts are exhausted.
+func (p RetryPolicy) Do(op func() error) error {
+	p = p.withDefaults()
+	delay := p.Base
+	var err error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			return pe.err
+		}
+		if attempt == p.Attempts-1 {
+			break
+		}
+		p.Sleep(jitter(delay))
+		if delay *= 2; delay > p.Max {
+			delay = p.Max
+		}
+	}
+	return err
+}
+
+// jitter picks a uniform duration in [d/2, d].
+func jitter(d time.Duration) time.Duration {
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(half+1))
+}

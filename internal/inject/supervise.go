@@ -1,0 +1,90 @@
+package inject
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+
+	"fastflip/internal/sites"
+	"fastflip/internal/vm"
+)
+
+// Poison is a quarantined equivalence class: its experiment panicked on a
+// fresh machine twice in a row, so the campaign recorded the evidence and
+// moved on instead of taking the process down. The class's outcome slot
+// is filled with the conservative SDC-Bad classification, which keeps the
+// downstream protection analysis sound (it can only over-protect).
+type Poison struct {
+	// Class is the index of the quarantined class in the campaign's class
+	// slice.
+	Class int
+	// Key is the class's stable identity, usable across campaign runs.
+	Key sites.ClassKey
+	// Attempts is how many experiment attempts panicked (always 2: the
+	// original run plus one retry on rebuilt machines).
+	Attempts int
+	// MachineFP fingerprints the experiment machine as the second panic
+	// left it (vm.Machine.Fingerprint), so identical wedged states are
+	// recognizable across runs.
+	MachineFP uint64
+	// Stack is the second panic's value and stack trace, truncated to
+	// maxPoisonStack bytes.
+	Stack string
+}
+
+// panicRecord is what the supervision wrapper salvages from a panicking
+// experiment attempt.
+type panicRecord struct {
+	stack string
+	fp    uint64
+}
+
+// runSupervised invokes run under panic recovery. On a panic it captures
+// the truncated stack plus the fingerprint of the experiment machine
+// (fetched through machine, since the caller rebinds it between attempts)
+// and reports the attempt as failed instead of unwinding the worker.
+func runSupervised(machine func() *vm.Machine, run func() Stats) (st Stats, rec *panicRecord) {
+	defer func() {
+		if r := recover(); r != nil {
+			stack := fmt.Sprintf("panic: %v\n\n%s", r, debug.Stack())
+			if len(stack) > maxPoisonStack {
+				stack = stack[:maxPoisonStack]
+			}
+			rec = &panicRecord{stack: stack, fp: machine().Fingerprint()}
+		}
+	}()
+	return run(), nil
+}
+
+// notePanicRetry counts a panicked attempt that will be retried.
+func (inj *Injector) notePanicRetry() {
+	inj.mu.Lock()
+	inj.panicRetries++
+	inj.mu.Unlock()
+}
+
+// notePoison records a quarantined class.
+func (inj *Injector) notePoison(p Poison) {
+	inj.mu.Lock()
+	inj.poisoned = append(inj.poisoned, p)
+	inj.mu.Unlock()
+}
+
+// Poisoned returns the classes quarantined so far across this injector's
+// campaigns, sorted by class index for determinism (workers append them in
+// scheduling order, which is nondeterministic).
+func (inj *Injector) Poisoned() []Poison {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	out := append([]Poison(nil), inj.poisoned...)
+	sort.Slice(out, func(a, b int) bool { return out[a].Class < out[b].Class })
+	return out
+}
+
+// PanicRetries returns how many experiment attempts panicked and were
+// retried on fresh machines (whether or not the retry then succeeded).
+func (inj *Injector) PanicRetries() int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.panicRetries
+}

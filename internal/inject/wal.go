@@ -26,6 +26,16 @@
 // detected and discarded, never silently merged. A header that fails
 // validation (unknown version, different section key or fingerprint)
 // invalidates the whole segment: the file is recreated fresh.
+//
+// All segment I/O flows through the errfs seam, so chaos tests can
+// inject EIO/ENOSPC/short writes/failed fsyncs at chosen records.
+// Transient write failures are retried under a capped jittered backoff
+// (RetryPolicy); a partial append is truncated back to the last good
+// record before the retry so the file never accumulates a mid-stream
+// tear. A persistent failure latches the segment into a degraded state
+// (ErrWALDegraded): further appends are refused immediately, the
+// campaign finishes memory-only for this section, and the next section
+// re-arms the log by opening a fresh segment.
 package inject
 
 import (
@@ -33,11 +43,13 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
 	"sync"
 
+	"fastflip/internal/errfs"
 	"fastflip/internal/isa"
 	"fastflip/internal/metrics"
 	"fastflip/internal/sites"
@@ -57,7 +69,17 @@ const (
 	walRecExperiment = byte(1)
 	walRecAmp        = byte(2)
 	walRecSeal       = byte(3)
+	walRecPoison     = byte(4)
 )
+
+// maxPoisonStack bounds the stack trace stored in a poison record.
+const maxPoisonStack = 8 << 10
+
+// ErrWALDegraded marks a section WAL that hit a persistent write failure
+// and latched itself off. Appends return it immediately; the analysis
+// continues memory-only for the section and the campaign reports
+// Summary.WALDegraded instead of aborting.
+var ErrWALDegraded = errors.New("inject: wal degraded")
 
 // maxWALPayload bounds a single record so a corrupt length prefix cannot
 // trigger a huge allocation during recovery.
@@ -86,28 +108,60 @@ type WALAmp struct {
 	SimInstrs uint64
 }
 
+// WALPoison is the logged quarantine of an experiment that panicked on
+// both attempts: its class, how often it was tried, a fingerprint of the
+// experiment machine at the second panic, and the captured stack.
+type WALPoison struct {
+	Key       sites.ClassKey
+	Attempts  int
+	MachineFP uint64
+	Stack     string
+}
+
 // Recovered is what OpenSectionWAL salvaged from an existing segment.
 type Recovered struct {
 	// Records maps class keys to their logged experiments.
 	Records map[sites.ClassKey]WALRecord
 	// Amp is the logged sensitivity result, nil if the crash preceded it.
 	Amp *WALAmp
+	// Poisoned holds the quarantine diagnostics of experiments that
+	// panicked twice in a previous run. They carry no outcome: resume
+	// re-executes their classes.
+	Poisoned []WALPoison
 	// Sealed reports a complete section campaign: outcomes, amplification,
 	// and the seal record all present and consistent.
 	Sealed bool
 	// TruncatedBytes counts the torn/corrupt tail bytes dropped during
 	// recovery (0 for a clean segment).
 	TruncatedBytes int64
+
+	// validSize is the byte length of the well-formed prefix, where
+	// appends continue.
+	validSize int64
 }
 
 // SectionWAL is an open append handle for one section's segment. Append,
-// AppendAmp, and Seal are safe for concurrent use by injection workers.
+// AppendAmp, AppendPoison, and Seal are safe for concurrent use by
+// injection workers.
 type SectionWAL struct {
 	mu     sync.Mutex
-	f      *os.File
+	fs     errfs.FS
+	retry  RetryPolicy
+	f      errfs.File
 	path   string
-	count  int // experiment records in the file
+	off    int64 // end of the last well-formed record on disk
+	count  int   // experiment records in the file
 	sealed bool
+	cause  error // non-nil once the segment degraded; latches
+}
+
+// WALOptions configure a section WAL's I/O behavior: the filesystem seam
+// chaos tests inject faults through, and the retry policy for transient
+// write failures. The zero value uses the real filesystem and default
+// backoff.
+type WALOptions struct {
+	FS    errfs.FS
+	Retry RetryPolicy
 }
 
 // SegmentPath returns the segment file path for a section content key.
@@ -123,35 +177,52 @@ func SegmentPath(dir string, key [32]byte) string {
 // not match (different format version, section key, or campaign
 // fingerprint), the segment is recreated empty.
 func OpenSectionWAL(dir string, key [32]byte, fingerprint uint64, resume bool) (*SectionWAL, *Recovered, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenSectionWALOpts(dir, key, fingerprint, resume, WALOptions{})
+}
+
+// OpenSectionWALOpts is OpenSectionWAL with explicit I/O options.
+func OpenSectionWALOpts(dir string, key [32]byte, fingerprint uint64, resume bool, opts WALOptions) (*SectionWAL, *Recovered, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = errfs.OS()
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("inject: wal: %w", err)
 	}
 	path := SegmentPath(dir, key)
 	var rec *Recovered
 	if resume {
-		r, err := recoverSegment(path, key, fingerprint)
-		if err != nil && !os.IsNotExist(err) {
+		r, err := recoverSegment(fsys, path, key, fingerprint)
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
 			return nil, nil, err
 		}
 		rec = r
 	}
 	if rec == nil {
-		if err := writeSegmentHeader(path, key, fingerprint); err != nil {
+		if err := writeSegmentHeader(fsys, path, key, fingerprint); err != nil {
 			return nil, nil, err
 		}
-		rec = &Recovered{Records: map[sites.ClassKey]WALRecord{}}
+		rec = &Recovered{Records: map[sites.ClassKey]WALRecord{}, validSize: int64(walHeaderSize)}
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("inject: wal: %w", err)
 	}
-	w := &SectionWAL{f: f, path: path, count: len(rec.Records), sealed: rec.Sealed}
+	w := &SectionWAL{
+		fs:     fsys,
+		retry:  opts.Retry,
+		f:      f,
+		path:   path,
+		off:    rec.validSize,
+		count:  len(rec.Records),
+		sealed: rec.Sealed,
+	}
 	return w, rec, nil
 }
 
 // writeSegmentHeader (re)creates the segment with just a synced header.
-func writeSegmentHeader(path string, key [32]byte, fingerprint uint64) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+func writeSegmentHeader(fsys errfs.FS, path string, key [32]byte, fingerprint uint64) error {
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("inject: wal: %w", err)
 	}
@@ -193,6 +264,17 @@ func (w *SectionWAL) AppendAmp(a WALAmp) error {
 	return w.writeRecord(payload)
 }
 
+// AppendPoison logs the quarantine diagnostics of an experiment that
+// panicked twice. The record carries no outcome — a resume re-executes
+// the class — it preserves the stack and machine fingerprint for
+// post-mortem inspection via `fasm -wal-info`.
+func (w *SectionWAL) AppendPoison(p WALPoison) error {
+	payload := appendPoisonPayload(nil, p)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writeRecord(payload)
+}
+
 // Seal marks the section campaign complete and fsyncs the segment — the
 // "segment roll": after Seal returns, the section's results survive a
 // machine crash, and resume will reconstruct the section without
@@ -202,11 +284,19 @@ func (w *SectionWAL) Seal() error {
 	defer w.mu.Unlock()
 	payload := []byte{walRecSeal}
 	payload = binary.LittleEndian.AppendUint32(payload, uint32(w.count))
+	before := w.off
 	if err := w.writeRecord(payload); err != nil {
 		return err
 	}
-	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("inject: wal %s: %w", w.path, err)
+	if err := w.retry.Do(w.f.Sync); err != nil {
+		// The seal record landed in the file but never reached the disk.
+		// Cut it back off (best effort) so recovery sees an honest
+		// unsealed segment rather than a seal with no durability behind
+		// it.
+		if w.fs.Truncate(w.path, before) == nil {
+			w.off = before
+		}
+		return w.degrade(fmt.Errorf("inject: wal %s: seal sync: %w", w.path, err))
 	}
 	w.sealed = true
 	return nil
@@ -220,22 +310,74 @@ func (w *SectionWAL) Count() int {
 	return w.count
 }
 
-// Close releases the file handle without sealing.
+// Degraded reports whether the segment latched off after a persistent
+// write failure.
+func (w *SectionWAL) Degraded() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.cause != nil
+}
+
+// Close fsyncs the durable prefix and releases the file handle without
+// sealing. The sync makes an interrupted campaign's records survive a
+// machine crash too, and guarantees a drained service leaves no segment
+// with an unflushed tail. Sync errors are swallowed: the handle is being
+// released, there is nothing left to degrade.
 func (w *SectionWAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.cause == nil {
+		_ = w.f.Sync()
+	}
 	return w.f.Close()
 }
 
-// writeRecord frames and writes one payload under w.mu.
+// degrade latches the segment off and returns the wrapped sentinel.
+func (w *SectionWAL) degrade(cause error) error {
+	if w.cause == nil {
+		w.cause = cause
+	}
+	return fmt.Errorf("%w: %v", ErrWALDegraded, w.cause)
+}
+
+// writeRecord frames and writes one payload under w.mu, retrying
+// transient failures with backoff. A partial append is truncated back to
+// the last good record before the retry, so the segment never carries a
+// mid-stream tear; if that truncation itself fails, the failure is
+// permanent. Once the retries are exhausted the segment degrades: the
+// error is latched and every further write is refused immediately with
+// ErrWALDegraded.
 func (w *SectionWAL) writeRecord(payload []byte) error {
+	if w.cause != nil {
+		return fmt.Errorf("%w: %v", ErrWALDegraded, w.cause)
+	}
 	buf := make([]byte, 0, 8+len(payload))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
 	buf = append(buf, payload...)
-	if _, err := w.f.Write(buf); err != nil {
-		return fmt.Errorf("inject: wal %s: %w", w.path, err)
+	err := w.retry.Do(func() error {
+		n, werr := w.f.Write(buf)
+		if werr == nil && n != len(buf) {
+			werr = io.ErrShortWrite
+		}
+		if werr == nil {
+			return nil
+		}
+		if n > 0 {
+			// The failed write left partial bytes behind. Cut the file
+			// back to the last good record so the retry appends at a
+			// clean boundary; a recovery that races in meanwhile would
+			// discard the fragment as a torn tail either way.
+			if terr := w.fs.Truncate(w.path, w.off); terr != nil {
+				return permanent(fmt.Errorf("%v (truncating partial append: %v)", werr, terr))
+			}
+		}
+		return werr
+	})
+	if err != nil {
+		return w.degrade(fmt.Errorf("inject: wal %s: %w", w.path, err))
 	}
+	w.off += int64(len(buf))
 	return nil
 }
 
@@ -243,8 +385,8 @@ func (w *SectionWAL) writeRecord(payload []byte) error {
 // the header is invalid or mismatched — the segment belongs to a different
 // format, section, or campaign and must be recreated. A torn or corrupt
 // record tail is truncated off the file and counted in TruncatedBytes.
-func recoverSegment(path string, key [32]byte, fingerprint uint64) (*Recovered, error) {
-	data, err := os.ReadFile(path)
+func recoverSegment(fsys errfs.FS, path string, key [32]byte, fingerprint uint64) (*Recovered, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -266,6 +408,11 @@ func recoverSegment(path string, key [32]byte, fingerprint uint64) (*Recovered, 
 	off := walHeaderSize
 	valid := off // end of the last well-formed record
 	sealCount := -1
+	truncate := func() (*Recovered, error) {
+		rec.TruncatedBytes = int64(len(data) - valid)
+		rec.validSize = int64(valid)
+		return rec, truncateTo(fsys, path, valid)
+	}
 	for {
 		payload, next, ok := nextRecord(data, off)
 		if !ok {
@@ -279,17 +426,21 @@ func recoverSegment(path string, key [32]byte, fingerprint uint64) (*Recovered, 
 			if perr != nil {
 				// Structurally corrupt despite a matching checksum: stop
 				// here and drop the rest of the file.
-				rec.TruncatedBytes = int64(len(data) - valid)
-				return rec, truncateTo(path, valid, rec)
+				return truncate()
 			}
 			rec.Records[r.Key] = r
 		case walRecAmp:
 			a, perr := parseAmpPayload(body)
 			if perr != nil {
-				rec.TruncatedBytes = int64(len(data) - valid)
-				return rec, truncateTo(path, valid, rec)
+				return truncate()
 			}
 			rec.Amp = a
+		case walRecPoison:
+			p, perr := parsePoisonPayload(body)
+			if perr != nil {
+				return truncate()
+			}
+			rec.Poisoned = append(rec.Poisoned, p)
 		case walRecSeal:
 			if len(body) == 4 {
 				sealCount = int(binary.LittleEndian.Uint32(body))
@@ -299,11 +450,9 @@ func recoverSegment(path string, key [32]byte, fingerprint uint64) (*Recovered, 
 		valid = next
 	}
 	if valid < len(data) {
-		rec.TruncatedBytes = int64(len(data) - valid)
-		if err := truncateTo(path, valid, rec); err != nil {
-			return rec, err
-		}
+		return truncate()
 	}
+	rec.validSize = int64(valid)
 	rec.Sealed = sealCount >= 0 && sealCount == len(rec.Records) && rec.Amp != nil
 	return rec, nil
 }
@@ -318,6 +467,10 @@ type SegmentInfo struct {
 	Experiments int
 	HasAmp      bool
 	Sealed      bool
+	// Poisoned counts quarantined-experiment records: injections that
+	// panicked twice and were logged with diagnostics instead of an
+	// outcome.
+	Poisoned int
 	// TailBytes counts trailing bytes that do not frame as complete,
 	// checksummed records — the torn tail a resume would truncate.
 	TailBytes int64
@@ -353,6 +506,8 @@ func InspectSegment(path string) (SegmentInfo, error) {
 			info.Experiments++
 		case walRecAmp:
 			info.HasAmp = true
+		case walRecPoison:
+			info.Poisoned++
 		case walRecSeal:
 			if len(payload) == 5 {
 				sealCount = int(binary.LittleEndian.Uint32(payload[1:]))
@@ -383,8 +538,8 @@ func nextRecord(data []byte, off int) (payload []byte, next int, ok bool) {
 }
 
 // truncateTo cuts the segment file back to its last well-formed record.
-func truncateTo(path string, size int, _ *Recovered) error {
-	if err := os.Truncate(path, int64(size)); err != nil {
+func truncateTo(fsys errfs.FS, path string, size int) error {
+	if err := fsys.Truncate(path, int64(size)); err != nil {
 		return fmt.Errorf("inject: wal %s: truncating torn tail: %w", path, err)
 	}
 	return nil
@@ -392,12 +547,47 @@ func truncateTo(path string, size int, _ *Recovered) error {
 
 // --- payload encoding -------------------------------------------------
 
+// appendClassKey encodes an equivalence-class key (the shared prefix of
+// experiment and poison payloads).
+func appendClassKey(buf []byte, key sites.ClassKey) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key.Static.Func)))
+	buf = append(buf, key.Static.Func...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(key.Static.Local))
+	buf = append(buf, byte(key.Role), key.Bit)
+	return buf
+}
+
+func parseClassKey(r *walReader) (sites.ClassKey, error) {
+	var key sites.ClassKey
+	n, err := r.u32()
+	if err != nil {
+		return key, err
+	}
+	fn, err := r.bytes(int(n))
+	if err != nil {
+		return key, err
+	}
+	key.Static.Func = string(fn)
+	local, err := r.u32()
+	if err != nil {
+		return key, err
+	}
+	key.Static.Local = int(int32(local))
+	role, err := r.u8()
+	if err != nil {
+		return key, err
+	}
+	bit, err := r.u8()
+	if err != nil {
+		return key, err
+	}
+	key.Role, key.Bit = isa.OperandRole(role), bit
+	return key, nil
+}
+
 func appendExperimentPayload(buf []byte, rec WALRecord) []byte {
 	buf = append(buf, walRecExperiment)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Key.Static.Func)))
-	buf = append(buf, rec.Key.Static.Func...)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.Key.Static.Local))
-	buf = append(buf, byte(rec.Key.Role), rec.Key.Bit)
+	buf = appendClassKey(buf, rec.Key)
 	buf = appendOutcome(buf, rec.Out)
 	if rec.Fin != nil {
 		buf = append(buf, 1)
@@ -463,29 +653,10 @@ func (r *walReader) u64() (uint64, error) {
 func parseExperimentPayload(body []byte) (WALRecord, error) {
 	r := &walReader{b: body}
 	var rec WALRecord
-	n, err := r.u32()
-	if err != nil {
+	var err error
+	if rec.Key, err = parseClassKey(r); err != nil {
 		return rec, err
 	}
-	fn, err := r.bytes(int(n))
-	if err != nil {
-		return rec, err
-	}
-	rec.Key.Static.Func = string(fn)
-	local, err := r.u32()
-	if err != nil {
-		return rec, err
-	}
-	rec.Key.Static.Local = int(int32(local))
-	role, err := r.u8()
-	if err != nil {
-		return rec, err
-	}
-	bit, err := r.u8()
-	if err != nil {
-		return rec, err
-	}
-	rec.Key.Role, rec.Key.Bit = isa.OperandRole(role), bit
 	if rec.Out, err = parseOutcome(r); err != nil {
 		return rec, err
 	}
@@ -563,6 +734,50 @@ func appendAmpPayload(buf []byte, a WALAmp) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(a.Runs))
 	buf = binary.LittleEndian.AppendUint64(buf, a.SimInstrs)
 	return buf
+}
+
+func appendPoisonPayload(buf []byte, p WALPoison) []byte {
+	buf = append(buf, walRecPoison)
+	buf = appendClassKey(buf, p.Key)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Attempts))
+	buf = binary.LittleEndian.AppendUint64(buf, p.MachineFP)
+	stack := p.Stack
+	if len(stack) > maxPoisonStack {
+		stack = stack[:maxPoisonStack]
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(stack)))
+	buf = append(buf, stack...)
+	return buf
+}
+
+func parsePoisonPayload(body []byte) (WALPoison, error) {
+	r := &walReader{b: body}
+	var p WALPoison
+	var err error
+	if p.Key, err = parseClassKey(r); err != nil {
+		return p, err
+	}
+	attempts, err := r.u32()
+	if err != nil {
+		return p, err
+	}
+	p.Attempts = int(attempts)
+	if p.MachineFP, err = r.u64(); err != nil {
+		return p, err
+	}
+	n, err := r.u32()
+	if err != nil {
+		return p, err
+	}
+	stack, err := r.bytes(int(n))
+	if err != nil {
+		return p, err
+	}
+	p.Stack = string(stack)
+	if len(r.b) != 0 {
+		return p, errWALShort
+	}
+	return p, nil
 }
 
 func parseAmpPayload(body []byte) (*WALAmp, error) {

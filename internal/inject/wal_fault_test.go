@@ -1,0 +1,238 @@
+package inject
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+
+	"fastflip/internal/errfs"
+)
+
+// fastRetry is a test policy: real attempts, no real sleeping.
+func fastRetry() RetryPolicy {
+	return RetryPolicy{Attempts: 3, Base: time.Microsecond, Max: time.Microsecond, Sleep: func(time.Duration) {}}
+}
+
+// openFaultWAL opens a fresh segment through a FaultFS armed with plan.
+func openFaultWAL(t *testing.T, dir string, plan errfs.Plan) (*SectionWAL, *errfs.FaultFS) {
+	t.Helper()
+	ffs := errfs.Wrap(nil, plan)
+	w, _, err := OpenSectionWALOpts(dir, walKey(0xEE), 7, true, WALOptions{FS: ffs, Retry: fastRetry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, ffs
+}
+
+// TestWALTransientWriteRetried: a single EIO on one append is absorbed by
+// the retry loop; the segment stays fully intact.
+func TestWALTransientWriteRetried(t *testing.T) {
+	dir := t.TempDir()
+	// Writes: 1 = header. Fail the 3rd write (the 2nd record) once.
+	w, ffs := openFaultWAL(t, dir, errfs.FailNth(errfs.OpWrite, 3, syscall.EIO))
+	for _, r := range sampleRecords() {
+		if err := w.Append(r); err != nil {
+			t.Fatalf("append with transient fault: %v", err)
+		}
+	}
+	if w.Degraded() {
+		t.Fatal("transient fault degraded the segment")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, faulted := ffs.Counts(errfs.OpWrite); faulted != 1 {
+		t.Fatalf("faulted writes = %d, want 1", faulted)
+	}
+	_, rec, err := OpenSectionWAL(dir, walKey(0xEE), 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != len(sampleRecords()) || rec.TruncatedBytes != 0 {
+		t.Fatalf("recovered %d records, %d truncated bytes; want %d, 0", len(rec.Records), rec.TruncatedBytes, len(sampleRecords()))
+	}
+}
+
+// TestWALShortWriteTruncatedAndRetried: a short write (torn append) leaves
+// partial bytes; the writer truncates back to the record boundary and the
+// retry lands the full record. The segment never shows a mid-stream tear.
+func TestWALShortWriteTruncatedAndRetried(t *testing.T) {
+	dir := t.TempDir()
+	w, ffs := openFaultWAL(t, dir, errfs.ShortWriteNth(2, 5, syscall.EIO))
+	for _, r := range sampleRecords() {
+		if err := w.Append(r); err != nil {
+			t.Fatalf("append with short-write fault: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if seen, _ := ffs.Counts(errfs.OpTruncate); seen == 0 {
+		t.Fatal("short write did not trigger the partial-append truncation")
+	}
+	_, rec, err := OpenSectionWAL(dir, walKey(0xEE), 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != len(sampleRecords()) {
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), len(sampleRecords()))
+	}
+	if rec.TruncatedBytes != 0 {
+		t.Fatalf("segment carries %d torn bytes after in-line truncation", rec.TruncatedBytes)
+	}
+}
+
+// TestWALPersistentENOSPCDegrades: a disk that stays full degrades the
+// segment after the retries; every earlier record remains recoverable and
+// resume re-runs exactly the unlogged remainder.
+func TestWALPersistentENOSPCDegrades(t *testing.T) {
+	dir := t.TempDir()
+	// Header is write 1; records are writes 2..4. Break the disk from the
+	// 3rd write on: exactly one record lands.
+	w, _ := openFaultWAL(t, dir, errfs.FailFrom(errfs.OpWrite, 3, syscall.ENOSPC))
+	recs := sampleRecords()
+	if err := w.Append(recs[0]); err != nil {
+		t.Fatalf("append before fault: %v", err)
+	}
+	err := w.Append(recs[1])
+	if !errors.Is(err, ErrWALDegraded) {
+		t.Fatalf("append on full disk = %v, want ErrWALDegraded", err)
+	}
+	if !w.Degraded() {
+		t.Fatal("segment not degraded after exhausted retries")
+	}
+	// Latched: the next append fails immediately without touching the disk.
+	if err := w.Append(recs[2]); !errors.Is(err, ErrWALDegraded) {
+		t.Fatalf("append after degrade = %v, want ErrWALDegraded", err)
+	}
+	if err := w.Seal(); !errors.Is(err, ErrWALDegraded) {
+		t.Fatalf("seal after degrade = %v, want ErrWALDegraded", err)
+	}
+	w.Close()
+
+	_, rec, err := OpenSectionWAL(dir, walKey(0xEE), 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 1 {
+		t.Fatalf("recovered %d records, want the 1 logged before the fault", len(rec.Records))
+	}
+	if _, ok := rec.Records[recs[0].Key]; !ok {
+		t.Fatal("the surviving record is not the one logged before the fault")
+	}
+	if rec.Sealed {
+		t.Fatal("degraded segment recovered as sealed")
+	}
+}
+
+// TestWALSealSyncFailureDegrades: a failed fsync in Seal must not report
+// the section durable — the seal degrades and the recovered segment is
+// unsealed, so resume re-validates it.
+func TestWALSealSyncFailureDegrades(t *testing.T) {
+	dir := t.TempDir()
+	// Sync 1 is the header write; fail every later fsync.
+	w, _ := openFaultWAL(t, dir, errfs.FailFrom(errfs.OpSync, 2, syscall.EIO))
+	for _, r := range sampleRecords() {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.AppendAmp(WALAmp{K: [][]float64{{1}}, Runs: 1, SimInstrs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Seal(); !errors.Is(err, ErrWALDegraded) {
+		t.Fatalf("seal with failing fsync = %v, want ErrWALDegraded", err)
+	}
+	if !w.Degraded() {
+		t.Fatal("segment not degraded after seal sync failure")
+	}
+	w.Close()
+
+	_, rec, err := OpenSectionWAL(dir, walKey(0xEE), 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Sealed {
+		t.Fatal("segment whose seal never fsynced recovered as sealed")
+	}
+	if len(rec.Records) != len(sampleRecords()) {
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), len(sampleRecords()))
+	}
+}
+
+// TestWALPoisonRoundTrip: poison records survive recovery with their
+// diagnostics and are counted by InspectSegment.
+func TestWALPoisonRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	key := walKey(0xCD)
+	w, _, err := OpenSectionWAL(dir, key, 11, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := WALPoison{Key: sampleRecords()[0].Key, Attempts: 2, MachineFP: 0xDEADBEEF, Stack: "panic: boom\n\ngoroutine 1 [running]:\n..."}
+	if err := w.AppendPoison(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(sampleRecords()[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := OpenSectionWAL(dir, key, 11, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Poisoned) != 1 {
+		t.Fatalf("recovered %d poison records, want 1", len(rec.Poisoned))
+	}
+	got := rec.Poisoned[0]
+	if got.Key != p.Key || got.Attempts != p.Attempts || got.MachineFP != p.MachineFP || got.Stack != p.Stack {
+		t.Fatalf("poison round trip: got %+v, want %+v", got, p)
+	}
+	if len(rec.Records) != 1 {
+		t.Fatalf("experiment record alongside poison not recovered")
+	}
+
+	info, err := InspectSegment(SegmentPath(dir, key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Poisoned != 1 || info.Experiments != 1 {
+		t.Fatalf("InspectSegment: %d poisoned, %d experiments; want 1, 1", info.Poisoned, info.Experiments)
+	}
+}
+
+// TestRetryPolicyPermanent: a permanent error escapes the retry loop
+// unwrapped on the first attempt.
+func TestRetryPolicyPermanent(t *testing.T) {
+	calls := 0
+	base := errors.New("broken")
+	err := fastRetry().Do(func() error {
+		calls++
+		return permanent(base)
+	})
+	if calls != 1 {
+		t.Fatalf("permanent error retried %d times", calls)
+	}
+	if !errors.Is(err, base) {
+		t.Fatalf("err = %v, want the wrapped cause", err)
+	}
+}
+
+// TestRetryPolicyExhaustion: the last error surfaces after Attempts tries.
+func TestRetryPolicyExhaustion(t *testing.T) {
+	calls := 0
+	err := fastRetry().Do(func() error {
+		calls++
+		return syscall.EIO
+	})
+	if calls != 3 {
+		t.Fatalf("op called %d times, want 3", calls)
+	}
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("err = %v, want EIO", err)
+	}
+}

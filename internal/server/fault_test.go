@@ -1,0 +1,191 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fastflip/internal/prog"
+	"fastflip/internal/service"
+	"fastflip/internal/spec"
+	"fastflip/internal/testprog"
+	"fastflip/internal/vm"
+)
+
+// slowSpinProg builds a single-section program that spins long enough to
+// still be running while a test saturates the queue behind it.
+func slowSpinProg() *spec.Program {
+	p := prog.New()
+
+	main := prog.NewFunc("main")
+	main.RoiBeg()
+	main.SecBeg(0)
+	main.Call("spin")
+	main.SecEnd(0)
+	main.RoiEnd()
+	main.Halt()
+	p.MustAdd(main.MustBuild())
+
+	spin := prog.NewFunc("spin")
+	spin.Li(1, 0)
+	spin.Fld(0, 1, 0)
+	spin.Fli(1, 0)
+	spin.Li(12, 0)
+	spin.Li(13, 50000)
+	spin.Label("loop")
+	spin.Fadd(0, 0, 1)
+	spin.Addi(12, 12, 1)
+	spin.Blt(12, 13, "loop")
+	spin.Li(1, 0)
+	spin.Fst(0, 1, 1)
+	spin.Ret()
+	p.MustAdd(spin.MustBuild())
+
+	linked, err := p.Link("main")
+	if err != nil {
+		panic(err)
+	}
+	x := spec.Buffer{Name: "x", Addr: 0, Len: 1, Kind: spec.Float}
+	y := spec.Buffer{Name: "y", Addr: 1, Len: 1, Kind: spec.Float}
+	return &spec.Program{
+		Name: "slow", Linked: linked, MemWords: 4,
+		Init: func(m *vm.Machine) { m.Mem[0] = 0x3FF0000000000000 },
+		Sections: []spec.Section{{ID: 0, Name: "spin", Instances: []spec.InstanceIO{
+			{Inputs: []spec.Buffer{x}, Outputs: []spec.Buffer{y}, Live: []spec.Buffer{x, y}},
+		}}},
+		FinalOutputs: []spec.Buffer{y},
+	}
+}
+
+// doRaw issues a request and returns the full response for header
+// inspection (doJSON discards headers).
+func doRaw(t *testing.T, method, url string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestReadyzFreshServer(t *testing.T) {
+	ts, _ := newTestServer(t, service.Options{})
+	var body map[string]string
+	if code := doJSON(t, http.MethodGet, ts.URL+"/readyz", nil, &body); code != http.StatusOK {
+		t.Fatalf("GET /readyz = %d, want 200", code)
+	}
+	if body["status"] != "ready" {
+		t.Errorf("readyz body = %v", body)
+	}
+	// Liveness must agree while the process is healthy.
+	if code := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, nil); code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d, want 200", code)
+	}
+}
+
+// TestReadyzAndSubmitOnSaturatedQueue fills the one-deep queue and
+// requires both the readiness probe and a further submission to degrade
+// to 503 with a Retry-After hint — while liveness stays 200.
+func TestReadyzAndSubmitOnSaturatedQueue(t *testing.T) {
+	opts := service.Options{
+		QueueDepth: 1,
+		Build: func(name, variant string) (*spec.Program, error) {
+			if name == "slow" {
+				return slowSpinProg(), nil
+			}
+			return testprog.Pipeline(), nil
+		},
+		ListBenchmarks: func() []string { return []string{"slow", "pipe"} },
+	}
+	ts, _ := newTestServer(t, opts)
+
+	var running service.JobView
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", service.Request{Bench: "slow"}, &running); code != http.StatusAccepted {
+		t.Fatalf("submit slow = %d", code)
+	}
+	pollRunning(t, ts.URL, running.ID)
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", service.Request{Bench: "pipe"}, nil); code != http.StatusAccepted {
+		t.Fatalf("submit queued = %d", code)
+	}
+
+	resp := doRaw(t, http.MethodGet, ts.URL+"/readyz", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("GET /readyz with full queue = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != retryAfterSeconds {
+		t.Errorf("readyz Retry-After = %q, want %q", got, retryAfterSeconds)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "unready" || body["reason"] == "" {
+		t.Errorf("readyz body = %v", body)
+	}
+
+	raw, _ := json.Marshal(service.Request{Bench: "pipe"})
+	sub := doRaw(t, http.MethodPost, ts.URL+"/v1/jobs", raw)
+	if sub.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit on full queue = %d, want 503", sub.StatusCode)
+	}
+	if got := sub.Header.Get("Retry-After"); got != retryAfterSeconds {
+		t.Errorf("submit Retry-After = %q, want %q", got, retryAfterSeconds)
+	}
+
+	// Liveness is about the process, not the queue.
+	if code := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, nil); code != http.StatusOK {
+		t.Fatalf("GET /healthz with full queue = %d, want 200", code)
+	}
+
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+running.ID, nil, nil); code != http.StatusOK {
+		t.Fatalf("cancel = %d", code)
+	}
+	pollTerminal(t, ts.URL, running.ID)
+}
+
+// TestReadyzUnwritableWALDir degrades readiness when the WAL directory
+// cannot be created (its path is occupied by a regular file) and
+// recovers once it can.
+func TestReadyzUnwritableWALDir(t *testing.T) {
+	walDir := filepath.Join(t.TempDir(), "wal")
+	if err := os.WriteFile(walDir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := newTestServer(t, service.Options{WALDir: walDir})
+
+	resp := doRaw(t, http.MethodGet, ts.URL+"/readyz", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("GET /readyz with unwritable WAL dir = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != retryAfterSeconds {
+		t.Errorf("Retry-After = %q, want %q", got, retryAfterSeconds)
+	}
+
+	if err := os.Remove(walDir); err != nil {
+		t.Fatal(err)
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/readyz", nil, nil); code != http.StatusOK {
+		t.Fatalf("GET /readyz after restoring WAL dir = %d, want 200", code)
+	}
+}
+
+// TestBadRequestHasNoRetryAfter: only transient 503s advertise a retry
+// hint; client errors must not.
+func TestBadRequestHasNoRetryAfter(t *testing.T) {
+	ts, _ := newTestServer(t, service.Options{})
+	resp := doRaw(t, http.MethodPost, ts.URL+"/v1/jobs", []byte(`{"bench":"nope"}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("submit unknown bench = %d, want 400", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "" {
+		t.Errorf("400 response carries Retry-After %q", got)
+	}
+}

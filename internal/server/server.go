@@ -7,11 +7,20 @@
 //	DELETE /v1/jobs/{id}   cancel a job              → 200 + job
 //	GET    /v1/benchmarks  available benchmarks      → 200 + [benchmark]
 //	GET    /healthz        liveness                  → 200
+//	GET    /readyz         readiness                 → 200 or 503 + reason
 //	GET    /metrics        expvar-style counters     → 200 + metrics
+//
+// Liveness and readiness are deliberately split: /healthz answers "is the
+// process serving requests" and only ever returns 200, while /readyz
+// answers "would a new submission be accepted and durable" — it degrades
+// to 503 when the queue is saturated, the manager is draining, or the WAL
+// directory is unwritable, so orchestrators stop routing new work without
+// restarting a process that is still finishing jobs.
 //
 // Errors are returned as {"error": "..."} with 400 (bad request), 404
 // (unknown job), 409 (cancelling a finished job), or 503 (queue full or
-// shutting down).
+// shutting down). Queue-full 503s carry a Retry-After header so clients
+// back off instead of hammering the queue.
 package server
 
 import (
@@ -44,6 +53,7 @@ func New(mgr *service.Manager, logger *log.Logger) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.benchmarks)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /readyz", s.readyz)
 	s.mux.HandleFunc("GET /metrics", s.metrics)
 	return s
 }
@@ -68,11 +78,22 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.mgr.Submit(req)
 	if err != nil {
-		s.fail(w, submitStatus(err), err)
+		status := submitStatus(err)
+		if status == http.StatusServiceUnavailable {
+			// A full queue is transient: tell well-behaved clients when to
+			// come back instead of letting them hot-loop on 503s.
+			w.Header().Set("Retry-After", retryAfterSeconds)
+		}
+		s.fail(w, status, err)
 		return
 	}
 	s.reply(w, http.StatusAccepted, job)
 }
+
+// retryAfterSeconds is the backoff hint attached to queue-full and
+// draining 503 responses. Campaigns run for minutes; retrying sooner than
+// this cannot succeed often enough to matter.
+const retryAfterSeconds = "5"
 
 func submitStatus(err error) int {
 	switch {
@@ -117,6 +138,15 @@ func (s *Server) benchmarks(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 	s.reply(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) readyz(w http.ResponseWriter, _ *http.Request) {
+	if err := s.mgr.Readiness(); err != nil {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		s.reply(w, http.StatusServiceUnavailable, map[string]string{"status": "unready", "reason": err.Error()})
+		return
+	}
+	s.reply(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {

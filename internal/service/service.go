@@ -18,6 +18,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -88,6 +90,19 @@ type Metrics struct {
 	JobsFailed    uint64 `json:"jobs_failed"`
 	JobsCancelled uint64 `json:"jobs_cancelled"`
 	JobsEvicted   uint64 `json:"jobs_evicted"`
+	// JobsPanicked counts jobs whose analysis panicked outside the
+	// experiment supervisor and was contained by the job-level recover
+	// (the job fails; the service keeps running).
+	JobsPanicked uint64 `json:"jobs_panicked"`
+	// PanicRetries counts experiment attempts that panicked and succeeded
+	// on retry; ExperimentsPoisoned counts experiments quarantined after
+	// panicking twice.
+	PanicRetries        uint64 `json:"panic_retries"`
+	ExperimentsPoisoned uint64 `json:"experiments_poisoned"`
+	// WALDegradedJobs counts jobs whose write-ahead campaign log latched
+	// off after a persistent write failure (the analysis still completed,
+	// memory-only for the affected sections).
+	WALDegradedJobs uint64 `json:"wal_degraded_jobs"`
 
 	JobsQueued  int `json:"jobs_queued"`  // gauge
 	JobsRunning int `json:"jobs_running"` // gauge
@@ -150,6 +165,11 @@ type Options struct {
 	// queued or running job are pinned and never evicted mid-merge.
 	// 0 means unlimited.
 	MaxCachedBenches int
+	// ConfigHook, when non-nil, is applied to every job's core.Config
+	// after the manager's own fields are set. Chaos tests use it to
+	// install fault-injecting filesystems, shrunken retry policies, and
+	// experiment panic hooks.
+	ConfigHook func(*core.Config)
 }
 
 func (o Options) withDefaults() Options {
@@ -430,24 +450,7 @@ func (m *Manager) runJob(j *job) {
 	m.mu.Unlock()
 	defer cancel()
 
-	a := core.NewAnalyzer(m.configFor(j.req))
-	a.Store = snap
-	a.Progress = func(p core.Progress) {
-		m.mu.Lock()
-		j.progress = p
-		m.mu.Unlock()
-	}
-	if j.req.Modified {
-		a.NoteModification()
-	}
-
-	r, err := a.AnalyzeContext(ctx, j.prog)
-	var evals []core.TargetEval
-	if err == nil && j.req.Baseline {
-		if err = a.RunBaselineContext(ctx, r); err == nil {
-			evals, err = a.Evaluate(r, j.req.Epsilon, j.req.Modified)
-		}
-	}
+	r, evals, err, panicked := m.analyze(ctx, j, snap)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -462,12 +465,24 @@ func (m *Manager) runJob(j *job) {
 		s.Bench = j.req.Bench
 		s.Variant = j.req.Variant
 		j.result = s
-		m.finishLocked(j, StateDone)
+		if n := len(s.Poisoned); n > 0 {
+			// The analysis completed (poisoned classes carry the
+			// conservative fill), but its quality is compromised: fail the
+			// job with diagnostics while retaining the summary so the
+			// poison records are inspectable through the API.
+			j.err = fmt.Sprintf("service: %d experiment(s) quarantined after repeated panics; outcomes filled conservatively (see result.poisoned)", n)
+			m.finishLocked(j, StateFailed)
+		} else {
+			m.finishLocked(j, StateDone)
+		}
 	case errors.Is(err, context.Canceled):
 		m.finishLocked(j, StateCancelled)
 	default:
 		j.err = err.Error()
 		m.finishLocked(j, StateFailed)
+	}
+	if panicked {
+		m.counters.JobsPanicked++
 	}
 	m.counters.InjectionsRun += uint64(j.progress.Experiments)
 	m.counters.SimInstrs += j.progress.SimInstrs
@@ -475,12 +490,53 @@ func (m *Manager) runJob(j *job) {
 	m.counters.FaultyInstrs += j.progress.FaultyInstrs
 	m.counters.StoreHits += uint64(j.progress.Reused)
 	m.counters.StoreMisses += uint64(j.progress.Injected)
+	if r != nil {
+		m.counters.PanicRetries += uint64(r.PanicRetries)
+		m.counters.ExperimentsPoisoned += uint64(len(r.Poisoned))
+		if r.WALDegraded {
+			m.counters.WALDegradedJobs++
+		}
+	}
 	if r != nil && len(evals) > 0 {
 		m.counters.InjectionsRun += uint64(r.BaseInject.Experiments)
 		m.counters.SimInstrs += r.BaseCost()
 		m.counters.CleanInstrs += r.BaseInject.CleanInstrs
 		m.counters.FaultyInstrs += r.BaseInject.FaultyInstrs
 	}
+}
+
+// analyze runs one job's full analysis under a job-level panic guard: the
+// last line of defense behind the per-experiment supervisor. Whatever
+// escapes — a harness bug in trace recording, composition, evaluation —
+// fails this job with the captured stack instead of killing the worker
+// goroutine (and with it the process).
+func (m *Manager) analyze(ctx context.Context, j *job, snap *store.Store) (r *core.Result, evals []core.TargetEval, err error, panicked bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			r, evals = nil, nil
+			err = fmt.Errorf("service: job %s panicked: %v\n%s", j.id, rec, debug.Stack())
+			panicked = true
+		}
+	}()
+
+	a := core.NewAnalyzer(m.configFor(j.req))
+	a.Store = snap
+	a.Progress = func(p core.Progress) {
+		m.mu.Lock()
+		j.progress = p
+		m.mu.Unlock()
+	}
+	if j.req.Modified {
+		a.NoteModification()
+	}
+
+	r, err = a.AnalyzeContext(ctx, j.prog)
+	if err == nil && j.req.Baseline {
+		if err = a.RunBaselineContext(ctx, r); err == nil {
+			evals, err = a.Evaluate(r, j.req.Epsilon, j.req.Modified)
+		}
+	}
+	return r, evals, err, false
 }
 
 // finishLocked moves j to a terminal state, bumps the matching counter,
@@ -613,7 +669,50 @@ func (m *Manager) configFor(req Request) core.Config {
 		cfg.WALDir = m.opts.WALDir
 		cfg.Resume = true
 	}
+	if m.opts.ConfigHook != nil {
+		m.opts.ConfigHook(&cfg)
+	}
 	return cfg
+}
+
+// Readiness reports whether the service can usefully accept a new job:
+// nil when ready, otherwise the reason it is not. The service is unready
+// when it is draining, when the submission queue is saturated (a POST
+// would be rejected with 503 anyway), or when the WAL directory cannot be
+// written (every accepted job would immediately lose its durability).
+// Liveness is a separate, weaker property: a saturated or degraded
+// service is still alive.
+func (m *Manager) Readiness() error {
+	m.mu.Lock()
+	closed := m.closed
+	queued := len(m.queue)
+	m.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if queued >= m.opts.QueueDepth {
+		return ErrQueueFull
+	}
+	if dir := m.opts.WALDir; dir != "" {
+		if err := checkWritable(dir); err != nil {
+			return fmt.Errorf("service: wal dir: %w", err)
+		}
+	}
+	return nil
+}
+
+// checkWritable probes that dir exists (creating it if needed) and that a
+// file can be created in it.
+func checkWritable(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, ".readyz-*")
+	if err != nil {
+		return err
+	}
+	f.Close()
+	return os.Remove(f.Name())
 }
 
 func (m *Manager) viewLocked(j *job) JobView {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"fastflip/internal/errfs"
 )
 
 // ManifestVersion is the on-disk manifest format version. A manifest with
@@ -65,7 +67,13 @@ func (m *Manifest) Matches(traceFP, configFP uint64) bool {
 // Save atomically writes the manifest to path (temp file in the target
 // directory, sync, rename) — the same crash discipline as Store.Save.
 func (m *Manifest) Save(path string) error {
-	return atomicWriteGob(path, m)
+	return atomicWriteGob(nil, path, m)
+}
+
+// SaveFS is Save through an explicit filesystem seam (nil = the real
+// filesystem); chaos tests inject write faults through it.
+func (m *Manifest) SaveFS(fsys errfs.FS, path string) error {
+	return atomicWriteGob(fsys, path, m)
 }
 
 // LoadManifest reads a manifest written by Save. An unknown version is an
@@ -91,16 +99,20 @@ func LoadManifest(path string) (*Manifest, error) {
 
 // atomicWriteGob gob-encodes v into a temporary file in path's directory,
 // syncs it, and renames it over path, so a crash mid-write never corrupts
-// an existing file.
-func atomicWriteGob(path string, v any) error {
-	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+// an existing file. All I/O goes through fsys (nil = real filesystem) so
+// fault-injection tests can break any step of the protocol.
+func atomicWriteGob(fsys errfs.FS, path string, v any) error {
+	if fsys == nil {
+		fsys = errfs.OS()
+	}
+	f, err := fsys.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	tmp := f.Name()
 	fail := func(err error) error {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := gob.NewEncoder(f).Encode(v); err != nil {

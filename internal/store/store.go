@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"fastflip/internal/errfs"
 	"fastflip/internal/metrics"
 	"fastflip/internal/sites"
 	"fastflip/internal/spec"
@@ -151,7 +152,13 @@ func (s *Store) Put(key Key, sec *Section) {
 // and renamed over path, so a crash or cancellation mid-save never
 // truncates an existing store.
 func (s *Store) Save(path string) error {
-	return atomicWriteGob(path, s)
+	return atomicWriteGob(nil, path, s)
+}
+
+// SaveFS is Save through an explicit filesystem seam (nil = the real
+// filesystem); chaos tests inject write faults through it.
+func (s *Store) SaveFS(fsys errfs.FS, path string) error {
+	return atomicWriteGob(fsys, path, s)
 }
 
 // Load reads a store written by Save.

@@ -1,0 +1,30 @@
+package vm
+
+import "fastflip/internal/mix"
+
+// Fingerprint hashes the architecturally visible machine state — dynamic
+// instruction count, PC, status, register files, call stack, and memory —
+// into 64 bits. It is safe to call on a machine in any state, including
+// one abandoned mid-experiment by a panic, and is used to tag quarantined
+// machines in poison records: two panics that wedge at the same state
+// produce the same fingerprint, so repeat offenders are recognizable
+// across campaign runs.
+func (m *Machine) Fingerprint() uint64 {
+	h := mix.Splitmix64(m.Dyn)
+	h = mix.Fold(h, uint64(m.PC))
+	h = mix.Fold(h, uint64(m.Status))
+	h = mix.Fold(h, uint64(m.Crash))
+	for _, v := range m.R {
+		h = mix.Fold(h, v)
+	}
+	for _, v := range m.F {
+		h = mix.Fold(h, v)
+	}
+	for _, v := range m.Stack {
+		h = mix.Fold(h, uint64(v))
+	}
+	for _, v := range m.Mem {
+		h = mix.Fold(h, v)
+	}
+	return h
+}
