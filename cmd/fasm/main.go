@@ -13,12 +13,34 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"fastflip/internal/asm"
 	"fastflip/internal/bench"
 	"fastflip/internal/inject"
 	"fastflip/internal/vm"
 )
+
+// formatWALInfo renders the -wal-info report. Scripts parse this as
+// "key:value" lines, so the label set and formats are part of the CLI
+// contract (see cmd/fasm/main_test.go).
+func formatWALInfo(path string, info inject.SegmentInfo) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "segment:     %s\n", path)
+	fmt.Fprintf(&b, "format:      v%d\n", info.Version)
+	fmt.Fprintf(&b, "section key: %x\n", info.Key)
+	fmt.Fprintf(&b, "fingerprint: %016x\n", info.Fingerprint)
+	fmt.Fprintf(&b, "experiments: %d\n", info.Experiments)
+	fmt.Fprintf(&b, "sensitivity: %v\n", info.HasAmp)
+	fmt.Fprintf(&b, "sealed:      %v\n", info.Sealed)
+	if info.Poisoned > 0 {
+		fmt.Fprintf(&b, "poisoned:    %d quarantined experiment(s) with panic diagnostics\n", info.Poisoned)
+	}
+	if info.TailBytes > 0 {
+		fmt.Fprintf(&b, "torn tail:   %d bytes (resume will truncate)\n", info.TailBytes)
+	}
+	return b.String()
+}
 
 func main() {
 	log.SetFlags(0)
@@ -39,19 +61,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("segment:     %s\n", *walInfo)
-		fmt.Printf("format:      v%d\n", info.Version)
-		fmt.Printf("section key: %x\n", info.Key)
-		fmt.Printf("fingerprint: %016x\n", info.Fingerprint)
-		fmt.Printf("experiments: %d\n", info.Experiments)
-		fmt.Printf("sensitivity: %v\n", info.HasAmp)
-		fmt.Printf("sealed:      %v\n", info.Sealed)
-		if info.Poisoned > 0 {
-			fmt.Printf("poisoned:    %d quarantined experiment(s) with panic diagnostics\n", info.Poisoned)
-		}
-		if info.TailBytes > 0 {
-			fmt.Printf("torn tail:   %d bytes (resume will truncate)\n", info.TailBytes)
-		}
+		fmt.Print(formatWALInfo(*walInfo, info))
 		return
 	}
 

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"fastflip/internal/inject"
+	"fastflip/internal/metrics"
+	"fastflip/internal/prog"
+	"fastflip/internal/sites"
+)
+
+// buildSegment writes a real WAL segment — two experiments, a sensitivity
+// record, one quarantined experiment, and a seal — and returns its path.
+func buildSegment(t *testing.T) (string, [32]byte, uint64) {
+	t.Helper()
+	dir := t.TempDir()
+	var key [32]byte
+	for i := range key {
+		key[i] = byte(i * 7)
+	}
+	const fp = uint64(0x1122334455667788)
+	w, _, err := inject.OpenSectionWAL(dir, key, fp, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bit := uint8(0); bit < 2; bit++ {
+		rec := inject.WALRecord{
+			Key:  sites.ClassKey{Static: prog.StaticID{Func: "k1", Local: 3}, Bit: bit},
+			Out:  metrics.Outcome{Kind: metrics.Masked},
+			Cost: inject.Stats{Experiments: 1, SimInstrs: 10},
+		}
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.AppendAmp(inject.WALAmp{K: [][]float64{{1.5}}, Runs: 4, SimInstrs: 40}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendPoison(inject.WALPoison{
+		Key: sites.ClassKey{Static: prog.StaticID{Func: "k1", Local: 9}}, Attempts: 2, MachineFP: 0xabcd, Stack: "stack",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return inject.SegmentPath(dir, key), key, fp
+}
+
+// parseWALInfo splits the report into its "label: value" map.
+func parseWALInfo(t *testing.T, report string) map[string]string {
+	t.Helper()
+	fields := map[string]string{}
+	for _, line := range strings.Split(strings.TrimRight(report, "\n"), "\n") {
+		label, value, ok := strings.Cut(line, ":")
+		if !ok {
+			t.Fatalf("line %q is not label: value", line)
+		}
+		fields[strings.TrimSpace(label)] = strings.TrimSpace(value)
+	}
+	return fields
+}
+
+// TestFormatWALInfo: the -wal-info report against a real sealed segment
+// is parseable key:value text with the documented labels and formats.
+func TestFormatWALInfo(t *testing.T) {
+	path, key, fp := buildSegment(t)
+	info, err := inject.InspectSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := parseWALInfo(t, formatWALInfo(path, info))
+
+	want := map[string]string{
+		"segment":     path,
+		"format":      "v1",
+		"section key": fmt.Sprintf("%x", key),
+		"fingerprint": fmt.Sprintf("%016x", fp),
+		"experiments": "2",
+		"sensitivity": "true",
+		"sealed":      "true",
+		"poisoned":    "1 quarantined experiment(s) with panic diagnostics",
+	}
+	for label, wantVal := range want {
+		if got, ok := fields[label]; !ok {
+			t.Errorf("report missing %q line", label)
+		} else if got != wantVal {
+			t.Errorf("%s: got %q, want %q", label, got, wantVal)
+		}
+	}
+	if _, ok := fields["torn tail"]; ok {
+		t.Error("clean segment reports a torn tail")
+	}
+}
+
+// TestFormatWALInfoTornTail: garbage appended past the last record shows
+// up as the torn-tail line, and the clean-segment-only lines drop out.
+func TestFormatWALInfoTornTail(t *testing.T) {
+	path, _, _ := buildSegment(t)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("torn-partial-record")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := inject.InspectSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := parseWALInfo(t, formatWALInfo(path, info))
+	if got := fields["torn tail"]; got != "19 bytes (resume will truncate)" {
+		t.Errorf("torn tail line: %q", got)
+	}
+	// The experiment records before the tail still count.
+	if got := fields["experiments"]; got != "2" {
+		t.Errorf("experiments after torn tail: %q", got)
+	}
+}
+
+// TestFormatWALInfoMinimal: a fresh header-only segment renders without the
+// conditional poisoned/torn-tail lines.
+func TestFormatWALInfoMinimal(t *testing.T) {
+	dir := t.TempDir()
+	var key [32]byte
+	w, _, err := inject.OpenSectionWAL(dir, key, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := inject.InspectSegment(inject.SegmentPath(dir, key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := parseWALInfo(t, formatWALInfo(inject.SegmentPath(dir, key), info))
+	if fields["experiments"] != "0" || fields["sealed"] != "false" || fields["sensitivity"] != "false" {
+		t.Errorf("minimal segment fields: %v", fields)
+	}
+	for _, absent := range []string{"poisoned", "torn tail"} {
+		if _, ok := fields[absent]; ok {
+			t.Errorf("minimal segment reports %q", absent)
+		}
+	}
+}

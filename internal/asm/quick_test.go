@@ -8,6 +8,7 @@ import (
 
 	"fastflip/internal/isa"
 	"fastflip/internal/prog"
+	"fastflip/internal/qcheck"
 )
 
 // randFunction generates a structurally valid random function: a mix of
@@ -75,7 +76,7 @@ func TestRoundTripRandomFunctionsQuick(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+	if err := quick.Check(f, qcheck.Config(t, 150)); err != nil {
 		t.Error(err)
 	}
 }
@@ -88,7 +89,7 @@ func TestDisassembleStableQuick(t *testing.T) {
 		fn := randFunction(r)
 		return Disassemble(fn) == Disassemble(fn)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+	if err := quick.Check(f, qcheck.Config(t, 50)); err != nil {
 		t.Error(err)
 	}
 }

@@ -16,11 +16,24 @@ package chisel
 
 import (
 	"fmt"
+	"math"
+	"sync/atomic"
 
 	"fastflip/internal/sens"
 	"fastflip/internal/sym"
 	"fastflip/internal/trace"
 )
+
+// dropSubUnityAmp, when set, makes Compose discard amplification factors
+// below 1 — i.e. it disables the bound widening that keeps attenuating
+// sections sound. It exists only as a seeded defect for the differential
+// fuzzer (internal/diffcheck) to detect; production code never sets it.
+var dropSubUnityAmp atomic.Bool
+
+// SetDropSubUnityAmp toggles the seeded soundness defect used by the
+// differential verification self-test and returns the previous value so
+// tests can restore it.
+func SetDropSubUnityAmp(on bool) bool { return dropSubUnityAmp.Swap(on) }
 
 // Spec is the end-to-end SDC propagation specification for one traced
 // execution.
@@ -68,7 +81,11 @@ func Compose(t *trace.Trace, amps []*sens.Amplification) (*Spec, error) {
 		for oi := range inst.IO.Outputs {
 			e := sym.NewVar(sym.Var{Inst: idx, Out: oi})
 			for ii := range inst.IO.Inputs {
-				e.AddScaled(amp.K[oi][ii], inBounds[ii])
+				k := amp.K[oi][ii]
+				if dropSubUnityAmp.Load() && k < 1 {
+					k = 0
+				}
+				e.AddScaled(k, inBounds[ii])
 			}
 			outExprs[oi] = e
 		}
@@ -107,6 +124,16 @@ func (s *Spec) Bound(instIdx int, mags []float64) []float64 {
 // magnitudes mags is SDC-Bad: some final output's bound exceeds its ε.
 // eps must have one entry per final output.
 func (s *Spec) Bad(instIdx int, mags []float64, eps []float64) bool {
+	// An infinite magnitude marks a side-effect corruption (metrics.Outcome
+	// contract): SDC-Bad regardless of ε and of the declared dataflow. The
+	// explicit check matters because a zero path coefficient times +Inf
+	// evaluates to NaN, which would otherwise fail every comparison below
+	// and silently classify the experiment as benign.
+	for _, m := range mags {
+		if math.IsInf(m, 1) {
+			return true
+		}
+	}
 	for λ, b := range s.Bound(instIdx, mags) {
 		if b > eps[λ] {
 			return true

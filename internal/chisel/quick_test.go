@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"fastflip/internal/qcheck"
 	"fastflip/internal/sens"
 	"fastflip/internal/trace"
 )
@@ -37,7 +38,7 @@ func TestBoundLinearityQuick(t *testing.T) {
 		bigger := s.Bound(0, []float64{mag + 1})[0]
 		return bigger >= b1
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, qcheck.Config(t, 0)); err != nil {
 		t.Error(err)
 	}
 }
@@ -54,7 +55,7 @@ func TestBadMonotoneInEpsilonQuick(t *testing.T) {
 		// relaxed implies strict: anything bad at 2ε is bad at ε.
 		return !relaxed || strict
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, qcheck.Config(t, 0)); err != nil {
 		t.Error(err)
 	}
 }
@@ -68,7 +69,7 @@ func TestMaskedNeverBadQuick(t *testing.T) {
 		eps := float64(epsRaw) / 512
 		return !s.Bad(inst, []float64{0}, []float64{eps})
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, qcheck.Config(t, 0)); err != nil {
 		t.Error(err)
 	}
 }
@@ -90,7 +91,7 @@ func TestCoefficientScalesWithKQuick(t *testing.T) {
 		}
 		return s.Coefficient(0, 0, 0) == k && s.Coefficient(0, 1, 0) == 1
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, qcheck.Config(t, 0)); err != nil {
 		t.Error(err)
 	}
 }

@@ -57,6 +57,14 @@ type Config struct {
 	// instruction duplication (cost = dynamic instances, §5.3); externally
 	// supplied models can price task-level detectors instead (§4.8).
 	CostModel func(id prog.StaticID, dynCount int) int
+	// StrictReuseKeys keys section reuse on the entry contents of output
+	// and live buffers in addition to the declared inputs
+	// (store.KeyForStrict). Under strict keys an incremental re-analysis
+	// reproduces a from-scratch analysis experiment for experiment, even
+	// when a fault-deflected load observes state outside the declared
+	// inputs; the default (paper) keys reuse more aggressively and accept
+	// that divergence (see DESIGN.md §10).
+	StrictReuseKeys bool
 	// CoRunBaseline lets every per-section experiment continue to program
 	// termination and records the end-to-end outcome too (§4.10's
 	// simultaneous monolithic analysis). Evaluate can then use the co-run
@@ -304,7 +312,12 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, p *spec.Program) (*Result
 			return nil, err
 		}
 		classes := sites.ForInstance(t, inst, siteOpts)
-		key := store.KeyFor(t, inst)
+		var key store.Key
+		if a.Cfg.StrictReuseKeys {
+			key = store.KeyForStrict(t, inst)
+		} else {
+			key = store.KeyFor(t, inst)
+		}
 		if st := a.storeLookup(key, classes); st != nil {
 			for _, c := range classes {
 				rec := classRecord{class: c, out: st.Outcomes[c.Key].ToMetrics(), inst: idx}

@@ -1,0 +1,76 @@
+package diffcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Reproducer is the on-disk form of a (shrunk) violation: enough to
+// re-run the failing check without the generator. Next to the JSON file
+// the writer drops the rendered minilang source with an .ml extension for
+// human inspection.
+type Reproducer struct {
+	Invariant Invariant `json:"invariant"`
+	Seed      uint64    `json:"seed"`
+	Detail    string    `json:"detail"`
+	Prog      *Prog     `json:"prog"`
+	Edit      *Edit     `json:"edit,omitempty"`
+}
+
+// WriteReproducer persists v under dir and returns the JSON path.
+func WriteReproducer(dir string, v *Violation) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	rep := Reproducer{Invariant: v.Invariant, Seed: v.Seed, Detail: v.Detail, Prog: v.Prog, Edit: v.Edit}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	base := fmt.Sprintf("%s-%016x", v.Invariant, v.Seed)
+	path := filepath.Join(dir, base+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, base+".ml"), []byte(v.Prog.Source()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadReproducer loads a reproducer written by WriteReproducer.
+func ReadReproducer(path string) (*Reproducer, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Reproducer
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("diffcheck: %s: %w", path, err)
+	}
+	if rep.Prog == nil {
+		return nil, fmt.Errorf("diffcheck: %s: no program", path)
+	}
+	return &rep, nil
+}
+
+// Recheck re-runs a reproducer's invariant on its stored program.
+func (rep *Reproducer) Recheck() *Violation {
+	switch rep.Invariant {
+	case InvSound:
+		return CheckSoundness(rep.Prog)
+	case InvIncremental:
+		if rep.Edit == nil {
+			return violationf(InvIncremental, rep.Prog, nil, "reproducer has no edit")
+		}
+		return CheckIncremental(rep.Prog, rep.Edit)
+	case InvResume:
+		return CheckResume(rep.Prog, "")
+	case InvEngines:
+		return CheckEngines(rep.Prog)
+	default:
+		return violationf(rep.Invariant, rep.Prog, rep.Edit, "unknown invariant")
+	}
+}

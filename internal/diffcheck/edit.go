@@ -1,0 +1,159 @@
+package diffcheck
+
+// Edit is one program modification, in the paper's incremental-analysis
+// sense (§5): the developer changes the program and FastFlip re-analyzes
+// only what the change invalidated. The generator produces both
+// semantics-preserving edits (EditDead) and semantics-changing ones
+// (coefficient perturbation, loop-bound change, kernel insertion and
+// reordering); the incremental oracle asserts that re-analysis after any
+// of them equals a from-scratch analysis of the edited program.
+type Edit struct {
+	Kind EditKind `json:"kind"`
+	// Sec is the edited section index (dead/coef/bound) or the swap
+	// position (reorder: sections Sec and Sec+1 exchange places).
+	Sec int `json:"sec,omitempty"`
+	// Term indexes the perturbed dataflow edge (coef).
+	Term     int     `json:"term,omitempty"`
+	NewCoef  float64 `json:"new_coef,omitempty"`
+	NewBound int     `json:"new_bound,omitempty"`
+	// At is the insertion position (insert).
+	At int `json:"at,omitempty"`
+	// Src is the inserted kernel's input buffer (insert).
+	Src  int     `json:"src,omitempty"`
+	Coef float64 `json:"coef,omitempty"`
+}
+
+// EditKind enumerates the edit grammar.
+type EditKind string
+
+const (
+	// EditDead adds a semantically inert statement to one kernel: the
+	// binary changes, the computed values do not.
+	EditDead EditKind = "dead"
+	// EditCoef perturbs one dataflow coefficient.
+	EditCoef EditKind = "coef"
+	// EditBound changes one kernel's loop bound (partial updates).
+	EditBound EditKind = "bound"
+	// EditInsert inserts a fresh kernel writing a new buffer.
+	EditInsert EditKind = "insert"
+	// EditReorder swaps two adjacent independent kernels. The generator's
+	// mandatory chain edge makes adjacent sections dependent, so this kind
+	// is proposed only when an independent pair exists (hand-written IRs,
+	// unit tests); ProposeEdit otherwise falls back to EditInsert.
+	EditReorder EditKind = "reorder"
+)
+
+// Apply returns the edited program; g is not modified.
+func (e *Edit) Apply(g *Prog) *Prog {
+	c := g.Clone()
+	switch e.Kind {
+	case EditDead:
+		c.Secs[e.Sec].Dead = true
+	case EditCoef:
+		c.Secs[e.Sec].Terms[e.Term].Coef = e.NewCoef
+	case EditBound:
+		c.Secs[e.Sec].Bound = e.NewBound
+	case EditInsert:
+		out := c.NextBuf
+		c.NextBuf++
+		s := Sec{
+			Name:  bufName(out) + "k", // "b<N>k": disjoint from generated "k<N>" names
+			Out:   out,
+			Bound: c.BufLen,
+			Terms: []Term{{Src: e.Src, Coef: e.Coef}},
+		}
+		c.Secs = append(c.Secs, Sec{})
+		copy(c.Secs[e.At+1:], c.Secs[e.At:])
+		c.Secs[e.At] = s
+	case EditReorder:
+		c.Secs[e.Sec], c.Secs[e.Sec+1] = c.Secs[e.Sec+1], c.Secs[e.Sec]
+	}
+	return c
+}
+
+// reads reports whether section s reads buffer id.
+func reads(s Sec, id int) bool {
+	for _, t := range s.Terms {
+		if t.Src == id {
+			return true
+		}
+	}
+	return false
+}
+
+// independentPairs lists positions p where sections p and p+1 commute:
+// neither reads the other's output (outputs are always distinct buffers).
+func independentPairs(g *Prog) []int {
+	var ps []int
+	for p := 0; p+1 < len(g.Secs); p++ {
+		if !reads(g.Secs[p+1], g.Secs[p].Out) && !reads(g.Secs[p], g.Secs[p+1].Out) {
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// floatSecs lists the indices of non-discrete sections.
+func floatSecs(g *Prog) []int {
+	var out []int
+	for i, s := range g.Secs {
+		if !s.Discrete {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ProposeEdit deterministically derives one applicable edit from r.
+func ProposeEdit(g *Prog, r *rng) *Edit {
+	switch r.intn(5) {
+	case 0:
+		return &Edit{Kind: EditDead, Sec: r.intn(len(g.Secs))}
+	case 1:
+		fs := floatSecs(g)
+		sec := fs[r.intn(len(fs))]
+		term := r.intn(len(g.Secs[sec].Terms))
+		old := g.Secs[sec].Terms[term].Coef
+		nc := old
+		for nc == old {
+			nc = r.coef()
+		}
+		return &Edit{Kind: EditCoef, Sec: sec, Term: term, NewCoef: nc}
+	case 2:
+		sec := r.intn(len(g.Secs))
+		old := g.Secs[sec].Bound
+		nb := old
+		for nb == old {
+			nb = 1 + r.intn(g.BufLen)
+		}
+		return &Edit{Kind: EditBound, Sec: sec, NewBound: nb}
+	case 3:
+		if ps := independentPairs(g); len(ps) > 0 {
+			return &Edit{Kind: EditReorder, Sec: ps[r.intn(len(ps))]}
+		}
+		fallthrough
+	default:
+		at := r.intn(len(g.Secs) + 1)
+		// Buffers 0..at are produced before position at.
+		return &Edit{Kind: EditInsert, At: at, Src: r.intn(at + 1), Coef: r.coef()}
+	}
+}
+
+// MinReuse returns the lower bound on section-instance reuse the
+// incremental oracle asserts after applying e to a program with n
+// sections. A dead edit invalidates exactly the edited kernel; coef and
+// bound edits additionally invalidate everything downstream of the
+// changed values (input contents are part of the reuse key), leaving the
+// Sec upstream instances reusable. Insert and reorder rewrite the main
+// function's call sequence, which is part of every instance's executed
+// code identity, so no reuse is guaranteed.
+func MinReuse(n int, e *Edit) int {
+	switch e.Kind {
+	case EditDead:
+		return n - 1
+	case EditCoef, EditBound:
+		return e.Sec
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,247 @@
+package diffcheck
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fastflip/internal/mix"
+)
+
+// TestGenerateDeterministic: same seed, same IR and source; different
+// seeds explore different programs.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, fam := range []Family{FamilySound, FamilyMixed} {
+		a := Generate(42, fam)
+		b := Generate(42, fam)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%v: Generate(42) not deterministic", fam)
+		}
+		if a.Source() != b.Source() {
+			t.Fatalf("%v: source not deterministic", fam)
+		}
+	}
+	if Generate(1, FamilySound).Source() == Generate(2, FamilySound).Source() {
+		t.Error("seeds 1 and 2 generated identical programs")
+	}
+}
+
+// TestGeneratedProgramsBuild compiles and validates a spread of seeds in
+// both families — the generator's well-formedness contract.
+func TestGeneratedProgramsBuild(t *testing.T) {
+	for i := uint64(0); i < 50; i++ {
+		seed := mix.Fold(7, i)
+		for _, fam := range []Family{FamilySound, FamilyMixed} {
+			g := Generate(seed, fam)
+			if _, err := g.Program(); err != nil {
+				t.Fatalf("%v seed %#x: %v\nsource:\n%s", fam, seed, err, g.Source())
+			}
+		}
+	}
+}
+
+// TestSoundFamilyShape: the soundness family must stay inside the affine
+// fragment its proof covers — no discrete kernels, full loop bounds,
+// nonzero coefficients, and a chain edge from each section to its
+// predecessor's buffer.
+func TestSoundFamilyShape(t *testing.T) {
+	for i := uint64(0); i < 50; i++ {
+		g := Generate(mix.Fold(11, i), FamilySound)
+		if len(g.IntBufs) != 0 {
+			t.Fatalf("seed %#x: sound family generated int buffers", g.Seed)
+		}
+		for j, s := range g.Secs {
+			if s.Discrete {
+				t.Fatalf("seed %#x: sound family generated discrete section %d", g.Seed, j)
+			}
+			if s.Bound != g.BufLen {
+				t.Fatalf("seed %#x: section %d has partial bound %d", g.Seed, j, s.Bound)
+			}
+			if len(s.Terms) == 0 || s.Terms[0].Src != j {
+				t.Fatalf("seed %#x: section %d lacks the chain edge", g.Seed, j)
+			}
+			for _, term := range s.Terms {
+				if term.Coef == 0 {
+					t.Fatalf("seed %#x: section %d has a zero coefficient", g.Seed, j)
+				}
+			}
+		}
+	}
+}
+
+// TestEditsApplyAndBuild: every edit kind produced by ProposeEdit yields
+// a program that still compiles, and MinReuse stays within bounds.
+func TestEditsApplyAndBuild(t *testing.T) {
+	kinds := map[EditKind]int{}
+	for i := uint64(0); i < 60; i++ {
+		seed := mix.Fold(13, i)
+		g := Generate(seed, FamilyMixed)
+		e := ProposeEdit(g, newRNG(seed^0xed17))
+		kinds[e.Kind]++
+		edited := e.Apply(g)
+		if _, err := edited.Program(); err != nil {
+			t.Fatalf("seed %#x edit %+v: edited program invalid: %v", seed, e, err)
+		}
+		if min := MinReuse(len(g.Secs), e); min < 0 || min > len(g.Secs) {
+			t.Fatalf("seed %#x: MinReuse %d out of range", seed, min)
+		}
+		if reflect.DeepEqual(g, edited) && e.Kind != EditDead {
+			t.Fatalf("seed %#x: edit %+v left the program unchanged", seed, e)
+		}
+	}
+	for _, k := range []EditKind{EditDead, EditCoef, EditBound, EditInsert} {
+		if kinds[k] == 0 {
+			t.Errorf("60 proposed edits never produced kind %q (got %v)", k, kinds)
+		}
+	}
+}
+
+// independentProg builds an IR with an independent adjacent pair (the
+// generator's mandatory chain edge never produces one, so reorder is
+// exercised on a hand-built program).
+func independentProg() *Prog {
+	return &Prog{
+		Seed:    0xbeef,
+		BufLen:  2,
+		NextBuf: 4,
+		Final:   3,
+		Secs: []Sec{
+			{Name: "k1", Out: 1, Bound: 2, Terms: []Term{{Src: 0, Coef: 2}}},
+			{Name: "k2", Out: 2, Bound: 2, Terms: []Term{{Src: 0, Coef: -1.5}}},
+			{Name: "k3", Out: 3, Bound: 2, Terms: []Term{{Src: 1, Coef: 0.5}, {Src: 2, Coef: 1.25}}},
+		},
+	}
+}
+
+// TestReorderEdit: the hand-built independent pair is detected, the swap
+// compiles, and the incremental oracle holds across it.
+func TestReorderEdit(t *testing.T) {
+	g := independentProg()
+	ps := independentPairs(g)
+	if len(ps) != 1 || ps[0] != 0 {
+		t.Fatalf("independentPairs = %v, want [0]", ps)
+	}
+	re := &Edit{Kind: EditReorder, Sec: 0}
+	if _, err := re.Apply(g).Program(); err != nil {
+		t.Fatalf("reordered program invalid: %v", err)
+	}
+	if v := CheckIncremental(g, re); v != nil {
+		t.Fatalf("incremental oracle failed on reorder: %v", v)
+	}
+}
+
+// TestAdjustEdit covers the shrinker's edit remapping across section
+// drops.
+func TestAdjustEdit(t *testing.T) {
+	cases := []struct {
+		e    Edit
+		drop int
+		want *Edit
+	}{
+		{Edit{Kind: EditCoef, Sec: 2}, 1, &Edit{Kind: EditCoef, Sec: 1}},
+		{Edit{Kind: EditCoef, Sec: 1}, 1, nil},
+		{Edit{Kind: EditBound, Sec: 0}, 2, &Edit{Kind: EditBound, Sec: 0}},
+		{Edit{Kind: EditReorder, Sec: 1}, 2, nil},
+		{Edit{Kind: EditReorder, Sec: 3}, 1, &Edit{Kind: EditReorder, Sec: 2}},
+		{Edit{Kind: EditInsert, At: 3}, 1, &Edit{Kind: EditInsert, At: 2}},
+		{Edit{Kind: EditInsert, At: 1}, 1, &Edit{Kind: EditInsert, At: 1}},
+	}
+	for _, c := range cases {
+		got, ok := adjustEdit(&c.e, c.drop)
+		if c.want == nil {
+			if ok {
+				t.Errorf("adjustEdit(%+v, drop %d) = %+v, want skip", c.e, c.drop, got)
+			}
+			continue
+		}
+		if !ok || !reflect.DeepEqual(got, c.want) {
+			t.Errorf("adjustEdit(%+v, drop %d) = %+v ok=%v, want %+v", c.e, c.drop, got, ok, c.want)
+		}
+	}
+}
+
+// TestShrinkPredicateRespected: the shrinker never returns a candidate
+// the predicate rejects, and it reaches the minimal section count for a
+// predicate that only needs one specific section.
+func TestShrinkSections(t *testing.T) {
+	g := Generate(mix.Fold(5, 3), FamilyMixed)
+	if len(g.Secs) < 2 {
+		t.Skip("seed produced a single-section program")
+	}
+	name := g.Secs[len(g.Secs)-1].Name
+	pred := func(c *Prog, _ *Edit) bool {
+		for _, s := range c.Secs {
+			if s.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	shrunk, _ := Shrink(g, nil, pred)
+	if len(shrunk.Secs) != 1 || shrunk.Secs[0].Name != name {
+		t.Fatalf("Shrink kept %d sections (want just %q): %+v", len(shrunk.Secs), name, shrunk.Secs)
+	}
+	if _, err := shrunk.Program(); err != nil {
+		t.Fatalf("shrunk program invalid: %v", err)
+	}
+}
+
+// TestReproducerRoundTrip: write, read back, recheck.
+func TestReproducerRoundTrip(t *testing.T) {
+	g := Generate(17, FamilyMixed)
+	v := &Violation{Invariant: InvEngines, Seed: 17, Detail: "synthetic", Prog: g}
+	dir := t.TempDir()
+	path, err := WriteReproducer(dir, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadReproducer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Invariant != InvEngines || rep.Seed != 17 || !reflect.DeepEqual(rep.Prog, g) {
+		t.Fatalf("round trip mangled the reproducer: %+v", rep)
+	}
+	if src, err := filepath.Glob(filepath.Join(dir, "*.ml")); err != nil || len(src) != 1 {
+		t.Fatalf("expected one .ml source next to the JSON, got %v (%v)", src, err)
+	}
+	// The engines invariant holds on healthy code, so recheck passes.
+	if nv := rep.Recheck(); nv != nil {
+		t.Fatalf("recheck of a healthy program failed: %v", nv)
+	}
+}
+
+// TestSourceRendering spot-checks the renderer's constructs.
+func TestSourceRendering(t *testing.T) {
+	g := &Prog{
+		Seed:    1,
+		BufLen:  3,
+		NextBuf: 3,
+		Final:   2,
+		IntBufs: []int{1},
+		Secs: []Sec{
+			{Name: "k1", Out: 1, Bound: 3, Discrete: true, Terms: []Term{{Src: 0}}, IMul: 3, IAdd: 7, IMod: 11},
+			{Name: "k2", Out: 2, Bound: 2, Dead: true, AddMode: 1, AddA: 0.5, AddB: -1,
+				Terms: []Term{{Src: 1, Coef: -2.5, Rev: true}}},
+		},
+	}
+	src := g.Source()
+	for _, want := range []string{
+		"kernel k1(b0: float[3], b1: int[3])",
+		"var v: int = int(b0[i] * 8.0);",
+		"b1[i] = v % 11;",
+		"var dz: float = 1.25;",
+		"for i = 0 to 2 {",
+		"float(b1[1 - i])", // reversal within bound 2 of an int buffer
+		"-2.5 *",
+		"if i < 1 {",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("source missing %q:\n%s", want, src)
+		}
+	}
+	if _, err := g.Program(); err != nil {
+		t.Fatalf("hand-built IR does not compile: %v\n%s", err, src)
+	}
+}

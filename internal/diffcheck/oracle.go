@@ -1,0 +1,354 @@
+package diffcheck
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+
+	"fastflip/internal/core"
+	"fastflip/internal/metrics"
+	"fastflip/internal/spec"
+)
+
+// Invariant names the four differential invariants.
+type Invariant string
+
+const (
+	// InvSound: the composed per-section SDC bound covers the monolithic
+	// co-run ground truth — every experiment whose end-to-end outcome is a
+	// real SDC must be classified SDC-Bad by the composed specification.
+	InvSound Invariant = "sound"
+	// InvIncremental: incremental re-analysis after an edit equals a
+	// from-scratch analysis of the edited program.
+	InvIncremental Invariant = "incremental"
+	// InvResume: a campaign killed mid-WAL and resumed converges to the
+	// uninterrupted summary.
+	InvResume Invariant = "resume"
+	// InvEngines: the legacy and clean-cursor replay engines agree on
+	// every per-class outcome.
+	InvEngines Invariant = "engines"
+)
+
+// Invariants lists all four in fixed order.
+var Invariants = []Invariant{InvSound, InvIncremental, InvResume, InvEngines}
+
+// Violation describes one failed invariant check on one generated
+// program. It satisfies error so checks compose with normal error plumbing.
+type Violation struct {
+	Invariant Invariant `json:"invariant"`
+	Seed      uint64    `json:"seed"`
+	Detail    string    `json:"detail"`
+	Prog      *Prog     `json:"prog"`
+	Edit      *Edit     `json:"edit,omitempty"`
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("diffcheck: invariant %q violated on seed %#x (%d sections): %s",
+		v.Invariant, v.Seed, len(v.Prog.Secs), v.Detail)
+}
+
+func violationf(inv Invariant, g *Prog, e *Edit, format string, args ...any) *Violation {
+	return &Violation{Invariant: inv, Seed: g.Seed, Detail: fmt.Sprintf(format, args...), Prog: g, Edit: e}
+}
+
+// baseConfig is the analysis configuration shared by all oracles: no
+// target evaluation, no adaptive adjustment, ε = 0.
+func baseConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Targets = nil
+	cfg.AdjustTargets = false
+	cfg.Epsilon = 0
+	return cfg
+}
+
+func build(inv Invariant, g *Prog, e *Edit) (*spec.Program, *Violation) {
+	p, err := g.Program()
+	if err != nil {
+		// A generated or shrunk program that fails to compile is itself a
+		// bug worth reporting — the generator's contract is well-formedness.
+		return nil, violationf(inv, g, e, "program construction failed: %v", err)
+	}
+	return p, nil
+}
+
+func maxMag(mags []float64) float64 {
+	m := 0.0
+	for _, v := range mags {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// CheckSoundness verifies invariant 1 on a FamilySound program: running
+// the per-section campaign with the co-run monolithic baseline, every
+// experiment whose end-to-end outcome is an SDC with a real value
+// difference must be classified SDC-Bad by the composed specification at
+// ε = 0, and the per-static SDC-Bad counts from the composed bound must
+// dominate the co-run ground truth.
+func CheckSoundness(g *Prog) *Violation {
+	p, v := build(InvSound, g, nil)
+	if v != nil {
+		return v
+	}
+	cfg := baseConfig()
+	cfg.CoRunBaseline = true
+	r, err := core.NewAnalyzer(cfg).Analyze(p)
+	if err != nil {
+		return violationf(InvSound, g, nil, "analysis failed: %v", err)
+	}
+	zeroEps := make([]float64, len(p.FinalOutputs))
+	for _, co := range r.ClassOutcomes() {
+		if co.Fin == nil || co.Fin.Kind != metrics.SDC || maxMag(co.Fin.Magnitudes) == 0 {
+			continue
+		}
+		if !r.Spec.Bad(co.Inst, co.Out.Magnitudes, zeroEps) {
+			return violationf(InvSound, g, nil,
+				"class %v inst %d: co-run ground truth is SDC (max mag %g) but composed bound classifies benign (section outcome %v, mags %v)",
+				co.Key, co.Inst, maxMag(co.Fin.Magnitudes), co.Out.Kind, co.Out.Magnitudes)
+		}
+	}
+	ff := r.FFBadCounts(0)
+	truth := r.CoRunBadCounts(0)
+	for id, n := range truth.PerStatic {
+		if ff.PerStatic[id] < n {
+			return violationf(InvSound, g, nil,
+				"static %v: composed bound marks %d sites SDC-Bad, co-run ground truth has %d",
+				id, ff.PerStatic[id], n)
+		}
+	}
+	return nil
+}
+
+// CheckIncremental verifies invariant 2: analyze the base program, note
+// the modification, re-analyze the edited program with the warm store,
+// and require the result to equal a from-scratch analysis of the edited
+// program — per-class outcomes and the engine-work-neutralized summary —
+// while reusing at least MinReuse section instances.
+func CheckIncremental(g *Prog, e *Edit) *Violation {
+	edited := e.Apply(g)
+	pBase, v := build(InvIncremental, g, e)
+	if v != nil {
+		return v
+	}
+	pEdit, v := build(InvIncremental, edited, e)
+	if v != nil {
+		return v
+	}
+	cfg := baseConfig()
+	// Strict keys make reuse exact: a fault-deflected load can observe
+	// output/live words outside the declared inputs, so equality with the
+	// from-scratch analysis only holds when those contents are keyed (the
+	// fuzzer found the divergence under default keys; see DESIGN.md §10).
+	cfg.StrictReuseKeys = true
+
+	a := core.NewAnalyzer(cfg)
+	if _, err := a.Analyze(pBase); err != nil {
+		return violationf(InvIncremental, g, e, "base analysis failed: %v", err)
+	}
+	a.NoteModification()
+	rIncr, err := a.Analyze(pEdit)
+	if err != nil {
+		return violationf(InvIncremental, g, e, "incremental analysis failed: %v", err)
+	}
+	rScratch, err := core.NewAnalyzer(cfg).Analyze(pEdit)
+	if err != nil {
+		return violationf(InvIncremental, g, e, "scratch analysis failed: %v", err)
+	}
+
+	if v := compareOutcomes(InvIncremental, g, e, rScratch, rIncr, "scratch", "incremental"); v != nil {
+		return v
+	}
+	sIncr := rIncr.Summarize(cfg.Epsilon, nil)
+	sScratch := rScratch.Summarize(cfg.Epsilon, nil)
+	for _, s := range []*core.Summary{sIncr, sScratch} {
+		neutralizeWork(s)
+		// Reuse legitimately splits the work between store hits and fresh
+		// injection; everything outcome-shaped must still match.
+		s.Reused, s.Injected = 0, 0
+		s.FFExperiments = 0
+		s.FFSimInstrs = 0
+	}
+	if !reflect.DeepEqual(sIncr, sScratch) {
+		return violationf(InvIncremental, g, e,
+			"summaries differ (edit %s):\nincremental: %+v\nscratch:     %+v", e.Kind, sIncr, sScratch)
+	}
+	if min := MinReuse(len(g.Secs), e); rIncr.ReusedInstances < min {
+		return violationf(InvIncremental, g, e,
+			"edit %s reused %d section instances, want at least %d", e.Kind, rIncr.ReusedInstances, min)
+	}
+	return nil
+}
+
+// CheckResume verifies invariant 3: a WAL-backed campaign cancelled after
+// its first injected instance, resumed by a fresh analyzer, must converge
+// to the uninterrupted run's summary and per-class outcomes, re-executing
+// exactly the remainder. walDir is a scratch directory; "" allocates a
+// temporary one.
+func CheckResume(g *Prog, walDir string) *Violation {
+	p, v := build(InvResume, g, nil)
+	if v != nil {
+		return v
+	}
+	if walDir == "" {
+		dir, err := os.MkdirTemp("", "diffcheck-wal-")
+		if err != nil {
+			return violationf(InvResume, g, nil, "mkdir temp: %v", err)
+		}
+		defer os.RemoveAll(dir)
+		walDir = dir
+	}
+	cfg := baseConfig()
+	cfg.Workers = 1 // deterministic crash point
+
+	rRef, err := core.NewAnalyzer(cfg).Analyze(p)
+	if err != nil {
+		return violationf(InvResume, g, nil, "reference analysis failed: %v", err)
+	}
+
+	cfg1 := cfg
+	cfg1.WALDir = walDir
+	a1 := core.NewAnalyzer(cfg1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	a1.Progress = func(pr core.Progress) {
+		if pr.Injected >= 1 {
+			cancel()
+		}
+	}
+	if _, err := a1.AnalyzeContext(ctx, p); !errors.Is(err, context.Canceled) {
+		return violationf(InvResume, g, nil, "interrupted analysis returned %v, want context.Canceled", err)
+	}
+
+	cfg2 := cfg
+	cfg2.WALDir = walDir
+	cfg2.Resume = true
+	r2, err := core.NewAnalyzer(cfg2).Analyze(p)
+	if err != nil {
+		return violationf(InvResume, g, nil, "resumed analysis failed: %v", err)
+	}
+	if r2.ResumedExperiments() == 0 {
+		return violationf(InvResume, g, nil, "resume recovered nothing from the WAL")
+	}
+	newWork := r2.FFInject.Experiments - r2.FFRecovered.Experiments
+	if want := rRef.FFInject.Experiments - r2.FFRecovered.Experiments; newWork != want {
+		return violationf(InvResume, g, nil,
+			"resume re-executed %d experiments, want exactly the remainder %d", newWork, want)
+	}
+	if v := compareOutcomes(InvResume, g, nil, rRef, r2, "uninterrupted", "resumed"); v != nil {
+		return v
+	}
+	sRef := rRef.Summarize(cfg.Epsilon, nil)
+	s2 := r2.Summarize(cfg.Epsilon, nil)
+	neutralizeWork(sRef)
+	neutralizeWork(s2)
+	if !reflect.DeepEqual(sRef, s2) {
+		return violationf(InvResume, g, nil,
+			"resumed summary differs from uninterrupted run:\nref:     %+v\nresumed: %+v", sRef, s2)
+	}
+	return nil
+}
+
+// CheckEngines verifies invariant 4: the legacy full-restore replay
+// engine and the clean-cursor engine agree on every per-class outcome,
+// on the work-neutralized summary, and on the rendered end-to-end
+// specification.
+func CheckEngines(g *Prog) *Violation {
+	p, v := build(InvEngines, g, nil)
+	if v != nil {
+		return v
+	}
+	run := func(legacy bool) (*core.Result, *Violation) {
+		cfg := baseConfig()
+		cfg.LegacyReplay = legacy
+		if legacy {
+			cfg.CheckpointInterval = -1
+		}
+		r, err := core.NewAnalyzer(cfg).Analyze(p)
+		if err != nil {
+			return nil, violationf(InvEngines, g, nil, "analysis (legacy=%v) failed: %v", legacy, err)
+		}
+		return r, nil
+	}
+	rLegacy, v := run(true)
+	if v != nil {
+		return v
+	}
+	rCursor, v := run(false)
+	if v != nil {
+		return v
+	}
+	if v := compareOutcomes(InvEngines, g, nil, rLegacy, rCursor, "legacy", "cursor"); v != nil {
+		return v
+	}
+	sLegacy := rLegacy.Summarize(0, nil)
+	sCursor := rCursor.Summarize(0, nil)
+	neutralizeWork(sLegacy)
+	neutralizeWork(sCursor)
+	if !reflect.DeepEqual(sLegacy, sCursor) {
+		return violationf(InvEngines, g, nil,
+			"summaries differ:\nlegacy: %+v\ncursor: %+v", sLegacy, sCursor)
+	}
+	for λ := range p.FinalOutputs {
+		if a, b := rLegacy.FormatSpec(λ), rCursor.FormatSpec(λ); a != b {
+			return violationf(InvEngines, g, nil,
+				"end-to-end specification %d differs:\nlegacy: %s\ncursor: %s", λ, a, b)
+		}
+	}
+	return nil
+}
+
+// compareOutcomes requires identical per-class outcome sequences.
+func compareOutcomes(inv Invariant, g *Prog, e *Edit, want, got *core.Result, wantName, gotName string) *Violation {
+	a, b := want.ClassOutcomes(), got.ClassOutcomes()
+	if len(a) != len(b) {
+		return violationf(inv, g, e, "class count: %s %d, %s %d", wantName, len(a), gotName, len(b))
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || a[i].Inst != b[i].Inst {
+			return violationf(inv, g, e, "class %d identity differs: %s %v inst %d, %s %v inst %d",
+				i, wantName, a[i].Key, a[i].Inst, gotName, b[i].Key, b[i].Inst)
+		}
+		if !reflect.DeepEqual(a[i], b[i]) {
+			return violationf(inv, g, e, "class %v inst %d: %s outcome %+v, %s outcome %+v",
+				a[i].Key, a[i].Inst, wantName, a[i], gotName, b[i])
+		}
+	}
+	return nil
+}
+
+// neutralizeWork zeroes summary fields that legitimately differ between
+// two runs of the same analysis: wall time, the engine work split, and
+// resume/WAL bookkeeping. Outcome counts and accounted costs survive.
+func neutralizeWork(s *core.Summary) {
+	s.FFWall = 0
+	s.FFCleanInstrs, s.FFFaultyInstrs = 0, 0
+	s.ResumedExperiments = 0
+	s.WALNotes = nil
+	if s.Baseline != nil {
+		s.Baseline.Wall = 0
+		s.Baseline.CleanInstrs, s.Baseline.FaultyInstrs = 0, 0
+	}
+}
+
+// Check dispatches one invariant on one seed: it generates the program
+// (FamilySound for the soundness oracle, FamilyMixed otherwise), derives
+// an edit for the incremental oracle, and runs the check.
+func Check(inv Invariant, seed uint64) *Violation {
+	switch inv {
+	case InvSound:
+		return CheckSoundness(Generate(seed, FamilySound))
+	case InvIncremental:
+		g := Generate(seed, FamilyMixed)
+		return CheckIncremental(g, ProposeEdit(g, newRNG(seed^0xed17)))
+	case InvResume:
+		return CheckResume(Generate(seed, FamilyMixed), "")
+	case InvEngines:
+		return CheckEngines(Generate(seed, FamilyMixed))
+	default:
+		panic(fmt.Sprintf("diffcheck: unknown invariant %q", inv))
+	}
+}

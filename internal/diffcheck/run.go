@@ -1,0 +1,76 @@
+package diffcheck
+
+import (
+	"fmt"
+
+	"fastflip/internal/mix"
+)
+
+// Options configures a fuzzing campaign (the fffuzz CLI's engine).
+type Options struct {
+	// Seed is the campaign master seed; iteration i checks the derived
+	// seed Fold(Seed, i), so campaigns are reproducible and disjoint
+	// seeds explore disjoint programs.
+	Seed uint64
+	// N is the number of checks to run, distributed round-robin over
+	// Invariants.
+	N int
+	// Invariants restricts the campaign; nil means all four.
+	Invariants []Invariant
+	// CorpusDir, when non-empty, receives a shrunk reproducer per
+	// violation.
+	CorpusDir string
+	// NoShrink reports violations as found, without minimization.
+	NoShrink bool
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// Report summarizes a campaign.
+type Report struct {
+	Checked     map[Invariant]int
+	Violations  []*Violation
+	Reproducers []string
+}
+
+// Run executes a campaign and returns its report. Violations are
+// collected, not fatal; infrastructure failures (corpus I/O) abort.
+func (o Options) Run() (*Report, error) {
+	invs := o.Invariants
+	if len(invs) == 0 {
+		invs = Invariants
+	}
+	logf := o.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rep := &Report{Checked: make(map[Invariant]int)}
+	for i := 0; i < o.N; i++ {
+		inv := invs[i%len(invs)]
+		seed := mix.Fold(o.Seed, uint64(i))
+		v := Check(inv, seed)
+		rep.Checked[inv]++
+		if v == nil {
+			if (i+1)%20 == 0 || i+1 == o.N {
+				logf("checked %d/%d (last: %s seed %#x)", i+1, o.N, inv, seed)
+			}
+			continue
+		}
+		logf("VIOLATION %s on seed %#x: %s", inv, seed, v.Detail)
+		if !o.NoShrink {
+			before := len(v.Prog.Secs)
+			v = ShrinkViolation(v)
+			logf("shrunk %d sections -> %d", before, len(v.Prog.Secs))
+		}
+		rep.Violations = append(rep.Violations, v)
+		if o.CorpusDir != "" {
+			path, err := WriteReproducer(o.CorpusDir, v)
+			if err != nil {
+				return rep, fmt.Errorf("diffcheck: writing reproducer: %w", err)
+			}
+			rep.Reproducers = append(rep.Reproducers, path)
+			logf("reproducer written to %s", path)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,159 @@
+package diffcheck
+
+// Shrinking: delta-debug a failing (program, edit) pair down to a minimal
+// reproducer. The reduction passes, in order: drop whole sections (a
+// dropped producer leaves its output buffer zero-filled, which stays a
+// well-formed program because buffer ids and addresses never move), then
+// per-section simplifications (drop skip edges, remove additive terms and
+// dead statements, normalize partial loop bounds). Each candidate is kept
+// only if the predicate still fails, so the final pair provokes the same
+// invariant violation.
+
+// adjustEdit maps e onto the program with section drop removed; ok=false
+// when the edit targets the dropped section and the candidate must be
+// skipped.
+func adjustEdit(e *Edit, drop int) (*Edit, bool) {
+	if e == nil {
+		return nil, true
+	}
+	c := *e
+	switch e.Kind {
+	case EditDead, EditCoef, EditBound:
+		if e.Sec == drop {
+			return nil, false
+		}
+		if e.Sec > drop {
+			c.Sec--
+		}
+	case EditReorder:
+		if e.Sec == drop || e.Sec+1 == drop {
+			return nil, false
+		}
+		if e.Sec > drop {
+			c.Sec--
+		}
+	case EditInsert:
+		if e.At > drop {
+			c.At--
+		}
+		// The inserted kernel may read the dropped section's (now zero)
+		// output buffer; that is still well-formed.
+	}
+	return &c, true
+}
+
+// dropSection returns g without section d (buffer ids unchanged).
+func dropSection(g *Prog, d int) *Prog {
+	c := g.Clone()
+	c.Secs = append(c.Secs[:d], c.Secs[d+1:]...)
+	return c
+}
+
+// Shrink minimizes (g, e) under pred ("still fails"). pred must be a pure
+// function of its arguments; it is called O(sections²) times, each call
+// typically running full analyses, so callers should only shrink actual
+// failures. The returned pair always satisfies pred (in the worst case it
+// is the input itself).
+func Shrink(g *Prog, e *Edit, pred func(*Prog, *Edit) bool) (*Prog, *Edit) {
+	// Pass 1: greedily drop sections while the failure reproduces.
+	for changed := true; changed; {
+		changed = false
+		for d := len(g.Secs) - 1; d >= 0 && len(g.Secs) > 1; d-- {
+			e2, ok := adjustEdit(e, d)
+			if !ok {
+				continue
+			}
+			if g2 := dropSection(g, d); pred(g2, e2) {
+				g, e = g2, e2
+				changed = true
+			}
+		}
+	}
+
+	// Pass 2: simplify surviving sections statement by statement.
+	try := func(mutate func(c *Prog) bool) {
+		c := g.Clone()
+		if mutate(c) && pred(c, e) {
+			g = c
+		}
+	}
+	for i := range g.Secs {
+		i := i
+		try(func(c *Prog) bool { // drop skip edges
+			if len(c.Secs[i].Terms) <= 1 {
+				return false
+			}
+			c.Secs[i].Terms = c.Secs[i].Terms[:1]
+			return true
+		})
+		try(func(c *Prog) bool { // remove the additive term
+			if c.Secs[i].Discrete || (c.Secs[i].AddMode == 0 && c.Secs[i].AddA == 0) {
+				return false
+			}
+			c.Secs[i].AddMode, c.Secs[i].AddA, c.Secs[i].AddB = 0, 0, 0
+			return true
+		})
+		try(func(c *Prog) bool { // remove the dead statement
+			if !c.Secs[i].Dead {
+				return false
+			}
+			c.Secs[i].Dead = false
+			return true
+		})
+		try(func(c *Prog) bool { // normalize a partial loop bound
+			if c.Secs[i].Bound == c.BufLen {
+				return false
+			}
+			c.Secs[i].Bound = c.BufLen
+			return true
+		})
+	}
+	return g, e
+}
+
+// predFor builds the shrink predicate for one invariant: "the candidate
+// still violates it".
+func predFor(inv Invariant) func(*Prog, *Edit) bool {
+	return func(g *Prog, e *Edit) bool {
+		switch inv {
+		case InvSound:
+			return CheckSoundness(g) != nil
+		case InvIncremental:
+			if e == nil {
+				return false
+			}
+			return CheckIncremental(g, e) != nil
+		case InvResume:
+			return CheckResume(g, "") != nil
+		case InvEngines:
+			return CheckEngines(g) != nil
+		}
+		return false
+	}
+}
+
+// ShrinkViolation minimizes a violation's program (and edit) and re-runs
+// the check once more to refresh the detail message for the reduced pair.
+func ShrinkViolation(v *Violation) *Violation {
+	g, e := Shrink(v.Prog, v.Edit, predFor(v.Invariant))
+	final := &Violation{Invariant: v.Invariant, Seed: v.Seed, Detail: v.Detail, Prog: g, Edit: e}
+	switch v.Invariant {
+	case InvSound:
+		if nv := CheckSoundness(g); nv != nil {
+			final.Detail = nv.Detail
+		}
+	case InvIncremental:
+		if nv := CheckIncremental(g, e); nv != nil {
+			final.Detail = nv.Detail
+		}
+	case InvResume:
+		if nv := CheckResume(g, ""); nv != nil {
+			final.Detail = nv.Detail
+		}
+	case InvEngines:
+		if nv := CheckEngines(g); nv != nil {
+			final.Detail = nv.Detail
+		}
+	}
+	return final
+}

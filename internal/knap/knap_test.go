@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"fastflip/internal/prog"
+	"fastflip/internal/qcheck"
 )
 
 func id(i int) prog.StaticID { return prog.StaticID{Func: "f", Local: i} }
@@ -174,7 +175,7 @@ func TestGreedyNeverBeatsDP(t *testing.T) {
 		g := Greedy(items, target)
 		return g.Cost >= sel.Cost && g.Value >= target-valueSlack
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, qcheck.Config(t, 40)); err != nil {
 		t.Error(err)
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"fastflip/internal/isa"
 	"fastflip/internal/prog"
+	"fastflip/internal/qcheck"
 	"fastflip/internal/vm"
 )
 
@@ -78,7 +79,7 @@ kernel k(in: float[1], out: float[1]) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(f, qcheck.Config(t, 200)); err != nil {
 		t.Error(err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"fastflip/internal/qcheck"
 	"fastflip/internal/spec"
 	"fastflip/internal/vm"
 )
@@ -138,7 +139,7 @@ func TestBufferDiffMetricQuick(t *testing.T) {
 		}
 		return (m1 == 0) == (a == b)
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, qcheck.Config(t, 0)); err != nil {
 		t.Error(err)
 	}
 }

@@ -1,0 +1,47 @@
+// Package qcheck centralizes testing/quick configuration so every
+// property test in the repository draws its random values from a seed
+// that is (a) printed when the property fails and (b) overridable via the
+// FASTFLIP_QUICK_SEED environment variable — making quick failures
+// reproducible instead of vanishing with the process.
+package qcheck
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// EnvSeed is the environment variable holding a fixed generator seed.
+const EnvSeed = "FASTFLIP_QUICK_SEED"
+
+// Config returns a quick.Config seeded from FASTFLIP_QUICK_SEED when set
+// (any base accepted by strconv.ParseInt, e.g. decimal or 0x-hex) and
+// from the clock otherwise. maxCount > 0 bounds the iteration count;
+// 0 keeps testing/quick's default. If the test fails, the seed is logged
+// with the exact reproduction incantation.
+func Config(t *testing.T, maxCount int) *quick.Config {
+	t.Helper()
+	var seed int64
+	if env := os.Getenv(EnvSeed); env != "" {
+		v, err := strconv.ParseInt(env, 0, 64)
+		if err != nil {
+			t.Fatalf("qcheck: invalid %s=%q: %v", EnvSeed, env, err)
+		}
+		seed = v
+	} else {
+		seed = time.Now().UnixNano()
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("qcheck: property failed; reproduce with %s=%d go test -run '^%s$'", EnvSeed, seed, t.Name())
+		}
+	})
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(seed))}
+	if maxCount > 0 {
+		cfg.MaxCount = maxCount
+	}
+	return cfg
+}

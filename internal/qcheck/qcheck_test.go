@@ -1,0 +1,65 @@
+package qcheck
+
+import (
+	"testing"
+)
+
+// TestEnvSeedHonored: with the env var set, configs draw identical value
+// streams; a different seed diverges.
+func TestEnvSeedHonored(t *testing.T) {
+	t.Setenv(EnvSeed, "12345")
+	a := Config(t, 10)
+	b := Config(t, 10)
+	var first [16]uint64
+	for i := range first {
+		first[i] = a.Rand.Uint64()
+		if y := b.Rand.Uint64(); first[i] != y {
+			t.Fatalf("draw %d: same seed produced %d and %d", i, first[i], y)
+		}
+	}
+	t.Setenv(EnvSeed, "54321")
+	c := Config(t, 10)
+	same := true
+	for i := range first {
+		if c.Rand.Uint64() != first[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+// TestHexSeedAccepted: ParseInt base-0 syntax works, matching the seeds
+// fffuzz and the fuzz targets print in hex.
+func TestHexSeedAccepted(t *testing.T) {
+	t.Setenv(EnvSeed, "0x3039") // 12345
+	a := Config(t, 10)
+	t.Setenv(EnvSeed, "12345")
+	b := Config(t, 10)
+	for i := 0; i < 8; i++ {
+		if x, y := a.Rand.Uint64(), b.Rand.Uint64(); x != y {
+			t.Fatalf("hex and decimal forms of the same seed diverge at draw %d", i)
+		}
+	}
+}
+
+// TestMaxCount: 0 keeps the quick default, positive values are applied.
+func TestMaxCount(t *testing.T) {
+	t.Setenv(EnvSeed, "1")
+	if got := Config(t, 0).MaxCount; got != 0 {
+		t.Errorf("MaxCount with 0 = %d, want 0 (quick default)", got)
+	}
+	if got := Config(t, 75).MaxCount; got != 75 {
+		t.Errorf("MaxCount = %d, want 75", got)
+	}
+}
+
+// TestClockSeedFallback: without the env var a clock seed is used and the
+// config is still usable.
+func TestClockSeedFallback(t *testing.T) {
+	t.Setenv(EnvSeed, "")
+	if cfg := Config(t, 5); cfg.Rand == nil {
+		t.Fatal("clock-seeded config has no Rand")
+	}
+}

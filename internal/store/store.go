@@ -60,8 +60,29 @@ func (k Key) String() string { return fmt.Sprintf("%x", k[:8]) }
 // KeyFor computes the reuse key of a section instance: section static ID,
 // executed code identity, input buffer declarations and contents, and
 // output/live declarations. Any difference that could change the injection
-// outcomes or the amplification matrix changes the key.
+// outcomes or the amplification matrix through the *declared* dataflow
+// changes the key.
+//
+// The declared dataflow is an approximation: a fault-flipped address can
+// make the faulty execution load from output or live-state words it never
+// legitimately reads, so an experiment's outcome can additionally depend
+// on the entry contents of those buffers (the differential fuzzer found
+// exactly this divergence; see DESIGN.md §10). KeyForStrict closes that
+// hole at the price of less reuse.
 func KeyFor(t *trace.Trace, inst *trace.Instance) Key {
+	return keyFor(t, inst, false)
+}
+
+// KeyForStrict is KeyFor extended with the entry contents of output and
+// live buffers, making the key cover everything an error-deflected load
+// inside declared state can observe. Incremental re-analysis under strict
+// keys reproduces a from-scratch analysis experiment for experiment;
+// default keys trade that exactness for the paper's reuse rate.
+func KeyForStrict(t *trace.Trace, inst *trace.Instance) Key {
+	return keyFor(t, inst, true)
+}
+
+func keyFor(t *trace.Trace, inst *trace.Instance, strict bool) Key {
 	h := sha256.New()
 	var buf [8]byte
 	wu := func(v uint64) {
@@ -85,6 +106,14 @@ func KeyFor(t *trace.Trace, inst *trace.Instance) Key {
 		wu(uint64(b.Addr))
 		wu(uint64(b.Len))
 		wu(uint64(b.Kind))
+		if strict {
+			for i := 0; i < b.Len; i++ {
+				wu(inst.Entry.Mem[b.Addr+i])
+			}
+		}
+	}
+	if strict {
+		wu(1)
 	}
 	var k Key
 	h.Sum(k[:0])

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"fastflip/internal/qcheck"
 )
 
 func TestZeroAndVar(t *testing.T) {
@@ -126,7 +128,7 @@ func TestAddScaledLinearQuick(t *testing.T) {
 		want := k1*p1 + k2*p2
 		return got == want
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, qcheck.Config(t, 0)); err != nil {
 		t.Error(err)
 	}
 }
@@ -147,7 +149,7 @@ func TestMonotoneCoefficientsQuick(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, qcheck.Config(t, 0)); err != nil {
 		t.Error(err)
 	}
 }

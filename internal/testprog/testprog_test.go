@@ -1,0 +1,97 @@
+package testprog
+
+import (
+	"math"
+	"testing"
+
+	"fastflip/internal/vm"
+)
+
+func execute(t *testing.T, modified bool) *vm.Machine {
+	t.Helper()
+	p := Pipeline()
+	if modified {
+		p = PipelineModified()
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("spec invalid: %v", err)
+	}
+	m := vm.New(p.Linked.Code, p.Linked.Entry, p.MemWords)
+	p.Init(m)
+	m.Run()
+	if m.Status != vm.Halted {
+		t.Fatalf("pipeline did not halt: status %v", m.Status)
+	}
+	return m
+}
+
+// TestPipelineComputes: the canonical two-section fixture produces its
+// documented outputs and leaves the scratch word untouched.
+func TestPipelineComputes(t *testing.T) {
+	m := execute(t, false)
+	if y := math.Float64frombits(m.Mem[AddrY]); y != WantY() {
+		t.Errorf("y = %v, want %v", y, WantY())
+	}
+	if z := math.Float64frombits(m.Mem[AddrZ]); z != WantZ() {
+		t.Errorf("z = %v, want %v", z, WantZ())
+	}
+	if m.Mem[AddrScratch] != 0 {
+		t.Errorf("scratch word written: %#x", m.Mem[AddrScratch])
+	}
+}
+
+// TestModifiedPipelineSameOutputs: the modification is a dead instruction
+// in square — outputs must be bit-identical to the unmodified pipeline.
+func TestModifiedPipelineSameOutputs(t *testing.T) {
+	a := execute(t, false)
+	b := execute(t, true)
+	for _, addr := range []int{AddrX, AddrY, AddrZ, AddrC} {
+		if a.Mem[addr] != b.Mem[addr] {
+			t.Errorf("mem[%d]: unmodified %#x, modified %#x", addr, a.Mem[addr], b.Mem[addr])
+		}
+	}
+}
+
+// TestModificationChangesOnlySquare: the incremental-analysis fixture's
+// contract is that exactly one section's code identity changes — scale's
+// function hash is stable, square's is not.
+func TestModificationChangesOnlySquare(t *testing.T) {
+	base := Pipeline()
+	mod := PipelineModified()
+	for _, fn := range []string{"main", "scale"} {
+		ha, oka := base.Linked.HashOfFunc(fn)
+		hb, okb := mod.Linked.HashOfFunc(fn)
+		if !oka || !okb {
+			t.Fatalf("function %q missing from a pipeline", fn)
+		}
+		if ha != hb {
+			t.Errorf("function %q hash changed across the modification", fn)
+		}
+	}
+	ha, oka := base.Linked.HashOfFunc("square")
+	hb, okb := mod.Linked.HashOfFunc("square")
+	if !oka || !okb {
+		t.Fatal("square missing from a pipeline")
+	}
+	if ha == hb {
+		t.Error("square hash identical: the modification is not visible in code identity")
+	}
+}
+
+// TestSpecShape: sections, buffers, and final outputs match the fixture's
+// documented layout (the analysis tests lean on these invariants).
+func TestSpecShape(t *testing.T) {
+	p := Pipeline()
+	if len(p.Sections) != 2 {
+		t.Fatalf("sections = %d, want 2", len(p.Sections))
+	}
+	if p.Sections[0].Name != "scale" || p.Sections[1].Name != "square" {
+		t.Errorf("section names %q/%q", p.Sections[0].Name, p.Sections[1].Name)
+	}
+	if len(p.FinalOutputs) != 1 || p.FinalOutputs[0].Addr != AddrZ {
+		t.Errorf("final outputs %+v, want z at %d", p.FinalOutputs, AddrZ)
+	}
+	if p.Version == "" {
+		t.Error("pipeline declares no version")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"fastflip/internal/isa"
+	"fastflip/internal/qcheck"
 )
 
 // exec1 runs a single instruction on fresh state and returns the machine.
@@ -26,7 +27,7 @@ func TestADD32InvariantQuick(t *testing.T) {
 		got := m.R[3]
 		return got <= 0xffffffff && uint32(got) == uint32(a)+uint32(b)
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, qcheck.Config(t, 0)); err != nil {
 		t.Error(err)
 	}
 }
@@ -44,7 +45,7 @@ func TestROTR32InverseQuick(t *testing.T) {
 		m.Run()
 		return m.R[1] == uint64(v)
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, qcheck.Config(t, 0)); err != nil {
 		t.Error(err)
 	}
 }
@@ -61,7 +62,7 @@ func TestNotInvolutionQuick(t *testing.T) {
 		m.Run()
 		return m.R[1] == v
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, qcheck.Config(t, 0)); err != nil {
 		t.Error(err)
 	}
 }
@@ -80,7 +81,7 @@ func TestMemRoundTripQuick(t *testing.T) {
 		m.Run()
 		return m.R[2] == v && m.Mem[addr] == v
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, qcheck.Config(t, 0)); err != nil {
 		t.Error(err)
 	}
 }
@@ -96,7 +97,7 @@ func TestCloneRestoreIdentityQuick(t *testing.T) {
 		return dst.R[1] == r1 && dst.F[1] == f1 && dst.Mem[0] == mem0 &&
 			dst.PC == src.PC && len(dst.Stack) == 1 && dst.Stack[0] == int(pc)
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, qcheck.Config(t, 0)); err != nil {
 		t.Error(err)
 	}
 }
@@ -113,7 +114,7 @@ func TestFlipInvolutionQuick(t *testing.T) {
 		m.FlipInt(r, b)
 		return changed && m.R[r] == v
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, qcheck.Config(t, 0)); err != nil {
 		t.Error(err)
 	}
 }
