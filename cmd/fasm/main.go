@@ -36,6 +36,9 @@ func formatWALInfo(path string, info inject.SegmentInfo) string {
 	if info.Poisoned > 0 {
 		fmt.Fprintf(&b, "poisoned:    %d quarantined experiment(s) with panic diagnostics\n", info.Poisoned)
 	}
+	for _, s := range info.Shards {
+		fmt.Fprintf(&b, "shard:       worker=%s epoch=%d range=[%d,%d) records=%d\n", s.Worker, s.Epoch, s.Lo, s.Hi, s.Records)
+	}
 	if info.TailBytes > 0 {
 		fmt.Fprintf(&b, "torn tail:   %d bytes (resume will truncate)\n", info.TailBytes)
 	}

@@ -44,6 +44,9 @@ func buildSegment(t *testing.T) (string, [32]byte, uint64) {
 	}); err != nil {
 		t.Fatal(err)
 	}
+	if err := w.AppendShard(inject.WALShard{Worker: "worker-7", Epoch: 3, Lo: 0, Hi: 2, Records: 2}); err != nil {
+		t.Fatal(err)
+	}
 	if err := w.Seal(); err != nil {
 		t.Fatal(err)
 	}
@@ -86,6 +89,7 @@ func TestFormatWALInfo(t *testing.T) {
 		"sensitivity": "true",
 		"sealed":      "true",
 		"poisoned":    "1 quarantined experiment(s) with panic diagnostics",
+		"shard":       "worker=worker-7 epoch=3 range=[0,2) records=2",
 	}
 	for label, wantVal := range want {
 		if got, ok := fields[label]; !ok {
@@ -148,7 +152,7 @@ func TestFormatWALInfoMinimal(t *testing.T) {
 	if fields["experiments"] != "0" || fields["sealed"] != "false" || fields["sensitivity"] != "false" {
 		t.Errorf("minimal segment fields: %v", fields)
 	}
-	for _, absent := range []string{"poisoned", "torn tail"} {
+	for _, absent := range []string{"poisoned", "torn tail", "shard"} {
 		if _, ok := fields[absent]; ok {
 			t.Errorf("minimal segment reports %q", absent)
 		}

@@ -14,6 +14,15 @@
 //	curl localhost:8080/v1/jobs/job-1
 //	curl -X DELETE localhost:8080/v1/jobs/job-1
 //
+// Distributed campaigns connect several ffserved processes:
+//
+//	ffserved -worker -addr :8081            # injection worker, no job API
+//	ffserved -addr :8080 -peers http://host:8081,http://host:8082
+//
+// A coordinator (-peers) shards each section's experiments across its
+// registered workers and merges the streamed results; workers can also be
+// registered at runtime via POST /v1/workers {"url": "..."}.
+//
 // On SIGINT/SIGTERM the daemon stops accepting work, drains running jobs
 // for up to -drain, then hard-cancels whatever is left and exits.
 package main
@@ -26,9 +35,11 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"fastflip/internal/coord"
 	"fastflip/internal/server"
 	"fastflip/internal/service"
 )
@@ -37,17 +48,25 @@ func main() {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("ffserved: ")
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		jobs    = flag.Int("jobs", 1, "concurrent analysis jobs")
-		queue   = flag.Int("queue", 64, "maximum queued jobs")
-		retain  = flag.Int("retain", 64, "finished jobs retained for retrieval")
-		workers = flag.Int("workers", 0, "default injection worker goroutines per job (0 = GOMAXPROCS)")
-		drain   = flag.Duration("drain", 30*time.Second, "how long to let running jobs finish on shutdown")
-		debug   = flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
-		walDir  = flag.String("wal-dir", "", "write-ahead campaign log directory; a job re-POSTed over a crashed campaign resumes it and reports resumed_experiments")
-		benches = flag.Int("max-benches", 0, "benchmark stores kept in the cache, LRU-evicted beyond this (0 = unlimited)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		jobs     = flag.Int("jobs", 1, "concurrent analysis jobs")
+		queue    = flag.Int("queue", 64, "maximum queued jobs")
+		retain   = flag.Int("retain", 64, "finished jobs retained for retrieval")
+		workers  = flag.Int("workers", 0, "default injection worker goroutines per job (0 = GOMAXPROCS)")
+		drain    = flag.Duration("drain", 30*time.Second, "how long to let running jobs finish on shutdown")
+		debug    = flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
+		walDir   = flag.String("wal-dir", "", "write-ahead campaign log directory; a job re-POSTed over a crashed campaign resumes it and reports resumed_experiments")
+		benches  = flag.Int("max-benches", 0, "benchmark stores kept in the cache, LRU-evicted beyond this (0 = unlimited)")
+		workMode = flag.Bool("worker", false, "run as a shard worker: serve only POST /v1/shard and GET /healthz, no job API")
+		workerID = flag.String("worker-id", "", "worker identity reported to coordinators (default worker-<pid>)")
+		peers    = flag.String("peers", "", "comma-separated worker base URLs; turns this daemon into a campaign coordinator")
 	)
 	flag.Parse()
+
+	if *workMode {
+		runWorker(*addr, *workerID, *workers)
+		return
+	}
 
 	if *debug != "" {
 		// pprof lives on its own mux and listener so profiling endpoints
@@ -67,6 +86,26 @@ func main() {
 		}()
 	}
 
+	var co *coord.Coordinator
+	if *peers != "" {
+		co = coord.NewCoordinator(coord.Options{Logf: log.Printf})
+		defer co.Close()
+		for _, url := range strings.Split(*peers, ",") {
+			url = strings.TrimSpace(url)
+			if url == "" {
+				continue
+			}
+			id, err := co.AddWorker(url)
+			if err != nil {
+				// A peer that is down at startup is a warning, not fatal: it
+				// can be registered later via POST /v1/workers once it is up.
+				log.Printf("peer %s unreachable, not registered: %v", url, err)
+				continue
+			}
+			log.Printf("registered worker %s at %s", id, url)
+		}
+	}
+
 	mgr := service.New(service.Options{
 		Workers:          *jobs,
 		QueueDepth:       *queue,
@@ -74,10 +113,15 @@ func main() {
 		InjectWorkers:    *workers,
 		WALDir:           *walDir,
 		MaxCachedBenches: *benches,
+		Coordinator:      co,
 	})
+	handler := server.New(mgr, log.Default())
+	if co != nil {
+		handler.WithCoordinator(co)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(mgr, log.Default()),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -104,4 +148,31 @@ func main() {
 		log.Printf("drain timed out, running jobs cancelled: %v", err)
 	}
 	log.Printf("bye")
+}
+
+// runWorker serves the shard-worker API and nothing else: a worker holds
+// no job queue, no store cache, and no WAL — every lease it runs streams
+// straight back to the coordinator that owns the campaign.
+func runWorker(addr, id string, injectWorkers int) {
+	w := coord.NewWorker(coord.WorkerOptions{ID: id, Workers: injectWorkers})
+	srv := &http.Server{Addr: addr, Handler: w, ReadHeaderTimeout: 10 * time.Second}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("worker %s listening on %s", w.ID(), addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Printf("worker bye")
 }

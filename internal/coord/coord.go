@@ -1,0 +1,559 @@
+// Package coord distributes injection campaigns across machines. A
+// Coordinator plugs into the analysis pipeline through core.Config's
+// SectionInjector seam: for every section it shards the canonical
+// dyn-sorted experiment order into contiguous ranges, leases each range
+// to a remote Worker over HTTP, merges the framed WAL records streamed
+// back, and falls back to an in-process engine for anything the fleet
+// could not deliver — so a distributed campaign always converges to the
+// exact result of a local one.
+//
+// The robustness model composes three existing mechanisms rather than
+// inventing new ones:
+//
+//   - Identity: every lease carries the campaign fingerprint (trace ⊕
+//     config) and the section content key; a worker recomputes both from
+//     its own build and refuses a mismatch, the same gate WAL resume
+//     applies to on-disk segments.
+//   - Loss: a worker that dies mid-range leaves a partial stream (framed
+//     records, no seal). The coordinator keeps the good prefix — records
+//     it already merged and logged — and re-leases only the remainder via
+//     the skip-vector resume path (the lease's Done list).
+//   - Duplication: shard ranges may overlap and streams may be delivered
+//     twice; the merger deduplicates by experiment identity (equivalence
+//     class key), first delivery wins, so nothing is double-counted.
+//
+// Leases carry monotonically increasing epochs, recorded as WAL shard
+// provenance so `fasm -wal-info` can attribute a merged segment's records
+// to the fleet that produced them.
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fastflip/internal/core"
+	"fastflip/internal/inject"
+	"fastflip/internal/metrics"
+	"fastflip/internal/trace"
+)
+
+// Options configure a Coordinator. The zero value gets sensible defaults.
+type Options struct {
+	// Client performs shard and health requests (default: a client with
+	// no overall timeout — shard streams are long-lived).
+	Client *http.Client
+	// Heartbeat is the worker liveness probe interval (default 5s;
+	// negative disables probing — workers are then only marked down by
+	// failed shard fetches).
+	Heartbeat time.Duration
+	// HeartbeatMisses is how many consecutive failed probes mark a worker
+	// down (default 2). A down worker that answers a later probe revives.
+	HeartbeatMisses int
+	// MaxRounds bounds dispatch rounds per section before the coordinator
+	// stops re-leasing and finishes locally (default 5).
+	MaxRounds int
+	// Fault, when non-nil, injects network faults into dispatch attempts
+	// (chaos tests only).
+	Fault FaultPlan
+	// Logf, when non-nil, receives coordinator diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.Heartbeat == 0 {
+		o.Heartbeat = 5 * time.Second
+	}
+	if o.HeartbeatMisses <= 0 {
+		o.HeartbeatMisses = 2
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 5
+	}
+	return o
+}
+
+// WorkerView is a snapshot of one registered worker.
+type WorkerView struct {
+	URL  string `json:"url"`
+	ID   string `json:"id"`
+	Live bool   `json:"live"`
+}
+
+type remoteWorker struct {
+	url   string
+	id    string
+	down  bool
+	fails int // consecutive failed health probes
+}
+
+// Coordinator owns the worker registry and runs distributed section
+// campaigns. Safe for concurrent use by multiple jobs.
+type Coordinator struct {
+	opts  Options
+	epoch atomic.Uint64
+
+	mu      sync.Mutex
+	workers []*remoteWorker
+	met     Metrics
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	hbDone   chan struct{}
+}
+
+// NewCoordinator returns a coordinator and starts its heartbeat loop.
+func NewCoordinator(opts Options) *Coordinator {
+	c := &Coordinator{
+		opts:   opts.withDefaults(),
+		stop:   make(chan struct{}),
+		hbDone: make(chan struct{}),
+	}
+	if c.opts.Heartbeat > 0 {
+		go c.heartbeatLoop()
+	} else {
+		close(c.hbDone)
+	}
+	return c
+}
+
+// Close stops the heartbeat loop. Idempotent.
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.hbDone
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// AddWorker probes url's health endpoint and registers the worker,
+// returning its self-reported ID. Re-adding a known URL revives it.
+func (c *Coordinator) AddWorker(url string) (string, error) {
+	id, err := c.probe(url)
+	if err != nil {
+		return "", fmt.Errorf("coord: worker %s: %w", url, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		if w.url == url {
+			w.id, w.down, w.fails = id, false, 0
+			return id, nil
+		}
+	}
+	c.workers = append(c.workers, &remoteWorker{url: url, id: id})
+	return id, nil
+}
+
+// Workers snapshots the registry.
+func (c *Coordinator) Workers() []WorkerView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]WorkerView, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, WorkerView{URL: w.url, ID: w.id, Live: !w.down})
+	}
+	return out
+}
+
+// Metrics snapshots the coordinator's counters and gauges.
+func (c *Coordinator) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.met
+	m.WorkersRegistered = len(c.workers)
+	for _, w := range c.workers {
+		if !w.down {
+			m.WorkersLive++
+		}
+	}
+	return m
+}
+
+// probe fetches url's health endpoint and returns the worker ID.
+func (c *Coordinator) probe(url string) (string, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+healthPath, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.opts.Client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("health probe: status %d", resp.StatusCode)
+	}
+	var body struct {
+		Worker string `json:"worker"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return "", fmt.Errorf("health probe: %w", err)
+	}
+	return body.Worker, nil
+}
+
+// heartbeatLoop probes every registered worker at the configured
+// interval: HeartbeatMisses consecutive failures mark a worker down, a
+// success revives it. Shard fetch failures mark a worker down
+// immediately; the heartbeat is what brings a recovered worker back.
+func (c *Coordinator) heartbeatLoop() {
+	defer close(c.hbDone)
+	ticker := time.NewTicker(c.opts.Heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+		}
+		c.mu.Lock()
+		snapshot := append([]*remoteWorker(nil), c.workers...)
+		c.mu.Unlock()
+		for _, w := range snapshot {
+			_, err := c.probe(w.url)
+			c.mu.Lock()
+			if err != nil {
+				w.fails++
+				if w.fails >= c.opts.HeartbeatMisses && !w.down {
+					w.down = true
+					c.logf("coord: worker %s (%s) down after %d failed probes", w.url, w.id, w.fails)
+				}
+			} else {
+				if w.down {
+					c.logf("coord: worker %s (%s) revived", w.url, w.id)
+				}
+				w.fails, w.down = 0, false
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+func (c *Coordinator) liveWorkers() []*remoteWorker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*remoteWorker
+	for _, w := range c.workers {
+		if !w.down {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// markDown takes a worker out of rotation after a failed shard fetch.
+func (c *Coordinator) markDown(w *remoteWorker, cause error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !w.down {
+		w.down = true
+		c.logf("coord: worker %s (%s) down: %v", w.url, w.id, cause)
+	}
+}
+
+// SectionInjector adapts the coordinator to core's distribution seam for
+// one benchmark version: install the result as core.Config.SectionInjector
+// and every section of that analysis is sharded across the fleet.
+func (c *Coordinator) SectionInjector(benchName, variant string) core.SectionInjector {
+	return &sectionInjector{c: c, bench: benchName, variant: variant}
+}
+
+type sectionInjector struct {
+	c              *Coordinator
+	bench, variant string
+}
+
+func (s *sectionInjector) InjectSection(ctx context.Context, job core.SectionJob) (core.SectionResult, error) {
+	return s.c.injectSection(ctx, s.bench, s.variant, job)
+}
+
+// shardResult is one dispatch attempt's outcome: the records that framed
+// cleanly before the stream ended, and whether a seal arrived.
+type shardResult struct {
+	workerID string
+	epoch    uint64
+	lo, hi   int
+	records  []inject.StreamRecord
+	sealed   bool
+	dur      time.Duration
+}
+
+// injectSection runs one section campaign across the fleet. Every round
+// it partitions the still-pending positions of the canonical dyn order
+// into contiguous ranges, one per live worker, dispatches them in
+// parallel, and merges whatever streams back (deduplicated by experiment
+// identity). Rounds repeat until the section is resolved, no workers
+// remain, or the round budget is spent; the in-process fallback then
+// finishes the remainder, so the campaign converges unconditionally.
+func (c *Coordinator) injectSection(ctx context.Context, benchName, variant string, job core.SectionJob) (core.SectionResult, error) {
+	classes := job.Classes
+	inst := job.Trace.Instances[job.Instance]
+	res := core.SectionResult{Outcomes: make([]metrics.Outcome, len(classes))}
+	if job.CoRun {
+		res.Fins = make([]metrics.Outcome, len(classes))
+	}
+	mg := newMerger(classes, job.Hooks.Skip)
+	order := inject.DynOrder(classes)
+
+	req := ShardRequest{
+		Bench:       benchName,
+		Variant:     variant,
+		Instance:    job.Instance,
+		SectionKey:  hex.EncodeToString(job.Key[:]),
+		Fingerprint: core.CampaignFingerprint(job.Trace.Fingerprint(), job.Config),
+		Config:      shardConfig(job.Config),
+	}
+
+	for round := 0; round < c.opts.MaxRounds && !mg.done() && ctx.Err() == nil; round++ {
+		pending := mg.pendingPositions(order)
+		live := c.liveWorkers()
+		if len(live) == 0 {
+			break
+		}
+		n := len(live)
+		if n > len(pending) {
+			n = len(pending)
+		}
+		done := mg.resolvedIndices()
+		results := make([]*shardResult, n)
+		var wg sync.WaitGroup
+		for k := 0; k < n; k++ {
+			r := req
+			// The chunk's range spans its first to last pending position;
+			// already-resolved positions inside are excluded by Done.
+			chunk := pending[k*len(pending)/n : (k+1)*len(pending)/n]
+			r.Lo, r.Hi = chunk[0], chunk[len(chunk)-1]+1
+			r.Done = done
+			r.Epoch = c.epoch.Add(1)
+			wg.Add(1)
+			go func(k int, w *remoteWorker, r ShardRequest) {
+				defer wg.Done()
+				results[k] = c.fetchShard(ctx, w, r, round)
+			}(k, live[k], r)
+		}
+		wg.Wait()
+
+		var minDur, maxDur time.Duration = -1, 0
+		for _, sr := range results {
+			if sr == nil {
+				continue
+			}
+			c.mergeShard(&res, job, inst, mg, sr)
+			if sr.dur > 0 {
+				if minDur < 0 || sr.dur < minDur {
+					minDur = sr.dur
+				}
+				if sr.dur > maxDur {
+					maxDur = sr.dur
+				}
+			}
+		}
+		if minDur >= 0 {
+			c.mu.Lock()
+			c.met.StragglerNanos += int64(maxDur - minDur)
+			c.mu.Unlock()
+		}
+	}
+
+	// Whatever the fleet could not deliver runs in-process — including
+	// the whole section when no workers are registered. The skip vector
+	// holds everything already merged, so only the true remainder runs.
+	if !mg.done() && ctx.Err() == nil {
+		skip := mg.skipVector()
+		hooks := job.Hooks
+		hooks.Skip = skip
+		hooks.Range = nil
+		inj := &inject.Injector{T: job.Trace, Workers: job.Config.Workers, Legacy: job.Config.LegacyReplay}
+		var outs, fins []metrics.Outcome
+		var stats inject.Stats
+		if job.CoRun {
+			outs, fins, stats = inj.RunSectionCoRunResume(ctx, inst, classes, hooks)
+		} else {
+			outs, stats = inj.RunSectionResume(ctx, inst, classes, hooks)
+		}
+		for i := range classes {
+			if !(i < len(skip) && skip[i]) {
+				res.Outcomes[i] = outs[i]
+				if res.Fins != nil {
+					res.Fins[i] = fins[i]
+				}
+			}
+		}
+		res.Stats.Add(stats)
+		res.Poisoned = append(res.Poisoned, inj.Poisoned()...)
+		c.mu.Lock()
+		c.met.LocalFallbackExperiments += uint64(stats.Experiments)
+		c.mu.Unlock()
+	}
+	return res, nil
+}
+
+// fetchShard dispatches one lease and reads its stream, applying any
+// injected network fault. A transport failure or a cut stream marks the
+// worker down and leaves the result unsealed; the records that framed
+// cleanly before the failure are kept.
+func (c *Coordinator) fetchShard(ctx context.Context, w *remoteWorker, req ShardRequest, round int) *shardResult {
+	c.mu.Lock()
+	c.met.ShardsDispatched++
+	c.met.InflightLeases++
+	c.mu.Unlock()
+	start := time.Now()
+	sr := &shardResult{workerID: w.id, epoch: req.Epoch, lo: req.Lo, hi: req.Hi}
+	defer func() {
+		sr.dur = time.Since(start)
+		c.mu.Lock()
+		c.met.InflightLeases--
+		c.met.ShardNanos += int64(sr.dur)
+		if sr.sealed {
+			c.met.ShardsCompleted++
+		} else {
+			c.met.ShardsFailed++
+			c.met.Reassignments++
+		}
+		c.mu.Unlock()
+	}()
+
+	var fault ShardFault
+	if c.opts.Fault != nil {
+		fault = c.opts.Fault(ShardAttempt{Worker: w.url, Epoch: req.Epoch, Lo: req.Lo, Hi: req.Hi, Round: round})
+	}
+	if fault.Drop {
+		c.logf("coord: injected drop of lease %d to %s", req.Epoch, w.url)
+		return sr
+	}
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		c.logf("coord: encoding lease %d: %v", req.Epoch, err)
+		return sr
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+shardPath, bytes.NewReader(body))
+	if err != nil {
+		c.logf("coord: lease %d: %v", req.Epoch, err)
+		return sr
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.opts.Client.Do(httpReq)
+	if err != nil {
+		c.markDown(w, err)
+		return sr
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// A rejection (fingerprint or key mismatch, bad request) is the
+		// worker telling us the lease is invalid, not that the worker is
+		// unhealthy: log it and leave the worker in rotation.
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		c.logf("coord: worker %s rejected lease %d: status %d: %s", w.url, req.Epoch, resp.StatusCode, bytes.TrimSpace(msg))
+		return sr
+	}
+	if id := resp.Header.Get(workerHeader); id != "" {
+		sr.workerID = id
+	}
+
+	reader := inject.NewStreamReader(resp.Body)
+	for {
+		rec, rerr := reader.Next()
+		if rerr == io.EOF {
+			break // stream ended without a seal: partial
+		}
+		if rerr != nil {
+			c.markDown(w, rerr)
+			break
+		}
+		if rec.Type == inject.StreamSeal {
+			sr.sealed = true
+			break
+		}
+		sr.records = append(sr.records, rec)
+		if fault.TruncateAfterRecords > 0 && len(sr.records) >= fault.TruncateAfterRecords {
+			c.logf("coord: injected cut of lease %d after %d records", req.Epoch, len(sr.records))
+			resp.Body.Close()
+			break
+		}
+	}
+	if fault.Duplicate {
+		sr.records = append(sr.records, sr.records...)
+	}
+	return sr
+}
+
+// mergeShard folds one shard stream into the section result: fresh
+// records resolve their class (and flow to the campaign's Record/Poison
+// hooks, i.e. the WAL); duplicates are counted and dropped. A stream that
+// contributed anything is recorded as shard provenance under its lease
+// epoch.
+func (c *Coordinator) mergeShard(res *core.SectionResult, job core.SectionJob, inst *trace.Instance, mg *merger, sr *shardResult) {
+	fresh := 0
+	for _, rec := range sr.records {
+		switch rec.Type {
+		case inject.StreamExperiment:
+			c.mu.Lock()
+			c.met.RecordsStreamed++
+			c.mu.Unlock()
+			i, ok := mg.resolve(rec.Experiment.Key)
+			if !ok {
+				c.mu.Lock()
+				c.met.DuplicateRecords++
+				c.mu.Unlock()
+				continue
+			}
+			res.Outcomes[i] = rec.Experiment.Out
+			if res.Fins != nil && rec.Experiment.Fin != nil {
+				res.Fins[i] = *rec.Experiment.Fin
+			}
+			res.Stats.Add(rec.Experiment.Cost)
+			res.Remote++
+			fresh++
+			c.mu.Lock()
+			c.met.RemoteExperiments++
+			c.mu.Unlock()
+			if job.Hooks.Record != nil {
+				job.Hooks.Record(i, rec.Experiment.Out, rec.Experiment.Fin, rec.Experiment.Cost)
+			}
+		case inject.StreamPoison:
+			i, ok := mg.resolve(rec.Poison.Key)
+			if !ok {
+				c.mu.Lock()
+				c.met.DuplicateRecords++
+				c.mu.Unlock()
+				continue
+			}
+			// Same conservative semantics as the local supervisor: the
+			// class's outcome slots get the +Inf SDC fill, the poison is
+			// logged, and the experiment is counted without cost.
+			res.Outcomes[i] = inject.ConservativeSDC(len(inst.IO.Outputs))
+			if res.Fins != nil {
+				res.Fins[i] = inject.ConservativeSDC(len(job.Trace.Prog.FinalOutputs))
+			}
+			res.Stats.Add(inject.Stats{Experiments: 1})
+			p := inject.Poison{Class: i, Key: rec.Poison.Key, Attempts: rec.Poison.Attempts, MachineFP: rec.Poison.MachineFP, Stack: rec.Poison.Stack}
+			res.Poisoned = append(res.Poisoned, p)
+			if job.Hooks.Poison != nil {
+				job.Hooks.Poison(p)
+			}
+		}
+	}
+	if len(sr.records) > 0 {
+		res.Shards++
+		if job.Hooks.Shard != nil {
+			job.Hooks.Shard(inject.WALShard{Worker: sr.workerID, Epoch: sr.epoch, Lo: sr.lo, Hi: sr.hi, Records: fresh})
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package coord
+
+import (
+	"fastflip/internal/sites"
+)
+
+// merger is the shard-segment merge accumulator: it tracks which classes
+// of a section campaign are resolved and deduplicates incoming records by
+// experiment identity (the equivalence-class key). Shard streams may
+// arrive out of order, with overlapping ranges, or delivered more than
+// once — a re-leased range races its lost original, an at-least-once
+// transport replays a stream — and exactly one record per class must win.
+// First delivery wins; every later one is a counted duplicate. The engine
+// produces identical outcomes for identical experiments, so first-wins is
+// also value-deterministic.
+type merger struct {
+	idx      map[sites.ClassKey]int
+	resolved []bool
+	nPending int
+}
+
+// newMerger indexes the section's classes; entries marked in skip
+// (recovered from the WAL before dispatch) start resolved.
+func newMerger(classes []*sites.Class, skip []bool) *merger {
+	m := &merger{
+		idx:      make(map[sites.ClassKey]int, len(classes)),
+		resolved: make([]bool, len(classes)),
+		nPending: len(classes),
+	}
+	for i, c := range classes {
+		m.idx[c.Key] = i
+	}
+	for i := range m.resolved {
+		if i < len(skip) && skip[i] {
+			m.resolved[i] = true
+			m.nPending--
+		}
+	}
+	return m
+}
+
+// resolve marks the class with the given key resolved. It returns the
+// class index and whether this delivery was fresh; (-1, false) for a key
+// outside the section's enumeration, (i, false) for a duplicate.
+func (m *merger) resolve(key sites.ClassKey) (int, bool) {
+	i, ok := m.idx[key]
+	if !ok {
+		return -1, false
+	}
+	if m.resolved[i] {
+		return i, false
+	}
+	m.resolved[i] = true
+	m.nPending--
+	return i, true
+}
+
+// done reports whether every class is resolved.
+func (m *merger) done() bool { return m.nPending == 0 }
+
+// pendingPositions returns the positions of the canonical dyn order whose
+// classes are still unresolved, in order.
+func (m *merger) pendingPositions(order []int) []int {
+	var out []int
+	for p, ci := range order {
+		if !m.resolved[ci] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// resolvedIndices returns the class indices already resolved — the Done
+// list shipped with a lease so the worker skips them.
+func (m *merger) resolvedIndices() []int {
+	var out []int
+	for i, r := range m.resolved {
+		if r {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// skipVector returns the resolved set as a Skip vector for the local
+// fallback engine.
+func (m *merger) skipVector() []bool {
+	return append([]bool(nil), m.resolved...)
+}

@@ -1,0 +1,226 @@
+package coord
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastflip/internal/core"
+	"fastflip/internal/inject"
+	"fastflip/internal/metrics"
+	"fastflip/internal/prog"
+	"fastflip/internal/qcheck"
+	"fastflip/internal/sites"
+	"fastflip/internal/testprog"
+	"fastflip/internal/trace"
+)
+
+func classKey(local int) sites.ClassKey {
+	return sites.ClassKey{Static: prog.StaticID{Func: "f", Local: local}}
+}
+
+func mergeClasses(n int) []*sites.Class {
+	classes := make([]*sites.Class, n)
+	for i := range classes {
+		classes[i] = &sites.Class{Key: classKey(i), Members: []uint64{uint64(n - i)}}
+	}
+	return classes
+}
+
+func TestMergerDedupe(t *testing.T) {
+	classes := mergeClasses(3)
+	m := newMerger(classes, nil)
+	if m.done() {
+		t.Fatal("fresh merger reports done")
+	}
+	if i, fresh := m.resolve(classes[1].Key); i != 1 || !fresh {
+		t.Fatalf("first delivery: (%d, %v)", i, fresh)
+	}
+	if i, fresh := m.resolve(classes[1].Key); i != 1 || fresh {
+		t.Fatalf("duplicate delivery: (%d, %v), want counted as stale", i, fresh)
+	}
+	if i, fresh := m.resolve(classKey(99)); i != -1 || fresh {
+		t.Fatalf("foreign key: (%d, %v), want rejected", i, fresh)
+	}
+	m.resolve(classes[0].Key)
+	m.resolve(classes[2].Key)
+	if !m.done() {
+		t.Fatal("all classes delivered but merger not done")
+	}
+}
+
+func TestMergerSkipSeedsResolved(t *testing.T) {
+	classes := mergeClasses(4)
+	m := newMerger(classes, []bool{false, true, false, true})
+	if got := m.resolvedIndices(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("resolvedIndices = %v", got)
+	}
+	// Pilots descend with the index, so the dyn order is reversed.
+	order := inject.DynOrder(classes)
+	if got := m.pendingPositions(order); len(got) != 2 {
+		t.Fatalf("pendingPositions = %v", got)
+	} else {
+		for _, p := range got {
+			if ci := order[p]; ci != 0 && ci != 2 {
+				t.Fatalf("pending position %d names resolved class %d", p, ci)
+			}
+		}
+	}
+	// A WAL-recovered class delivered again by a shard is a duplicate.
+	if _, fresh := m.resolve(classes[1].Key); fresh {
+		t.Fatal("recovered class accepted as fresh")
+	}
+}
+
+// TestMergerShuffledOverlappingSegments is the merge-invariant property
+// test: however a set of shard segments overlaps, duplicates, and
+// interleaves, exactly the union of delivered classes resolves, each
+// exactly once, and pending positions are precisely the complement.
+func TestMergerShuffledOverlappingSegments(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(24)
+		classes := mergeClasses(n)
+		order := inject.DynOrder(classes)
+
+		// A few segments over overlapping [lo,hi) ranges of the dyn order,
+		// some delivered twice, all record deliveries shuffled together.
+		var deliveries []int // class indices, with repeats
+		covered := make([]bool, n)
+		for s := 0; s < 1+rng.Intn(4); s++ {
+			lo := rng.Intn(n)
+			hi := lo + 1 + rng.Intn(n-lo)
+			copies := 1 + rng.Intn(2)
+			for c := 0; c < copies; c++ {
+				for _, p := range order[lo:hi] {
+					deliveries = append(deliveries, p)
+				}
+			}
+			for _, p := range order[lo:hi] {
+				covered[p] = true
+			}
+		}
+		rng.Shuffle(len(deliveries), func(i, j int) {
+			deliveries[i], deliveries[j] = deliveries[j], deliveries[i]
+		})
+
+		m := newMerger(classes, nil)
+		fresh, dup := 0, 0
+		seen := make([]int, n)
+		for _, ci := range deliveries {
+			i, ok := m.resolve(classes[ci].Key)
+			if i != ci {
+				return false
+			}
+			if ok {
+				fresh++
+				seen[ci]++
+			} else {
+				dup++
+			}
+		}
+		want := 0
+		for _, c := range covered {
+			if c {
+				want++
+			}
+		}
+		if fresh != want || dup != len(deliveries)-want {
+			return false
+		}
+		for ci, times := range seen {
+			if covered[ci] != (times == 1) || times > 1 {
+				return false
+			}
+		}
+		if m.done() != (want == n) {
+			return false
+		}
+		for _, p := range m.pendingPositions(order) {
+			if covered[order[p]] {
+				return false
+			}
+		}
+		return len(m.pendingPositions(order)) == n-want
+	}
+	if err := quick.Check(property, qcheck.Config(t, 200)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeShardOutOfOrderStreams drives the real mergeShard with
+// overlapping shard streams arriving in reverse range order: every class
+// keeps its first-delivered outcome, costs are counted once, and shard
+// provenance reports only the fresh records of each stream.
+func TestMergeShardOutOfOrderStreams(t *testing.T) {
+	tr, err := trace.Record(testprog.Pipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := tr.Instances[0]
+	classes := sites.ForInstance(tr, inst, sites.Options{Prune: true})
+	if len(classes) < 4 {
+		t.Fatalf("need a few classes, got %d", len(classes))
+	}
+	order := inject.DynOrder(classes)
+
+	c := NewCoordinator(Options{Heartbeat: -1})
+	defer c.Close()
+
+	outcomeFor := func(ci int) metrics.Outcome {
+		return metrics.Outcome{Kind: metrics.SDC, Magnitudes: []float64{float64(ci) + 1}}
+	}
+	stream := func(lo, hi int) []inject.StreamRecord {
+		var recs []inject.StreamRecord
+		for _, ci := range order[lo:hi] {
+			recs = append(recs, inject.StreamRecord{Type: inject.StreamExperiment, Experiment: inject.WALRecord{
+				Key: classes[ci].Key, Out: outcomeFor(ci), Cost: inject.Stats{Experiments: 1, SimInstrs: 7},
+			}})
+		}
+		return recs
+	}
+
+	mid := len(order) / 2
+	// Overlap of one position around mid; the late stream arrives first.
+	late := &shardResult{workerID: "w2", epoch: 2, lo: mid - 1, hi: len(order), records: stream(mid-1, len(order)), sealed: true}
+	early := &shardResult{workerID: "w1", epoch: 1, lo: 0, hi: mid + 1, records: stream(0, mid+1), sealed: true}
+
+	res := core.SectionResult{Outcomes: make([]metrics.Outcome, len(classes))}
+	job := core.SectionJob{Trace: tr, Instance: 0, Classes: classes, Config: core.DefaultConfig()}
+	var shards []inject.WALShard
+	job.Hooks.Shard = func(s inject.WALShard) { shards = append(shards, s) }
+	mg := newMerger(classes, nil)
+
+	c.mergeShard(&res, job, inst, mg, late)
+	c.mergeShard(&res, job, inst, mg, early)
+
+	if !mg.done() {
+		t.Fatal("overlapping streams left classes unresolved")
+	}
+	if res.Stats.Experiments != len(classes) || res.Stats.SimInstrs != uint64(7*len(classes)) {
+		t.Errorf("stats %+v: overlap double-counted", res.Stats)
+	}
+	for i := range classes {
+		if got := res.Outcomes[i]; got.Kind != metrics.SDC || got.Magnitudes[0] != float64(i)+1 {
+			t.Errorf("class %d outcome %+v", i, got)
+		}
+	}
+	if len(shards) != 2 {
+		t.Fatalf("shard provenance entries: %d, want 2", len(shards))
+	}
+	// The late stream delivered all its records fresh; the early one lost
+	// the two overlapping positions to it.
+	if shards[0].Worker != "w2" || shards[0].Records != len(order)-(mid-1) {
+		t.Errorf("late shard provenance %+v", shards[0])
+	}
+	if shards[1].Worker != "w1" || shards[1].Records != mid-1 {
+		t.Errorf("early shard provenance %+v", shards[1])
+	}
+	met := c.Metrics()
+	if met.DuplicateRecords != 2 {
+		t.Errorf("DuplicateRecords = %d, want 2", met.DuplicateRecords)
+	}
+	if met.RemoteExperiments != uint64(len(classes)) {
+		t.Errorf("RemoteExperiments = %d, want %d", met.RemoteExperiments, len(classes))
+	}
+}

@@ -1,0 +1,41 @@
+package coord
+
+// Metrics are the coordinator's cumulative counters and gauges, exposed
+// through service /metrics as the "dist" block. Counters only ever grow;
+// WorkersRegistered/WorkersLive/InflightLeases are gauges computed at
+// snapshot time.
+type Metrics struct {
+	WorkersRegistered int `json:"workers_registered"`
+	WorkersLive       int `json:"workers_live"`
+	// InflightLeases counts shard dispatches currently awaiting a stream.
+	InflightLeases int `json:"inflight_leases"`
+
+	// ShardsDispatched counts lease attempts; Completed the streams that
+	// arrived sealed; Failed the dropped, rejected, or cut ones.
+	ShardsDispatched uint64 `json:"shards_dispatched"`
+	ShardsCompleted  uint64 `json:"shards_completed"`
+	ShardsFailed     uint64 `json:"shards_failed"`
+	// Reassignments counts leases whose unlogged remainder had to be
+	// re-leased after a worker loss or a partial stream.
+	Reassignments uint64 `json:"reassignments"`
+
+	// RecordsStreamed counts experiment records received from workers;
+	// DuplicateRecords the subset discarded by the merger's
+	// dedupe-by-experiment-identity (overlapping ranges, duplicate
+	// delivery, or a re-leased prefix racing its original).
+	RecordsStreamed  uint64 `json:"records_streamed"`
+	DuplicateRecords uint64 `json:"duplicate_records"`
+
+	// RemoteExperiments counts experiments resolved from worker streams;
+	// LocalFallbackExperiments those the coordinator ran in-process after
+	// the fleet could not finish a section (no live workers or the round
+	// budget exhausted) — the convergence guarantee of last resort.
+	RemoteExperiments        uint64 `json:"remote_experiments"`
+	LocalFallbackExperiments uint64 `json:"local_fallback_experiments"`
+
+	// ShardNanos sums wall time of all shard fetches; StragglerNanos sums,
+	// per dispatch round, the gap between the fastest and slowest shard —
+	// the straggler latency a range-rebalancing scheduler would reclaim.
+	ShardNanos     int64 `json:"shard_nanos"`
+	StragglerNanos int64 `json:"straggler_nanos"`
+}

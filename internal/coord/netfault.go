@@ -1,0 +1,41 @@
+package coord
+
+// Injectable network faults, the errfs idiom applied to the shard wire:
+// chaos tests hand the coordinator a FaultPlan and break chosen dispatch
+// attempts — a dropped request, a stream cut mid-delivery, a duplicated
+// delivery — to prove the campaign still converges without losing or
+// double-counting experiments.
+
+// ShardAttempt identifies one dispatch for fault-plan decisions.
+type ShardAttempt struct {
+	// Worker is the target worker's URL.
+	Worker string
+	// Epoch is the attempt's lease epoch.
+	Epoch uint64
+	// Lo, Hi bound the leased dyn-order positions.
+	Lo, Hi int
+	// Round is the dispatch round within the section (0-based).
+	Round int
+}
+
+// ShardFault is the injected failure for one dispatch attempt. The zero
+// value is "no fault".
+type ShardFault struct {
+	// Drop fails the request before it is sent: the worker never sees the
+	// lease and no records arrive.
+	Drop bool
+	// TruncateAfterRecords, when > 0, cuts the response stream after that
+	// many records, simulating a connection lost mid-delivery. The records
+	// before the cut are kept (the stream has no seal, so the coordinator
+	// treats it as partial and re-leases the remainder).
+	TruncateAfterRecords int
+	// Duplicate delivers the shard's record list twice to the merger,
+	// simulating an at-least-once transport. The merger's dedupe-by-class
+	// must absorb it without double-counting.
+	Duplicate bool
+}
+
+// FaultPlan decides the fault for each dispatch attempt; nil means no
+// faults. It is called from dispatch goroutines and must be safe for
+// concurrent use.
+type FaultPlan func(ShardAttempt) ShardFault

@@ -110,6 +110,12 @@ type Config struct {
 	// panics and exercise the supervision path. Production leaves it nil.
 	// Excluded from the campaign fingerprint.
 	ExperimentPanicHook func(class, attempt int)
+	// SectionInjector, when non-nil, delegates every section campaign to a
+	// distributed coordinator instead of the in-process engine. Excluded
+	// from the campaign fingerprint: sharding changes where experiments
+	// run, never their outcomes, so local and distributed campaigns share
+	// WAL segments and resume into each other.
+	SectionInjector SectionInjector
 }
 
 // DefaultConfig mirrors the paper's evaluation setup.
@@ -183,6 +189,13 @@ type Result struct {
 	// Poisoned lists the experiments quarantined after panicking twice;
 	// their outcome slots carry the conservative SDC-Bad fill.
 	Poisoned []inject.Poison
+	// RemoteExperiments counts experiments executed by remote shard
+	// workers through Cfg.SectionInjector (included in FFInject); zero for
+	// a purely local campaign.
+	RemoteExperiments int
+	// ShardsMerged counts the remote shard streams merged into this
+	// campaign.
+	ShardsMerged int
 	// PanicRetries counts experiment attempts that panicked and were
 	// retried on fresh machines (the retried runs are indistinguishable in
 	// cost accounting from panic-free ones).
@@ -282,8 +295,9 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, p *spec.Program) (*Result
 			cam.closeCampaign()
 		}()
 	}
+	var remotePoisoned []inject.Poison
 	defer func() {
-		r.Poisoned = inj.Poisoned()
+		r.Poisoned = append(inj.Poisoned(), remotePoisoned...)
 		r.PanicRetries = inj.PanicRetries()
 	}()
 
@@ -364,11 +378,37 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, p *spec.Program) (*Result
 					cam.note(fmt.Sprintf("section %s: wal poison append: %v", key, err))
 				}
 			}
+			hooks.Shard = func(s inject.WALShard) {
+				if err := wal.AppendShard(s); err != nil {
+					cam.note(fmt.Sprintf("section %s: wal shard append: %v", key, err))
+				}
+			}
 		}
 
 		var outcomes, fins []metrics.Outcome
 		var stats inject.Stats
-		if a.Cfg.CoRunBaseline {
+		if a.Cfg.SectionInjector != nil {
+			res, derr := a.Cfg.SectionInjector.InjectSection(ctx, SectionJob{
+				Trace:    t,
+				Instance: idx,
+				Key:      key,
+				Classes:  classes,
+				Hooks:    hooks,
+				CoRun:    a.Cfg.CoRunBaseline,
+				Config:   a.Cfg,
+			})
+			if derr != nil {
+				if wal != nil {
+					cam.markPartial(key, wal.Count())
+					wal.Close()
+				}
+				return nil, derr
+			}
+			outcomes, fins, stats = res.Outcomes, res.Fins, res.Stats
+			r.RemoteExperiments += res.Remote
+			r.ShardsMerged += res.Shards
+			remotePoisoned = append(remotePoisoned, res.Poisoned...)
+		} else if a.Cfg.CoRunBaseline {
 			outcomes, fins, stats = inj.RunSectionCoRunResume(ctx, inst, classes, hooks)
 		} else {
 			outcomes, stats = inj.RunSectionResume(ctx, inst, classes, hooks)

@@ -56,6 +56,13 @@ type Summary struct {
 	// succeeded on retry. Retries are cost-neutral: the accounted figures
 	// above match a panic-free run exactly.
 	PanicRetries int `json:"panic_retries,omitempty"`
+	// RemoteExperiments counts experiments executed by remote shard
+	// workers under a distributed coordinator (included in FFExperiments);
+	// ShardsMerged counts the shard streams merged. Both are zero for a
+	// purely local campaign — distribution changes where experiments ran,
+	// never the outcome fields above.
+	RemoteExperiments int `json:"remote_experiments,omitempty"`
+	ShardsMerged      int `json:"shards_merged,omitempty"`
 
 	Outcomes OutcomeStats `json:"outcomes"`
 
@@ -125,6 +132,8 @@ func (r *Result) Summarize(eps float64, evals []TargetEval) *Summary {
 	s.WALNotes = append([]string(nil), r.WALNotes...)
 	s.WALDegraded = r.WALDegraded
 	s.PanicRetries = r.PanicRetries
+	s.RemoteExperiments = r.RemoteExperiments
+	s.ShardsMerged = r.ShardsMerged
 	for _, p := range r.Poisoned {
 		s.Poisoned = append(s.Poisoned, PoisonSummary{
 			Class:     fmt.Sprintf("%v/%v.bit%d", p.Key.Static, p.Key.Role, p.Key.Bit),

@@ -387,6 +387,16 @@ func (e *experiment) conservative(i int) metrics.Outcome {
 	return e.conserv(i)
 }
 
+// ShardRange restricts a campaign to a contiguous slice of the canonical
+// dyn-sorted experiment order (see DynOrder): positions [Lo, Hi). It is
+// the scheduling seam distributed campaigns shard on — a coordinator
+// hands each remote worker one range, and because the order is derived
+// deterministically from the class enumeration, coordinator and workers
+// agree on what every position means without exchanging class lists.
+type ShardRange struct {
+	Lo, Hi int
+}
+
 // CampaignHooks carries the optional resume/WAL hooks of a campaign.
 type CampaignHooks struct {
 	// Skip marks classes whose outcome is already known (recovered from a
@@ -395,6 +405,12 @@ type CampaignHooks struct {
 	// the clean-cursor invariant (each worker's cursor only moves forward)
 	// holds unchanged. Nil or shorter-than-classes entries mean "run".
 	Skip []bool
+	// Range, when non-nil, restricts the campaign to the classes at
+	// positions [Lo, Hi) of the canonical dyn-sorted order. Skip applies
+	// on top of the range, so a shard re-lease can exclude the experiments
+	// an earlier lease already delivered. Positions outside the range are
+	// never scheduled and their outcome slots stay zero.
+	Range *ShardRange
 	// Record, when non-nil, observes each completed experiment: the class
 	// index, its outcome(s) (fin is the co-run end-to-end outcome, nil
 	// otherwise), and the experiment's accounted cost share (cursor advance
@@ -409,11 +425,72 @@ type CampaignHooks struct {
 	// the conservative fill, not a measured one, and a resumed campaign
 	// must re-execute the class rather than trust it.
 	Poison func(p Poison)
+	// Shard, when non-nil, observes the provenance of every remote shard
+	// stream a distributed coordinator merged into the campaign (worker
+	// ID, lease epoch, dyn-order range, record count). The local engine
+	// never invokes it; campaigns with a WAL append a provenance record
+	// per call so merged segments stay attributable.
+	Shard func(s WALShard)
 }
 
 // skips reports whether class index i is marked done.
 func (h *CampaignHooks) skips(i int) bool {
 	return i < len(h.Skip) && h.Skip[i]
+}
+
+// scheduled returns the class indices this campaign actually runs, in the
+// canonical dyn-sorted order: the shard range restricts by position first,
+// then the skip vector drops already-resolved classes.
+func (h *CampaignHooks) scheduled(classes []*sites.Class) []int {
+	full := DynOrder(classes)
+	lo, hi := 0, len(full)
+	if h.Range != nil {
+		if lo = h.Range.Lo; lo < 0 {
+			lo = 0
+		}
+		if hi = h.Range.Hi; hi > len(full) {
+			hi = len(full)
+		}
+		if lo > hi {
+			lo = hi
+		}
+	}
+	order := make([]int, 0, hi-lo)
+	for _, ci := range full[lo:hi] {
+		if !h.skips(ci) {
+			order = append(order, ci)
+		}
+	}
+	return order
+}
+
+// DynOrder returns the canonical experiment order of a campaign: the
+// class indices sorted by pilot dynamic index, ties broken by class
+// index. It depends only on the class enumeration, so a coordinator and
+// its remote workers — each enumerating classes from an independently
+// recorded (deterministic) trace — compute identical orders and can name
+// shard ranges by position alone.
+func DynOrder(classes []*sites.Class) []int {
+	order := make([]int, len(classes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := classes[order[a]].Pilot(), classes[order[b]].Pilot()
+		if da != db {
+			return da < db
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// ConservativeSDC returns the +Inf-magnitude SDC outcome over the given
+// number of output buffers — the fill used for quarantined experiments.
+// Exported so a distributed coordinator can apply the same conservative
+// semantics to a poison record streamed back from a remote worker.
+func ConservativeSDC(outputs int) metrics.Outcome {
+	return conservativeSDC(outputs)
 }
 
 // siteOf builds the pilot injection site of a class.
@@ -445,25 +522,14 @@ func (inj *Injector) runAll(ctx context.Context, classes []*sites.Class, exp exp
 	}
 
 	// Dyn-sorted experiment order, contiguously partitioned so each
-	// worker's cursor only ever moves forward. Classes recovered from a WAL
-	// are filtered out up front: the remainder is still dyn-sorted, so the
-	// contiguous-range invariant survives resume.
-	order := make([]int, 0, len(classes))
-	for i := range classes {
-		if !exp.hooks.skips(i) {
-			order = append(order, i)
-		}
-	}
+	// worker's cursor only ever moves forward. The shard range (if any)
+	// selects positions of the canonical order first; classes recovered
+	// from a WAL are then filtered out: the remainder is still dyn-sorted,
+	// so the contiguous-range invariant survives both sharding and resume.
+	order := exp.hooks.scheduled(classes)
 	if len(order) == 0 {
 		return outcomes, Stats{}
 	}
-	sort.Slice(order, func(a, b int) bool {
-		da, db := classes[order[a]].Pilot(), classes[order[b]].Pilot()
-		if da != db {
-			return da < db
-		}
-		return order[a] < order[b]
-	})
 
 	nw := inj.workers()
 	if nw > len(order) {
@@ -608,13 +674,14 @@ func (inj *Injector) runRange(ctx context.Context, classes []*sites.Class, chunk
 func (inj *Injector) runAllLegacy(ctx context.Context, classes []*sites.Class, exp experiment) ([]metrics.Outcome, Stats) {
 	t := inj.T
 	outcomes := make([]metrics.Outcome, len(classes))
+	order := exp.hooks.scheduled(classes)
 	var next atomic.Uint64
 	var mu sync.Mutex
 	var stats Stats
 	var wg sync.WaitGroup
 	nw := inj.workers()
-	if nw > len(classes) {
-		nw = len(classes)
+	if nw > len(order) {
+		nw = len(order)
 	}
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
@@ -626,13 +693,11 @@ func (inj *Injector) runAllLegacy(ctx context.Context, classes []*sites.Class, e
 				if ctx.Err() != nil {
 					break
 				}
-				i := next.Add(1) - 1
-				if i >= uint64(len(classes)) {
+				pos := next.Add(1) - 1
+				if pos >= uint64(len(order)) {
 					break
 				}
-				if exp.hooks.skips(int(i)) {
-					continue
-				}
+				i := uint64(order[pos])
 				site := siteOf(classes[i])
 				_, replayDyn := t.ReplaySeed(site.Dyn)
 

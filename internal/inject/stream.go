@@ -1,0 +1,156 @@
+// Shard record streaming: the wire format a remote injection worker uses
+// to deliver its results back to a distributed coordinator.
+//
+// The stream reuses the WAL's record framing and payload encodings
+// verbatim — u32 payload length, u32 CRC-32C, payload with a leading type
+// byte — so a shard stream is literally a headerless WAL segment tail.
+// A worker emits one experiment or poison frame per completed class,
+// flushed eagerly so the coordinator can merge (and durably log)
+// incrementally, and terminates a *complete* shard with a seal frame
+// carrying the record count. A stream that ends without a seal is
+// partial: the coordinator keeps whatever records framed cleanly and
+// re-leases the remainder, exactly like WAL torn-tail recovery.
+package inject
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Stream record types, aliased from the WAL record types they share the
+// encoding with.
+const (
+	StreamExperiment = walRecExperiment
+	StreamPoison     = walRecPoison
+	StreamSeal       = walRecSeal
+)
+
+// StreamRecord is one decoded shard-stream frame. Type selects which
+// field is meaningful.
+type StreamRecord struct {
+	Type byte
+	// Experiment is set for StreamExperiment frames.
+	Experiment WALRecord
+	// Poison is set for StreamPoison frames.
+	Poison WALPoison
+	// Seal is the worker's record count, set for StreamSeal frames.
+	Seal int
+}
+
+// StreamWriter frames experiment, poison, and seal records onto an
+// io.Writer. If the writer exposes a Flush method (http.Flusher or
+// bufio.Writer style) each record is flushed as written, so a consumer
+// on the other end of a network stream sees records as they complete.
+// Not safe for concurrent use; shard workers serialize through it.
+type StreamWriter struct {
+	w io.Writer
+}
+
+// NewStreamWriter returns a writer framing records onto w.
+func NewStreamWriter(w io.Writer) *StreamWriter {
+	return &StreamWriter{w: w}
+}
+
+// WriteExperiment frames one completed experiment.
+func (s *StreamWriter) WriteExperiment(rec WALRecord) error {
+	return s.writeFrame(appendExperimentPayload(nil, rec))
+}
+
+// WritePoison frames one quarantined experiment.
+func (s *StreamWriter) WritePoison(p WALPoison) error {
+	return s.writeFrame(appendPoisonPayload(nil, p))
+}
+
+// WriteSeal terminates a complete shard stream with the count of
+// experiment records that preceded it. A reader treats a stream ending
+// without a seal as partial.
+func (s *StreamWriter) WriteSeal(count int) error {
+	payload := []byte{walRecSeal}
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(count))
+	return s.writeFrame(payload)
+}
+
+func (s *StreamWriter) writeFrame(payload []byte) error {
+	buf := make([]byte, 0, 8+len(payload))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
+	buf = append(buf, payload...)
+	if _, err := s.w.Write(buf); err != nil {
+		return fmt.Errorf("inject: stream: %w", err)
+	}
+	switch f := s.w.(type) {
+	case interface{ Flush() }:
+		f.Flush()
+	case interface{ Flush() error }:
+		if err := f.Flush(); err != nil {
+			return fmt.Errorf("inject: stream: %w", err)
+		}
+	}
+	return nil
+}
+
+// StreamReader decodes shard-stream frames from an io.Reader
+// incrementally: each Next blocks until one full frame is available.
+type StreamReader struct {
+	r   io.Reader
+	hdr [8]byte
+}
+
+// NewStreamReader returns a reader decoding frames from r.
+func NewStreamReader(r io.Reader) *StreamReader {
+	return &StreamReader{r: r}
+}
+
+// Next decodes the next frame. It returns io.EOF at a clean frame
+// boundary; a connection cut mid-frame surfaces as io.ErrUnexpectedEOF,
+// and a corrupt frame (overlong length, checksum mismatch, short or
+// unknown payload) as a descriptive error. Either way the caller treats
+// the stream as partial from that point: records already returned remain
+// valid — the same keep-the-good-prefix discipline as WAL recovery.
+func (s *StreamReader) Next() (StreamRecord, error) {
+	var rec StreamRecord
+	if _, err := io.ReadFull(s.r, s.hdr[:]); err != nil {
+		if err == io.EOF {
+			return rec, io.EOF
+		}
+		return rec, io.ErrUnexpectedEOF
+	}
+	n := int(binary.LittleEndian.Uint32(s.hdr[:4]))
+	sum := binary.LittleEndian.Uint32(s.hdr[4:])
+	if n == 0 || n > maxWALPayload {
+		return rec, fmt.Errorf("inject: stream: bad frame length %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(s.r, payload); err != nil {
+		return rec, io.ErrUnexpectedEOF
+	}
+	if crc32.Checksum(payload, crcTable) != sum {
+		return rec, fmt.Errorf("inject: stream: frame checksum mismatch")
+	}
+	rec.Type = payload[0]
+	body := payload[1:]
+	switch rec.Type {
+	case StreamExperiment:
+		r, err := parseExperimentPayload(body)
+		if err != nil {
+			return rec, fmt.Errorf("inject: stream: experiment frame: %w", err)
+		}
+		rec.Experiment = r
+	case StreamPoison:
+		p, err := parsePoisonPayload(body)
+		if err != nil {
+			return rec, fmt.Errorf("inject: stream: poison frame: %w", err)
+		}
+		rec.Poison = p
+	case StreamSeal:
+		if len(body) != 4 {
+			return rec, fmt.Errorf("inject: stream: malformed seal frame")
+		}
+		rec.Seal = int(binary.LittleEndian.Uint32(body))
+	default:
+		return rec, fmt.Errorf("inject: stream: unknown frame type %d", rec.Type)
+	}
+	return rec, nil
+}

@@ -70,6 +70,7 @@ const (
 	walRecAmp        = byte(2)
 	walRecSeal       = byte(3)
 	walRecPoison     = byte(4)
+	walRecShard      = byte(5)
 )
 
 // maxPoisonStack bounds the stack trace stored in a poison record.
@@ -118,6 +119,23 @@ type WALPoison struct {
 	Stack     string
 }
 
+// WALShard is the provenance of one merged shard: which worker executed a
+// range of the campaign's dyn-sorted experiment order, under which lease
+// epoch, and how many records it delivered. Coordinators append one per
+// merged shard stream so `fasm -wal-info` can attribute a campaign's
+// records to the fleet that produced them.
+type WALShard struct {
+	// Worker is the self-reported ID of the remote injector.
+	Worker string
+	// Epoch is the lease epoch the shard ran under; a range re-leased
+	// after a worker loss carries a higher epoch than the lost lease.
+	Epoch uint64
+	// Lo, Hi bound the shard's dyn-order positions [Lo, Hi).
+	Lo, Hi int
+	// Records is the number of experiment records merged from the shard.
+	Records int
+}
+
 // Recovered is what OpenSectionWAL salvaged from an existing segment.
 type Recovered struct {
 	// Records maps class keys to their logged experiments.
@@ -128,6 +146,10 @@ type Recovered struct {
 	// panicked twice in a previous run. They carry no outcome: resume
 	// re-executes their classes.
 	Poisoned []WALPoison
+	// Shards holds the provenance records of shards merged by a
+	// distributed coordinator in a previous run (informational; they gate
+	// nothing on resume).
+	Shards []WALShard
 	// Sealed reports a complete section campaign: outcomes, amplification,
 	// and the seal record all present and consistent.
 	Sealed bool
@@ -270,6 +292,16 @@ func (w *SectionWAL) AppendAmp(a WALAmp) error {
 // post-mortem inspection via `fasm -wal-info`.
 func (w *SectionWAL) AppendPoison(p WALPoison) error {
 	payload := appendPoisonPayload(nil, p)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writeRecord(payload)
+}
+
+// AppendShard logs the provenance of a merged shard stream: which worker
+// delivered which range of the campaign under which lease epoch. Purely
+// informational — recovery collects but never validates these.
+func (w *SectionWAL) AppendShard(s WALShard) error {
+	payload := appendShardPayload(nil, s)
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.writeRecord(payload)
@@ -441,6 +473,12 @@ func recoverSegment(fsys errfs.FS, path string, key [32]byte, fingerprint uint64
 				return truncate()
 			}
 			rec.Poisoned = append(rec.Poisoned, p)
+		case walRecShard:
+			s, perr := parseShardPayload(body)
+			if perr != nil {
+				return truncate()
+			}
+			rec.Shards = append(rec.Shards, s)
 		case walRecSeal:
 			if len(body) == 4 {
 				sealCount = int(binary.LittleEndian.Uint32(body))
@@ -471,6 +509,10 @@ type SegmentInfo struct {
 	// panicked twice and were logged with diagnostics instead of an
 	// outcome.
 	Poisoned int
+	// Shards holds the provenance of shard streams a distributed
+	// coordinator merged into this segment: originating worker ID, lease
+	// epoch, dyn-order range, and record count.
+	Shards []WALShard
 	// TailBytes counts trailing bytes that do not frame as complete,
 	// checksummed records — the torn tail a resume would truncate.
 	TailBytes int64
@@ -508,6 +550,10 @@ func InspectSegment(path string) (SegmentInfo, error) {
 			info.HasAmp = true
 		case walRecPoison:
 			info.Poisoned++
+		case walRecShard:
+			if s, perr := parseShardPayload(payload[1:]); perr == nil {
+				info.Shards = append(info.Shards, s)
+			}
 		case walRecSeal:
 			if len(payload) == 5 {
 				sealCount = int(binary.LittleEndian.Uint32(payload[1:]))
@@ -778,6 +824,51 @@ func parsePoisonPayload(body []byte) (WALPoison, error) {
 		return p, errWALShort
 	}
 	return p, nil
+}
+
+func appendShardPayload(buf []byte, s WALShard) []byte {
+	buf = append(buf, walRecShard)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Worker)))
+	buf = append(buf, s.Worker...)
+	buf = binary.LittleEndian.AppendUint64(buf, s.Epoch)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.Lo))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.Hi))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.Records))
+	return buf
+}
+
+func parseShardPayload(body []byte) (WALShard, error) {
+	r := &walReader{b: body}
+	var s WALShard
+	n, err := r.u32()
+	if err != nil {
+		return s, err
+	}
+	worker, err := r.bytes(int(n))
+	if err != nil {
+		return s, err
+	}
+	s.Worker = string(worker)
+	if s.Epoch, err = r.u64(); err != nil {
+		return s, err
+	}
+	lo, err := r.u32()
+	if err != nil {
+		return s, err
+	}
+	hi, err := r.u32()
+	if err != nil {
+		return s, err
+	}
+	recs, err := r.u32()
+	if err != nil {
+		return s, err
+	}
+	s.Lo, s.Hi, s.Records = int(lo), int(hi), int(recs)
+	if len(r.b) != 0 {
+		return s, errWALShort
+	}
+	return s, nil
 }
 
 func parseAmpPayload(body []byte) (*WALAmp, error) {

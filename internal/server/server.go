@@ -30,6 +30,7 @@ import (
 	"log"
 	"net/http"
 
+	"fastflip/internal/coord"
 	"fastflip/internal/service"
 )
 
@@ -38,9 +39,10 @@ const maxBodyBytes = 1 << 20
 
 // Server routes HTTP requests to a Manager.
 type Server struct {
-	mgr *service.Manager
-	mux *http.ServeMux
-	log *log.Logger
+	mgr   *service.Manager
+	mux   *http.ServeMux
+	log   *log.Logger
+	coord *coord.Coordinator
 }
 
 // New returns a handler serving the v1 API for mgr. logger may be nil to
@@ -56,6 +58,49 @@ func New(mgr *service.Manager, logger *log.Logger) *Server {
 	s.mux.HandleFunc("GET /readyz", s.readyz)
 	s.mux.HandleFunc("GET /metrics", s.metrics)
 	return s
+}
+
+// WithCoordinator registers the distributed-campaign endpoints on top of
+// the v1 API:
+//
+//	POST /v1/workers  {"url": "http://host:port"}  register a worker → 201
+//	GET  /v1/workers  list registered workers       → 200 + [worker]
+//
+// Kept off New so existing single-process deployments keep their exact
+// route set.
+func (s *Server) WithCoordinator(c *coord.Coordinator) *Server {
+	s.coord = c
+	s.mux.HandleFunc("POST /v1/workers", s.addWorker)
+	s.mux.HandleFunc("GET /v1/workers", s.listWorkers)
+	return s
+}
+
+func (s *Server) addWorker(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		URL string `json:"url"`
+	}
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.URL == "" {
+		s.fail(w, http.StatusBadRequest, errors.New("missing worker url"))
+		return
+	}
+	id, err := s.coord.AddWorker(req.URL)
+	if err != nil {
+		// The worker did not answer its health probe: the registration is
+		// refused so the fleet never contains a worker that was down on
+		// arrival.
+		s.fail(w, http.StatusBadGateway, err)
+		return
+	}
+	s.reply(w, http.StatusCreated, map[string]string{"url": req.URL, "id": id})
+}
+
+func (s *Server) listWorkers(w http.ResponseWriter, _ *http.Request) {
+	s.reply(w, http.StatusOK, s.coord.Workers())
 }
 
 // ServeHTTP implements http.Handler.

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"fastflip/internal/coord"
+	"fastflip/internal/service"
+)
+
+// newCoordServer is newTestServer with the worker-registration routes
+// enabled.
+func newCoordServer(t *testing.T) (*httptest.Server, *coord.Coordinator) {
+	t.Helper()
+	c := coord.NewCoordinator(coord.Options{Heartbeat: -1})
+	t.Cleanup(c.Close)
+	opts := service.Options{
+		Build:          testBuild,
+		ListBenchmarks: func() []string { return []string{"pipe"} },
+		Coordinator:    c,
+	}
+	mgr := service.New(opts)
+	ts := httptest.NewServer(New(mgr, nil).WithCoordinator(c))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		mgr.Close(ctx)
+	})
+	return ts, c
+}
+
+func TestWorkerRegistration(t *testing.T) {
+	ts, _ := newCoordServer(t)
+	wsrv := httptest.NewServer(coord.NewWorker(coord.WorkerOptions{ID: "w-reg", Build: testBuild}))
+	defer wsrv.Close()
+
+	var reg map[string]string
+	if status := doJSON(t, http.MethodPost, ts.URL+"/v1/workers", map[string]string{"url": wsrv.URL}, &reg); status != http.StatusCreated {
+		t.Fatalf("registration status %d", status)
+	}
+	if reg["id"] != "w-reg" || reg["url"] != wsrv.URL {
+		t.Errorf("registration reply %v", reg)
+	}
+
+	var list []coord.WorkerView
+	if status := doJSON(t, http.MethodGet, ts.URL+"/v1/workers", nil, &list); status != http.StatusOK {
+		t.Fatalf("list status %d", status)
+	}
+	if len(list) != 1 || list[0].ID != "w-reg" || !list[0].Live {
+		t.Errorf("worker list %+v", list)
+	}
+}
+
+func TestWorkerRegistrationRejectsDeadAndMalformed(t *testing.T) {
+	ts, _ := newCoordServer(t)
+
+	var errResp map[string]string
+	if status := doJSON(t, http.MethodPost, ts.URL+"/v1/workers", map[string]string{"url": "http://127.0.0.1:1"}, &errResp); status != http.StatusBadGateway {
+		t.Errorf("dead worker registration status %d, want 502", status)
+	}
+	if status := doJSON(t, http.MethodPost, ts.URL+"/v1/workers", map[string]string{}, &errResp); status != http.StatusBadRequest {
+		t.Errorf("missing url status %d, want 400", status)
+	}
+	if status := doJSON(t, http.MethodPost, ts.URL+"/v1/workers", "{", &errResp); status != http.StatusBadRequest {
+		t.Errorf("malformed body status %d, want 400", status)
+	}
+
+	var list []coord.WorkerView
+	doJSON(t, http.MethodGet, ts.URL+"/v1/workers", nil, &list)
+	if len(list) != 0 {
+		t.Errorf("failed registrations left workers behind: %+v", list)
+	}
+}
+
+// TestWorkerRoutesAbsentWithoutCoordinator: a plain deployment keeps its
+// exact route set — the distributed endpoints 404.
+func TestWorkerRoutesAbsentWithoutCoordinator(t *testing.T) {
+	ts, _ := newTestServer(t, service.Options{})
+	resp, err := http.Get(ts.URL + "/v1/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /v1/workers without coordinator: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestDistributedJobOverHTTP: the full daemon shape — submit a job to a
+// coordinator server backed by one registered in-process worker, and the
+// job's summary reports remote execution.
+func TestDistributedJobOverHTTP(t *testing.T) {
+	ts, c := newCoordServer(t)
+	wsrv := httptest.NewServer(coord.NewWorker(coord.WorkerOptions{ID: "w-job", Build: testBuild, Workers: 1}))
+	defer wsrv.Close()
+	if _, err := c.AddWorker(wsrv.URL); err != nil {
+		t.Fatal(err)
+	}
+
+	var job service.JobView
+	if status := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", map[string]any{"bench": "pipe", "variant": "none"}, &job); status != http.StatusAccepted {
+		t.Fatalf("submit status %d", status)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var v service.JobView
+		if status := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+job.ID, nil, &v); status != http.StatusOK {
+			t.Fatalf("poll status %d", status)
+		}
+		if v.State.Terminal() {
+			if v.State != service.StateDone {
+				t.Fatalf("job finished %s: %s", v.State, v.Error)
+			}
+			if v.Result == nil || v.Result.RemoteExperiments == 0 || v.Result.ShardsMerged == 0 {
+				t.Fatalf("job ran nothing remotely: %+v", v.Result)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	var met service.Metrics
+	doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, &met)
+	if met.Dist == nil || met.Dist.RemoteExperiments == 0 || met.Dist.ShardsCompleted == 0 {
+		t.Errorf("distributed metrics not exposed: %+v", met.Dist)
+	}
+}

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"reflect"
+	"testing"
+
+	"fastflip/internal/coord"
+	"fastflip/internal/metrics"
+)
+
+// distOptions is testOptions with a coordinator attached. The fleet is
+// deliberately empty: every campaign converges through the coordinator's
+// local fallback, which exercises the exact distributed code path
+// (fresh store, invalidate-then-merge) without network plumbing.
+func distOptions(c *coord.Coordinator) Options {
+	o := testOptions()
+	o.Coordinator = c
+	return o
+}
+
+func TestInvalidateStore(t *testing.T) {
+	m := New(testOptions())
+	defer closeManager(t, m)
+
+	if m.InvalidateStore("pipe") {
+		t.Error("invalidating an uncached benchmark reported true")
+	}
+	v, err := m.Submit(Request{Bench: "pipe"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, m, v.ID)
+	if got := m.Metrics().StoreBenches; got != 1 {
+		t.Fatalf("cached benchmarks after job: %d", got)
+	}
+	if !m.InvalidateStore("pipe") {
+		t.Error("invalidating a cached benchmark reported false")
+	}
+	mt := m.Metrics()
+	if mt.StoreBenches != 0 {
+		t.Errorf("benchmarks cached after invalidation: %d", mt.StoreBenches)
+	}
+	if mt.StoreInvalidations != 1 {
+		t.Errorf("StoreInvalidations = %d, want 1", mt.StoreInvalidations)
+	}
+}
+
+// TestDistributedJobIgnoresAndReplacesStaleCache is the stale-merge
+// regression: a distributed job must neither resolve sections from the
+// benchmark's cached store (a stale entry would mask the fleet's merged
+// results) nor leave the stale entries behind afterwards.
+func TestDistributedJobIgnoresAndReplacesStaleCache(t *testing.T) {
+	c := coord.NewCoordinator(coord.Options{Heartbeat: -1})
+	defer c.Close()
+	m := New(distOptions(c))
+	defer closeManager(t, m)
+
+	// Reference summary from a clean run (this also warms the cache).
+	ref := waitDone(t, m, submit(t, m, Request{Bench: "pipe"}).ID)
+	if ref.State != StateDone {
+		t.Fatalf("reference job: %+v", ref)
+	}
+
+	// Corrupt every cached section the way a stale fleet or a crashed
+	// local run would: conservative +Inf SDC fills everywhere. A job that
+	// trusts the cache now reports a radically different summary.
+	m.mu.Lock()
+	st := m.stores["pipe"]
+	if st == nil || len(st.Sections) == 0 {
+		m.mu.Unlock()
+		t.Fatal("reference run cached no sections")
+	}
+	for _, sec := range st.Sections {
+		for key, out := range sec.Outcomes {
+			out.Kind = metrics.SDC
+			out.Magnitudes = []float64{1e18}
+			sec.Outcomes[key] = out
+		}
+	}
+	m.mu.Unlock()
+
+	// The distributed re-run must reuse nothing and match the reference.
+	redo := waitDone(t, m, submit(t, m, Request{Bench: "pipe"}).ID)
+	if redo.State != StateDone {
+		t.Fatalf("distributed job: %+v", redo)
+	}
+	if redo.Progress.Reused != 0 {
+		t.Errorf("distributed job reused %d cached sections", redo.Progress.Reused)
+	}
+	if ref.Result == nil || redo.Result == nil {
+		t.Fatal("missing results")
+	}
+	if !reflect.DeepEqual(ref.Result.Outcomes, redo.Result.Outcomes) {
+		t.Errorf("stale cache leaked into distributed run:\nref:  %+v\nredo: %+v", ref.Result.Outcomes, redo.Result.Outcomes)
+	}
+	if m.Metrics().StoreInvalidations == 0 {
+		t.Error("coordinator-merged campaign did not invalidate the cache")
+	}
+
+	// The merge after invalidation replaced the poisoned entries: the
+	// cache now holds the campaign's real outcomes, not the stale fills.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	stale := 0
+	for _, sec := range m.stores["pipe"].Sections {
+		for _, out := range sec.Outcomes {
+			if len(out.Magnitudes) == 1 && out.Magnitudes[0] == 1e18 {
+				stale++
+			}
+		}
+	}
+	if stale != 0 {
+		t.Errorf("%d stale section outcomes survived the distributed merge", stale)
+	}
+}
+
+// TestDistributedMetricsExposed: a manager with a coordinator surfaces
+// the fleet's metrics through its own.
+func TestDistributedMetricsExposed(t *testing.T) {
+	c := coord.NewCoordinator(coord.Options{Heartbeat: -1})
+	defer c.Close()
+	m := New(distOptions(c))
+	defer closeManager(t, m)
+
+	waitDone(t, m, submit(t, m, Request{Bench: "pipe"}).ID)
+	mt := m.Metrics()
+	if mt.Dist == nil {
+		t.Fatal("manager with coordinator exposes no dist metrics")
+	}
+	if mt.Dist.LocalFallbackExperiments == 0 {
+		t.Errorf("empty-fleet campaign not counted as local fallback: %+v", mt.Dist)
+	}
+
+	plain := New(testOptions())
+	defer closeManager(t, plain)
+	if plain.Metrics().Dist != nil {
+		t.Error("manager without coordinator exposes dist metrics")
+	}
+}
+
+// submit is a fatal-on-error Submit.
+func submit(t *testing.T, m *Manager, req Request) JobView {
+	t.Helper()
+	v, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"fastflip/internal/bench"
+	"fastflip/internal/coord"
 	"fastflip/internal/core"
 	"fastflip/internal/spec"
 	"fastflip/internal/store"
@@ -122,6 +123,15 @@ type Metrics struct {
 	StoreMisses   uint64 `json:"store_misses"`
 	StoreSections int    `json:"store_sections"`   // gauge
 	StoreBenches  int    `json:"store_benchmarks"` // gauge
+	// StoreInvalidations counts per-benchmark cache drops: explicit
+	// InvalidateStore calls plus the automatic invalidation every
+	// completed distributed job performs before merging its results.
+	StoreInvalidations uint64 `json:"store_invalidations"`
+
+	// Dist carries the distributed-campaign coordinator's counters
+	// (shard throughput, leases, reassignments); nil when the service
+	// runs campaigns locally.
+	Dist *coord.Metrics `json:"dist,omitempty"`
 }
 
 // BenchmarkInfo describes one available benchmark, served by
@@ -170,6 +180,14 @@ type Options struct {
 	// install fault-injecting filesystems, shrunken retry policies, and
 	// experiment panic hooks.
 	ConfigHook func(*core.Config)
+	// Coordinator, when non-nil, runs every job's injection campaigns
+	// distributed: each section is sharded across the coordinator's
+	// registered workers (core.Config.SectionInjector). Distributed jobs
+	// bypass the per-benchmark store clone and invalidate it on
+	// completion — the merged campaign is authoritative, and reusing a
+	// stale cached section (e.g. a conservative poison fill from an
+	// earlier local run) would silently override re-executed results.
+	Coordinator *coord.Coordinator
 }
 
 func (o Options) withDefaults() Options {
@@ -365,6 +383,10 @@ func (m *Manager) Metrics() Metrics {
 	for _, st := range m.stores {
 		mt.StoreSections += len(st.Sections)
 	}
+	if m.opts.Coordinator != nil {
+		d := m.opts.Coordinator.Metrics()
+		mt.Dist = &d
+	}
 	return mt
 }
 
@@ -446,7 +468,17 @@ func (m *Manager) runJob(j *job) {
 	j.started = time.Now()
 	ctx, cancel := context.WithCancel(context.Background())
 	j.cancel = cancel
-	snap := m.storeSnapshotLocked(j.req.Bench)
+	distributed := m.opts.Coordinator != nil
+	var snap *store.Store
+	if distributed {
+		// A distributed campaign is re-executed authoritatively across the
+		// fleet: it must not resolve sections from the per-benchmark clone,
+		// where a stale entry (a conservative poison fill, a section from a
+		// crashed local run) would mask the merged results.
+		snap = store.New()
+	} else {
+		snap = m.storeSnapshotLocked(j.req.Bench)
+	}
 	m.mu.Unlock()
 	defer cancel()
 
@@ -454,6 +486,12 @@ func (m *Manager) runJob(j *job) {
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if distributed && r != nil && err == nil {
+		// The coordinator-merged campaign supersedes whatever the cache
+		// holds for this benchmark: invalidate the clone so the merge below
+		// replaces it instead of first-write-wins keeping stale sections.
+		m.invalidateStoreLocked(j.req.Bench)
+	}
 	// Sections completed before a cancellation are valid (their keys are
 	// content hashes), so merge the snapshot back unconditionally: a
 	// cancelled job still warms the cache for its retry.
@@ -613,6 +651,32 @@ func (m *Manager) mergeStoreLocked(benchName string, snap *store.Store) {
 	m.evictStoresLocked()
 }
 
+// InvalidateStore drops the cached per-benchmark store, reporting whether
+// an entry existed. It is the explicit hook behind the automatic
+// invalidation of distributed jobs: an operator (or test) can force the
+// next submission to re-derive every section instead of trusting cached
+// state known to be stale.
+func (m *Manager) InvalidateStore(benchName string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.invalidateStoreLocked(benchName)
+}
+
+func (m *Manager) invalidateStoreLocked(benchName string) bool {
+	if _, ok := m.stores[benchName]; !ok {
+		return false
+	}
+	delete(m.stores, benchName)
+	for i, n := range m.storeOrder {
+		if n == benchName {
+			m.storeOrder = append(m.storeOrder[:i], m.storeOrder[i+1:]...)
+			break
+		}
+	}
+	m.counters.StoreInvalidations++
+	return true
+}
+
 // touchStoreLocked moves benchName to the most-recently-used end of the
 // store cache order.
 func (m *Manager) touchStoreLocked(benchName string) {
@@ -668,6 +732,9 @@ func (m *Manager) configFor(req Request) core.Config {
 		// re-POSTed job over a crashed campaign merges what survived.
 		cfg.WALDir = m.opts.WALDir
 		cfg.Resume = true
+	}
+	if m.opts.Coordinator != nil {
+		cfg.SectionInjector = m.opts.Coordinator.SectionInjector(req.Bench, req.Variant)
 	}
 	if m.opts.ConfigHook != nil {
 		m.opts.ConfigHook(&cfg)
