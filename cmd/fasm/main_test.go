@@ -82,7 +82,7 @@ func TestFormatWALInfo(t *testing.T) {
 
 	want := map[string]string{
 		"segment":     path,
-		"format":      "v1",
+		"format":      "v2",
 		"section key": fmt.Sprintf("%x", key),
 		"fingerprint": fmt.Sprintf("%016x", fp),
 		"experiments": "2",

@@ -42,6 +42,8 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON (the shape ffserved returns) instead of text")
 		walDir    = flag.String("wal-dir", "", "write-ahead campaign log directory (crash-safe persistence of completed experiments)")
 		resume    = flag.Bool("resume", false, "with -wal-dir: merge experiments a previous (crashed) run logged and re-execute only the remainder")
+		noElide   = flag.Bool("no-elide", false, "disable the static masking tier (simulate every experiment instead of proving masked bits)")
+		noBatch   = flag.Bool("no-batch", false, "disable lockstep batch replay (run every faulty replica as a scalar fork)")
 	)
 	flag.Parse()
 	if *benchName == "" {
@@ -53,6 +55,8 @@ func main() {
 	cfg.Workers = *workers
 	cfg.WALDir = *walDir
 	cfg.Resume = *resume
+	cfg.Elide = !*noElide
+	cfg.NoBatch = *noBatch
 	if *resume && *walDir == "" {
 		log.Fatal("-resume requires -wal-dir")
 	}

@@ -31,6 +31,8 @@ func main() {
 		out        = flag.String("out", "", "write per-version perf records (wall time, sim-instrs, clean/faulty split, speedup) as JSON to this file")
 		walDir     = flag.String("wal-dir", "", "write-ahead campaign log directory (crash-safe persistence of completed experiments)")
 		resume     = flag.Bool("resume", false, "with -wal-dir: merge experiments a previous (crashed) run logged and re-execute only the remainder")
+		noElide    = flag.Bool("no-elide", false, "disable the static masking tier (simulate every experiment instead of proving masked bits)")
+		noBatch    = flag.Bool("no-batch", false, "disable lockstep batch replay (run every faulty replica as a scalar fork)")
 	)
 	flag.Parse()
 
@@ -43,6 +45,8 @@ func main() {
 	opts.Workers = *workers
 	opts.WALDir = *walDir
 	opts.Resume = *resume
+	opts.NoElide = *noElide
+	opts.NoBatch = *noBatch
 	if *benchmarks != "" {
 		opts.Benchmarks = strings.Split(*benchmarks, ",")
 	}

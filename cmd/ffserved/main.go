@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"fastflip/internal/coord"
+	"fastflip/internal/core"
 	"fastflip/internal/server"
 	"fastflip/internal/service"
 )
@@ -60,6 +61,8 @@ func main() {
 		workMode = flag.Bool("worker", false, "run as a shard worker: serve only POST /v1/shard and GET /healthz, no job API")
 		workerID = flag.String("worker-id", "", "worker identity reported to coordinators (default worker-<pid>)")
 		peers    = flag.String("peers", "", "comma-separated worker base URLs; turns this daemon into a campaign coordinator")
+		noElide  = flag.Bool("no-elide", false, "disable the static masking tier for every job (simulate all experiments)")
+		noBatch  = flag.Bool("no-batch", false, "disable lockstep batch replay for every job (scalar forks only)")
 	)
 	flag.Parse()
 
@@ -114,6 +117,10 @@ func main() {
 		WALDir:           *walDir,
 		MaxCachedBenches: *benches,
 		Coordinator:      co,
+		ConfigHook: func(cfg *core.Config) {
+			cfg.Elide = !*noElide
+			cfg.NoBatch = *noBatch
+		},
 	})
 	handler := server.New(mgr, log.Default())
 	if co != nil {

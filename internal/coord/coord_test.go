@@ -36,6 +36,11 @@ func startWorker(t *testing.T, id string) *httptest.Server {
 func neutralize(s *core.Summary) {
 	s.FFWall = 0
 	s.FFCleanInstrs, s.FFFaultyInstrs = 0, 0
+	// Batch dispatches happen inside whichever process ran the experiments
+	// (worker or coordinator fallback), so the mean batch width is
+	// process-local telemetry; BatchedExperiments itself is carried in the
+	// streamed cost records and must survive the comparison.
+	s.BatchReplicasAvg = 0
 	s.ResumedExperiments = 0
 	s.WALNotes = nil
 	s.RemoteExperiments = 0

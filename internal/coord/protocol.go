@@ -31,6 +31,8 @@ type ShardConfig struct {
 	BurstWidth         int     `json:"burst_width"`
 	CoRun              bool    `json:"co_run"`
 	LegacyReplay       bool    `json:"legacy_replay"`
+	Elide              bool    `json:"elide"`
+	NoBatch            bool    `json:"no_batch"`
 	StrictReuseKeys    bool    `json:"strict_reuse_keys"`
 	CheckpointInterval int64   `json:"checkpoint_interval"`
 	SensSamples        int     `json:"sens_samples"`
@@ -45,6 +47,8 @@ func shardConfig(cfg core.Config) ShardConfig {
 		BurstWidth:         cfg.BurstWidth,
 		CoRun:              cfg.CoRunBaseline,
 		LegacyReplay:       cfg.LegacyReplay,
+		Elide:              cfg.Elide,
+		NoBatch:            cfg.NoBatch,
 		StrictReuseKeys:    cfg.StrictReuseKeys,
 		CheckpointInterval: cfg.CheckpointInterval,
 		SensSamples:        cfg.Sens.Samples,
@@ -62,6 +66,8 @@ func (sc ShardConfig) analysisConfig(workers int) core.Config {
 		BurstWidth:         sc.BurstWidth,
 		CoRunBaseline:      sc.CoRun,
 		LegacyReplay:       sc.LegacyReplay,
+		Elide:              sc.Elide,
+		NoBatch:            sc.NoBatch,
 		StrictReuseKeys:    sc.StrictReuseKeys,
 		CheckpointInterval: sc.CheckpointInterval,
 		Sens:               sens.Config{Samples: sc.SensSamples, PhiMax: sc.SensPhiMax, Seed: sc.SensSeed},

@@ -12,6 +12,7 @@ import (
 	"fastflip/internal/bench"
 	"fastflip/internal/core"
 	"fastflip/internal/inject"
+	"fastflip/internal/maskelide"
 	"fastflip/internal/metrics"
 	"fastflip/internal/sites"
 	"fastflip/internal/spec"
@@ -157,7 +158,15 @@ func (w *Worker) shard(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	classes := sites.ForInstance(t, inst, sites.Options{Prune: cfg.Prune, Width: cfg.BurstWidth})
+	// The site options must reproduce the coordinator's class enumeration
+	// exactly, elision flags included: an elided class streams back with
+	// elision cost accounting, and a mismatch there would make the merged
+	// summary differ from a local run.
+	siteOpts := sites.Options{Prune: cfg.Prune, Width: cfg.BurstWidth}
+	if cfg.Elide {
+		siteOpts.Masks = maskelide.Analyze(t.Prog.Linked)
+	}
+	classes := sites.ForInstance(t, inst, siteOpts)
 	skip := make([]bool, len(classes))
 	for _, ci := range req.Done {
 		if ci >= 0 && ci < len(skip) {
@@ -209,7 +218,7 @@ func (w *Worker) shard(rw http.ResponseWriter, r *http.Request) {
 		},
 	}
 
-	inj := &inject.Injector{T: t, Workers: cfg.Workers, Legacy: cfg.LegacyReplay}
+	inj := &inject.Injector{T: t, Workers: cfg.Workers, Legacy: cfg.LegacyReplay, NoBatch: cfg.NoBatch}
 	if cfg.CoRunBaseline {
 		_, _, _ = inj.RunSectionCoRunResume(ctx, inst, classes, hooks)
 	} else {

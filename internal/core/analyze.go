@@ -20,6 +20,7 @@ import (
 	"fastflip/internal/chisel"
 	"fastflip/internal/errfs"
 	"fastflip/internal/inject"
+	"fastflip/internal/maskelide"
 	"fastflip/internal/metrics"
 	"fastflip/internal/prog"
 	"fastflip/internal/sens"
@@ -85,6 +86,19 @@ type Config struct {
 	// restore + per-experiment clean replay). Outcomes are identical; this
 	// exists for equivalence testing and engine comparisons.
 	LegacyReplay bool
+	// Elide enables the static masking tier: a backward bit-liveness
+	// analysis over the linked program proves some operand bursts dead
+	// (never observed by any later instruction), and the campaign records
+	// those classes as Masked at their accounted cost without simulating
+	// them. Outcomes are identical with or without elision; only executed
+	// work shrinks. Part of the campaign fingerprint because recovered
+	// records carry elision cost shares.
+	Elide bool
+	// NoBatch disables the lockstep batch replay tier: same-dyn experiment
+	// groups then fork one scalar machine each. Outcomes and accounted
+	// costs are identical either way (the escape hatch / equivalence seam);
+	// excluded from the campaign fingerprint.
+	NoBatch bool
 	// WALDir, when non-empty, enables the write-ahead campaign log: every
 	// completed experiment is appended to a per-section segment under
 	// <WALDir>/<program>/ before the campaign proceeds, so a crashed
@@ -129,6 +143,7 @@ func DefaultConfig() Config {
 		PilotInaccuracy: 0.04,
 		AdjustTargets:   true,
 		PAdj:            10,
+		Elide:           true,
 	}
 }
 
@@ -234,6 +249,15 @@ type Progress struct {
 	// ResumedExperiments counts experiments recovered from a write-ahead
 	// log instead of re-executed (included in Experiments).
 	ResumedExperiments int `json:"resumed_experiments"`
+	// ElidedExperiments counts experiments resolved by the static masking
+	// tier without simulation (included in Experiments); ElidedInstrs is
+	// their accounted-but-never-simulated cost (included in SimInstrs).
+	ElidedExperiments int    `json:"elided_experiments"`
+	ElidedInstrs      uint64 `json:"elided_sim_instrs"`
+	// Batches/BatchExperiments describe the lockstep replay tier: how many
+	// batch dispatch groups ran and how many experiments they covered.
+	Batches          int `json:"batches"`
+	BatchExperiments int `json:"batch_experiments"`
 	// WALDegraded reports that the campaign's write-ahead log latched off
 	// after a persistent write failure; the analysis continues memory-only.
 	WALDegraded bool `json:"wal_degraded,omitempty"`
@@ -275,6 +299,9 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, p *spec.Program) (*Result
 		return nil, err
 	}
 	siteOpts := sites.Options{Prune: a.Cfg.Prune, Width: a.Cfg.BurstWidth}
+	if a.Cfg.Elide {
+		siteOpts.Masks = maskelide.Analyze(t.Prog.Linked)
+	}
 	r := &Result{
 		Cfg:         a.Cfg,
 		Prog:        p,
@@ -282,7 +309,7 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, p *spec.Program) (*Result
 		SiteCount:   sites.Count(t, siteOpts),
 		untestedBad: make(map[prog.StaticID]int),
 	}
-	inj := &inject.Injector{T: t, Workers: a.Cfg.Workers, Legacy: a.Cfg.LegacyReplay, PanicHook: a.Cfg.ExperimentPanicHook}
+	inj := &inject.Injector{T: t, Workers: a.Cfg.Workers, Legacy: a.Cfg.LegacyReplay, NoBatch: a.Cfg.NoBatch, PanicHook: a.Cfg.ExperimentPanicHook}
 
 	var cam *campaign
 	if a.Cfg.WALDir != "" {
@@ -313,6 +340,10 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, p *spec.Program) (*Result
 				CleanInstrs:        r.FFInject.CleanInstrs,
 				FaultyInstrs:       r.FFInject.FaultyInstrs,
 				ResumedExperiments: r.FFRecovered.Experiments,
+				ElidedExperiments:  r.FFInject.ElidedExperiments,
+				ElidedInstrs:       r.FFInject.ElidedInstrs,
+				Batches:            r.FFInject.Batches,
+				BatchExperiments:   r.FFInject.BatchExperiments,
 				WALDegraded:        cam.wasDegraded(),
 				Poisoned:           len(inj.Poisoned()),
 			})
@@ -557,8 +588,12 @@ func (a *Analyzer) RunBaseline(r *Result) {
 // baseline results, and ctx.Err() is returned.
 func (a *Analyzer) RunBaselineContext(ctx context.Context, r *Result) error {
 	started := time.Now()
-	inj := &inject.Injector{T: r.Trace, Workers: a.Cfg.Workers, Legacy: a.Cfg.LegacyReplay}
-	classes := sites.Global(r.Trace, sites.Options{Prune: a.Cfg.Prune, Width: a.Cfg.BurstWidth})
+	inj := &inject.Injector{T: r.Trace, Workers: a.Cfg.Workers, Legacy: a.Cfg.LegacyReplay, NoBatch: a.Cfg.NoBatch}
+	siteOpts := sites.Options{Prune: a.Cfg.Prune, Width: a.Cfg.BurstWidth}
+	if a.Cfg.Elide {
+		siteOpts.Masks = maskelide.Analyze(r.Trace.Prog.Linked)
+	}
+	classes := sites.Global(r.Trace, siteOpts)
 	outcomes, stats := inj.RunMonolithic(ctx, classes)
 	if err := ctx.Err(); err != nil {
 		return err

@@ -38,6 +38,21 @@ type Summary struct {
 	FFCleanInstrs  uint64 `json:"ff_clean_instrs"`
 	FFFaultyInstrs uint64 `json:"ff_faulty_instrs"`
 
+	// ElidedExperiments counts experiments the static masking tier proved
+	// Masked and recorded without simulating (included in FFExperiments);
+	// ElidedSimInstrs is their accounted share of FFSimInstrs. Executed
+	// experiments = FFExperiments − ElidedExperiments.
+	ElidedExperiments int    `json:"elided_experiments,omitempty"`
+	ElidedSimInstrs   uint64 `json:"elided_sim_instrs,omitempty"`
+	// BatchedExperiments counts experiments whose faulty suffix ran inside
+	// a lockstep batch replica (included in FFExperiments); outcomes and
+	// accounted costs are identical to scalar runs. BatchReplicasAvg is the
+	// mean batch width of this process's batch dispatches; unlike the
+	// counters above it is engine telemetry, not WAL-persisted, so a
+	// resumed campaign reports only its own batches.
+	BatchedExperiments int     `json:"batched_experiments,omitempty"`
+	BatchReplicasAvg   float64 `json:"batch_replicas_avg,omitempty"`
+
 	// ResumedExperiments counts experiments recovered from a write-ahead
 	// campaign log instead of re-executed (included in FFExperiments).
 	// WALNotes records non-fatal WAL anomalies (torn tails truncated,
@@ -87,6 +102,10 @@ type BaselineSummary struct {
 	CleanInstrs  uint64        `json:"clean_instrs"`
 	FaultyInstrs uint64        `json:"faulty_instrs"`
 	Wall         time.Duration `json:"wall_ns"`
+	// Elision/batching telemetry, as in the FastFlip figures above.
+	ElidedExperiments  int    `json:"elided_experiments,omitempty"`
+	ElidedSimInstrs    uint64 `json:"elided_sim_instrs,omitempty"`
+	BatchedExperiments int    `json:"batched_experiments,omitempty"`
 	// Speedup is baseline cost over FastFlip cost (the paper's headline
 	// ratio).
 	Speedup float64 `json:"speedup"`
@@ -128,6 +147,12 @@ func (r *Result) Summarize(eps float64, evals []TargetEval) *Summary {
 		FFWall:         r.FFWall,
 		Outcomes:       r.FFOutcomeStats(eps),
 	}
+	s.ElidedExperiments = r.FFInject.ElidedExperiments
+	s.ElidedSimInstrs = r.FFInject.ElidedInstrs
+	s.BatchedExperiments = r.FFInject.BatchExperiments
+	if r.FFInject.Batches > 0 {
+		s.BatchReplicasAvg = float64(r.FFInject.BatchExperiments) / float64(r.FFInject.Batches)
+	}
 	s.ResumedExperiments = r.FFRecovered.Experiments
 	s.WALNotes = append([]string(nil), r.WALNotes...)
 	s.WALDegraded = r.WALDegraded
@@ -144,11 +169,14 @@ func (r *Result) Summarize(eps float64, evals []TargetEval) *Summary {
 	}
 	if len(r.baseClasses) > 0 {
 		b := &BaselineSummary{
-			Experiments:  r.BaseInject.Experiments,
-			SimInstrs:    r.BaseCost(),
-			CleanInstrs:  r.BaseInject.CleanInstrs,
-			FaultyInstrs: r.BaseInject.FaultyInstrs,
-			Wall:         r.BaseWall,
+			Experiments:        r.BaseInject.Experiments,
+			SimInstrs:          r.BaseCost(),
+			CleanInstrs:        r.BaseInject.CleanInstrs,
+			FaultyInstrs:       r.BaseInject.FaultyInstrs,
+			Wall:               r.BaseWall,
+			ElidedExperiments:  r.BaseInject.ElidedExperiments,
+			ElidedSimInstrs:    r.BaseInject.ElidedInstrs,
+			BatchedExperiments: r.BaseInject.BatchExperiments,
 		}
 		if ff := r.FFCost(); ff > 0 {
 			b.Speedup = float64(r.BaseCost()) / float64(ff)

@@ -29,6 +29,10 @@ func fullSummary() *Summary {
 		FFWall:             1500 * time.Millisecond,
 		FFCleanInstrs:      1111,
 		FFFaultyInstrs:     2222,
+		ElidedExperiments:  96,
+		ElidedSimInstrs:    48000,
+		BatchedExperiments: 1800,
+		BatchReplicasAvg:   112.5,
 		ResumedExperiments: 512,
 		WALNotes:           []string{"torn tail truncated (17 bytes)", "lock conflict on k3"},
 		WALDegraded:        true,
@@ -41,12 +45,15 @@ func fullSummary() *Summary {
 		PanicRetries: 3,
 		Outcomes:     OutcomeStats{Masked: 1000, Detected: 500, SDCGood: 300, SDCBad: 200, Untested: 48},
 		Baseline: &BaselineSummary{
-			Experiments:  4096,
-			SimInstrs:    5000000,
-			CleanInstrs:  4000,
-			FaultyInstrs: 5000,
-			Wall:         9 * time.Second,
-			Speedup:      3.2,
+			Experiments:        4096,
+			SimInstrs:          5000000,
+			CleanInstrs:        4000,
+			FaultyInstrs:       5000,
+			Wall:               9 * time.Second,
+			ElidedExperiments:  128,
+			ElidedSimInstrs:    64000,
+			BatchedExperiments: 3900,
+			Speedup:            3.2,
 		},
 		Targets: []TargetSummary{{
 			Target:       0.95,
@@ -93,6 +100,8 @@ func TestSummaryOmitEmpty(t *testing.T) {
 	for _, absent := range []string{
 		"resumed_experiments", "wal_notes", "wal_degraded",
 		"poisoned", "panic_retries", "baseline", "targets", "bench", "variant",
+		"elided_experiments", "elided_sim_instrs",
+		"batched_experiments", "batch_replicas_avg",
 	} {
 		if strings.Contains(text, `"`+absent+`"`) {
 			t.Errorf("zero-value summary serializes %q: %s", absent, text)

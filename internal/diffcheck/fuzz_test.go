@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"fastflip/internal/chisel"
+	"fastflip/internal/core"
 	"fastflip/internal/mix"
 )
 
@@ -44,11 +45,51 @@ func FuzzResumeConverges(f *testing.F) {
 func FuzzEnginesAgree(f *testing.F) {
 	f.Add(uint64(1))
 	f.Add(uint64(42))
+	// Seed 44 generates a discrete kernel with a live absorption chain and
+	// a truncating store — the masking tier elides ~23% of its experiments,
+	// so the matrix exercises elide-vs-exhaustive agreement for real.
+	f.Add(uint64(44))
 	f.Fuzz(func(t *testing.T, seed uint64) {
 		if v := Check(InvEngines, seed); v != nil {
 			t.Fatal(v)
 		}
 	})
+}
+
+// TestMaskHeavySeedElides pins the property that makes the
+// masked-discrete corpus entry interesting: seed 44's absorption chain
+// and truncating store let the static masking tier elide a substantial
+// share of the campaign, and the engine matrix still agrees byte for
+// byte against the exhaustive configuration.
+func TestMaskHeavySeedElides(t *testing.T) {
+	g := Generate(44, FamilyMixed)
+	masked := false
+	for _, s := range g.Secs {
+		if s.Discrete && s.MaskAnd != 0 && s.Trunc != 0 {
+			masked = true
+		}
+	}
+	if !masked {
+		t.Fatalf("seed 44 no longer generates a masked discrete kernel:\n%s", g.Source())
+	}
+	p, err := g.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.NewAnalyzer(baseConfig()).Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Summarize(0, nil)
+	if s.ElidedExperiments == 0 {
+		t.Error("masking tier elided nothing on the mask-heavy kernel")
+	}
+	if s.BatchedExperiments == 0 {
+		t.Error("no experiments ran in lockstep batches")
+	}
+	if v := CheckEngines(g); v != nil {
+		t.Fatal(v)
+	}
 }
 
 // TestOracleSweep runs a short campaign over all four invariants — the

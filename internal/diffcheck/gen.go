@@ -97,6 +97,11 @@ type Sec struct {
 	AddB    float64 `json:"add_b,omitempty"`
 	// Dead adds a semantically inert statement (the preserving edit).
 	Dead bool `json:"dead,omitempty"`
+	// DeadMask adds an inert bitwise chain (AND/OR/shift over a register
+	// that is never read): every bit of it is dead, so the static masking
+	// tier gets whole statements to prove elidable. Safe in FamilySound —
+	// dead code carries no soundness weight.
+	DeadMask bool `json:"dead_mask,omitempty"`
 
 	// Discrete marks an integer modular kernel
 	// out[i] = (trunc(src) · IMul + IAdd) mod IMod, declared Discrete to
@@ -105,6 +110,14 @@ type Sec struct {
 	IMul     int  `json:"imul,omitempty"`
 	IAdd     int  `json:"iadd,omitempty"`
 	IMod     int  `json:"imod,omitempty"`
+	// MaskAnd/MaskOr (MaskAnd nonzero) insert a live absorption chain
+	// v = v & MaskAnd; v = v | MaskOr before the modulus: bits above
+	// MaskAnd and under MaskOr are absorbed, so faults there are provably
+	// masked. Trunc (nonzero) truncates the store — out[i] = v & Trunc —
+	// making the ignored high bits dead all the way upstream.
+	MaskAnd int `json:"mask_and,omitempty"`
+	MaskOr  int `json:"mask_or,omitempty"`
+	Trunc   int `json:"trunc,omitempty"`
 }
 
 // Term is one dataflow edge: Coef · src[i] (or src[Bound-1-i] when Rev).
@@ -178,6 +191,15 @@ func Generate(seed uint64, fam Family) *Prog {
 			s.IMul = 2 + r.intn(5)
 			s.IAdd = r.intn(10)
 			s.IMod = 5 + r.intn(13)
+			if r.bool() {
+				// Contiguous low mask (15..255) plus a small OR constant:
+				// absorbed bits give the elision tier real work.
+				s.MaskAnd = 1<<(4+r.intn(5)) - 1
+				s.MaskOr = r.intn(8)
+			}
+			if r.bool() {
+				s.Trunc = 1<<(2+r.intn(3)) - 1
+			}
 			g.IntBufs = append(g.IntBufs, out)
 		} else {
 			// An optional skip edge from an earlier distinct buffer
@@ -195,6 +217,10 @@ func Generate(seed uint64, fam Family) *Prog {
 				s.AddA = 0.5
 			}
 		}
+		// One kernel in four carries the inert mask chain, in both
+		// families — provably-elidable statements everywhere the oracles
+		// look.
+		s.DeadMask = r.intn(4) == 0
 		g.Secs = append(g.Secs, s)
 	}
 	g.NextBuf = nsec + 1
@@ -288,6 +314,14 @@ func (g *Prog) renderKernel(b *strings.Builder, s Sec) {
 		// Semantically inert: the register it initializes is never read.
 		b.WriteString("    var dz: float = 1.25;\n")
 	}
+	if s.DeadMask {
+		// Inert bitwise chain: dm is never read, so every bit of every
+		// intermediate is dead and the masking tier elides the whole chain.
+		b.WriteString("    var dm: int = 202;\n")
+		b.WriteString("    dm = dm & 60;\n")
+		b.WriteString("    dm = dm | 5;\n")
+		b.WriteString("    dm = dm << 3;\n")
+	}
 	if s.Discrete {
 		g.renderDiscreteBody(b, s)
 	} else {
@@ -329,7 +363,16 @@ func (g *Prog) renderDiscreteBody(b *strings.Builder, s Sec) {
 	}
 	fmt.Fprintf(b, "        v = v * %d;\n", s.IMul)
 	fmt.Fprintf(b, "        v = v + %d;\n", s.IAdd)
-	fmt.Fprintf(b, "        %s[i] = v %% %d;\n", bufName(s.Out), s.IMod)
+	if s.MaskAnd != 0 {
+		fmt.Fprintf(b, "        v = v & %d;\n", s.MaskAnd)
+		fmt.Fprintf(b, "        v = v | %d;\n", s.MaskOr)
+	}
+	if s.Trunc != 0 {
+		fmt.Fprintf(b, "        v = v %% %d;\n", s.IMod)
+		fmt.Fprintf(b, "        %s[i] = v & %d;\n", bufName(s.Out), s.Trunc)
+	} else {
+		fmt.Fprintf(b, "        %s[i] = v %% %d;\n", bufName(s.Out), s.IMod)
+	}
 	b.WriteString("    }\n")
 }
 

@@ -221,8 +221,9 @@ func TestSourceRendering(t *testing.T) {
 		Final:   2,
 		IntBufs: []int{1},
 		Secs: []Sec{
-			{Name: "k1", Out: 1, Bound: 3, Discrete: true, Terms: []Term{{Src: 0}}, IMul: 3, IAdd: 7, IMod: 11},
-			{Name: "k2", Out: 2, Bound: 2, Dead: true, AddMode: 1, AddA: 0.5, AddB: -1,
+			{Name: "k1", Out: 1, Bound: 3, Discrete: true, Terms: []Term{{Src: 0}},
+				IMul: 3, IAdd: 7, IMod: 11, MaskAnd: 63, MaskOr: 5, Trunc: 7},
+			{Name: "k2", Out: 2, Bound: 2, Dead: true, DeadMask: true, AddMode: 1, AddA: 0.5, AddB: -1,
 				Terms: []Term{{Src: 1, Coef: -2.5, Rev: true}}},
 		},
 	}
@@ -230,8 +231,12 @@ func TestSourceRendering(t *testing.T) {
 	for _, want := range []string{
 		"kernel k1(b0: float[3], b1: int[3])",
 		"var v: int = int(b0[i] * 8.0);",
-		"b1[i] = v % 11;",
+		"v = v & 63;", // live absorption chain
+		"v = v | 5;",
+		"v = v % 11;",
+		"b1[i] = v & 7;", // truncating store
 		"var dz: float = 1.25;",
+		"dm = dm << 3;", // inert mask chain
 		"for i = 0 to 2 {",
 		"float(b1[1 - i])", // reversal within bound 2 of an int buffer
 		"-2.5 *",

@@ -167,10 +167,13 @@ func CheckIncremental(g *Prog, e *Edit) *Violation {
 	for _, s := range []*core.Summary{sIncr, sScratch} {
 		neutralizeWork(s)
 		// Reuse legitimately splits the work between store hits and fresh
-		// injection; everything outcome-shaped must still match.
+		// injection; everything outcome-shaped must still match. The
+		// elided subset is part of that split — a reused instance serves
+		// its outcomes from the store without re-proving elision.
 		s.Reused, s.Injected = 0, 0
 		s.FFExperiments = 0
 		s.FFSimInstrs = 0
+		s.ElidedExperiments, s.ElidedSimInstrs = 0, 0
 	}
 	if !reflect.DeepEqual(sIncr, sScratch) {
 		return violationf(InvIncremental, g, e,
@@ -252,50 +255,77 @@ func CheckResume(g *Prog, walDir string) *Violation {
 	return nil
 }
 
-// CheckEngines verifies invariant 4: the legacy full-restore replay
-// engine and the clean-cursor engine agree on every per-class outcome,
-// on the work-neutralized summary, and on the rendered end-to-end
-// specification.
+// engineConfigs is the replay-engine matrix the engines invariant sweeps:
+// the default batched cursor engine with static-masking elision, the same
+// engine with each tier disabled, and the legacy full-restore engine. All
+// four must agree experiment by experiment. Exhaustive disables elision,
+// so its accounted costs legitimately differ (see neutralizeElision).
+var engineConfigs = []struct {
+	name       string
+	exhaustive bool
+	mut        func(*core.Config)
+}{
+	{name: "cursor-batch", mut: func(*core.Config) {}},
+	{name: "cursor-scalar", mut: func(c *core.Config) { c.NoBatch = true }},
+	{name: "cursor-exhaustive", exhaustive: true, mut: func(c *core.Config) { c.Elide = false; c.NoBatch = true }},
+	{name: "legacy", mut: func(c *core.Config) {
+		c.LegacyReplay = true
+		c.CheckpointInterval = -1
+	}},
+}
+
+// CheckEngines verifies invariant 4 over the full engine matrix: the
+// legacy full-restore engine, the clean-cursor engine with and without
+// lockstep batching, and the exhaustive configuration with the static
+// masking tier disabled all agree on every per-class outcome, on the
+// work-neutralized summary, and on the rendered end-to-end specification.
+// Exhaustive agreement is the elision tier's correctness claim: every
+// experiment the masking proof skipped really is Masked when simulated.
 func CheckEngines(g *Prog) *Violation {
 	p, v := build(InvEngines, g, nil)
 	if v != nil {
 		return v
 	}
-	run := func(legacy bool) (*core.Result, *Violation) {
+	results := make([]*core.Result, len(engineConfigs))
+	for i, ec := range engineConfigs {
 		cfg := baseConfig()
-		cfg.LegacyReplay = legacy
-		if legacy {
-			cfg.CheckpointInterval = -1
-		}
+		ec.mut(&cfg)
 		r, err := core.NewAnalyzer(cfg).Analyze(p)
 		if err != nil {
-			return nil, violationf(InvEngines, g, nil, "analysis (legacy=%v) failed: %v", legacy, err)
+			return violationf(InvEngines, g, nil, "analysis (%s) failed: %v", ec.name, err)
 		}
-		return r, nil
+		results[i] = r
 	}
-	rLegacy, v := run(true)
-	if v != nil {
-		return v
-	}
-	rCursor, v := run(false)
-	if v != nil {
-		return v
-	}
-	if v := compareOutcomes(InvEngines, g, nil, rLegacy, rCursor, "legacy", "cursor"); v != nil {
-		return v
-	}
-	sLegacy := rLegacy.Summarize(0, nil)
-	sCursor := rCursor.Summarize(0, nil)
-	neutralizeWork(sLegacy)
-	neutralizeWork(sCursor)
-	if !reflect.DeepEqual(sLegacy, sCursor) {
-		return violationf(InvEngines, g, nil,
-			"summaries differ:\nlegacy: %+v\ncursor: %+v", sLegacy, sCursor)
-	}
-	for λ := range p.FinalOutputs {
-		if a, b := rLegacy.FormatSpec(λ), rCursor.FormatSpec(λ); a != b {
+	ref, refName := results[0], engineConfigs[0].name
+	sRef := ref.Summarize(0, nil)
+	neutralizeWork(sRef)
+	for i, ec := range engineConfigs[1:] {
+		r := results[i+1]
+		if v := compareOutcomes(InvEngines, g, nil, ref, r, refName, ec.name); v != nil {
+			return v
+		}
+		s := r.Summarize(0, nil)
+		neutralizeWork(s)
+		want := sRef
+		if ec.exhaustive {
+			want = new(core.Summary)
+			*want = *sRef
+			if sRef.Baseline != nil {
+				bl := *sRef.Baseline
+				want.Baseline = &bl
+			}
+			neutralizeElision(want)
+			neutralizeElision(s)
+		}
+		if !reflect.DeepEqual(want, s) {
 			return violationf(InvEngines, g, nil,
-				"end-to-end specification %d differs:\nlegacy: %s\ncursor: %s", λ, a, b)
+				"summaries differ:\n%s: %+v\n%s: %+v", refName, want, ec.name, s)
+		}
+		for λ := range p.FinalOutputs {
+			if a, b := ref.FormatSpec(λ), r.FormatSpec(λ); a != b {
+				return violationf(InvEngines, g, nil,
+					"end-to-end specification %d differs:\n%s: %s\n%s: %s", λ, refName, a, ec.name, b)
+			}
 		}
 	}
 	return nil
@@ -321,16 +351,35 @@ func compareOutcomes(inv Invariant, g *Prog, e *Edit, want, got *core.Result, wa
 }
 
 // neutralizeWork zeroes summary fields that legitimately differ between
-// two runs of the same analysis: wall time, the engine work split, and
-// resume/WAL bookkeeping. Outcome counts and accounted costs survive.
+// two runs of the same analysis: wall time, the engine work split, batch
+// dispatch telemetry (how the experiments were grouped, not what they
+// found), and resume/WAL bookkeeping. Outcome counts and accounted costs
+// survive.
 func neutralizeWork(s *core.Summary) {
 	s.FFWall = 0
 	s.FFCleanInstrs, s.FFFaultyInstrs = 0, 0
+	s.BatchedExperiments, s.BatchReplicasAvg = 0, 0
 	s.ResumedExperiments = 0
 	s.WALNotes = nil
 	if s.Baseline != nil {
 		s.Baseline.Wall = 0
 		s.Baseline.CleanInstrs, s.Baseline.FaultyInstrs = 0, 0
+		s.Baseline.BatchedExperiments = 0
+	}
+}
+
+// neutralizeElision additionally zeroes the accounted-cost fields that an
+// elide-on vs elide-off comparison legitimately disagrees on: an elided
+// experiment is charged only its clean prefix, so total accounted cost
+// (and the baseline speedup derived from it) shifts while every outcome
+// stays byte-identical — which is exactly what the engine matrix asserts.
+func neutralizeElision(s *core.Summary) {
+	s.FFSimInstrs = 0
+	s.ElidedExperiments, s.ElidedSimInstrs = 0, 0
+	if s.Baseline != nil {
+		s.Baseline.SimInstrs = 0
+		s.Baseline.ElidedExperiments, s.Baseline.ElidedSimInstrs = 0, 0
+		s.Baseline.Speedup = 0
 	}
 }
 

@@ -56,6 +56,22 @@ type Stats struct {
 	// engine work, ≤ SimInstrs under the cursor scheduler.
 	CleanInstrs  uint64
 	FaultyInstrs uint64
+	// ElidedExperiments counts the experiments resolved by the static
+	// masking tier without any simulation (included in Experiments): the
+	// flip was proven dead, so the clean outcome was recorded at the exact
+	// SimInstrs cost a scalar run would have accounted. ElidedInstrs is
+	// that accounted-but-never-simulated cost (included in SimInstrs);
+	// elided experiments contribute zero CleanInstrs/FaultyInstrs.
+	ElidedExperiments int
+	ElidedInstrs      uint64
+	// BatchExperiments counts experiments whose faulty suffix ran inside a
+	// lockstep vm.Batch (included in Experiments; outcomes and accounted
+	// costs are identical to scalar runs). Batches counts the batch
+	// dispatch groups; BatchExperiments/Batches is the mean batch width.
+	// Batches is engine telemetry attributed at group granularity, so it is
+	// the one Stats field per-experiment cost shares do not sum to.
+	BatchExperiments int
+	Batches          int
 }
 
 // Add accumulates other into s.
@@ -64,6 +80,10 @@ func (s *Stats) Add(other Stats) {
 	s.SimInstrs += other.SimInstrs
 	s.CleanInstrs += other.CleanInstrs
 	s.FaultyInstrs += other.FaultyInstrs
+	s.ElidedExperiments += other.ElidedExperiments
+	s.ElidedInstrs += other.ElidedInstrs
+	s.BatchExperiments += other.BatchExperiments
+	s.Batches += other.Batches
 }
 
 // Injector runs experiments against one recorded trace.
@@ -77,6 +97,11 @@ type Injector struct {
 	// Outcomes are identical; only the engine cost differs. Kept for
 	// equivalence tests and engine benchmarks.
 	Legacy bool
+	// NoBatch disables the lockstep batch tier: dense same-dyn experiment
+	// groups then run one scalar fork each instead of sharing a vm.Batch.
+	// Outcomes and accounted costs are identical either way; this is the
+	// escape hatch and equivalence-testing seam.
+	NoBatch bool
 	// PanicHook, when non-nil, is invoked at the start of every experiment
 	// attempt with the class index and the 1-based attempt number. It is a
 	// test seam: chaos tests panic from it to exercise the supervision
@@ -301,7 +326,12 @@ func (inj *Injector) RunSectionCoRunResume(ctx context.Context, inst *trace.Inst
 			fins[i] = conservativeSDC(len(inj.T.Prog.FinalOutputs))
 			return conservativeSDC(len(inst.IO.Outputs))
 		},
-		hooks: hooks,
+		masked: func(i int) metrics.Outcome {
+			fins[i] = metrics.Outcome{Kind: metrics.Masked}
+			return metrics.Outcome{Kind: metrics.Masked}
+		},
+		cleanEnd: inj.T.Final.Dyn,
+		hooks:    hooks,
 	})
 	return secs, fins, stats
 }
@@ -342,9 +372,11 @@ func liveSideEffect(inst *trace.Instance, m *vm.Machine) bool {
 // partial and must be discarded (check ctx.Err after the call).
 func (inj *Injector) RunMonolithic(ctx context.Context, classes []*sites.Class) ([]metrics.Outcome, Stats) {
 	return inj.runAll(ctx, classes, experiment{
-		limit:   func(sites.Site) uint64 { return TimeoutFactor * inj.T.TotalDyn },
-		finish:  func(m *vm.Machine, _ int, _ sites.Site) metrics.Outcome { return inj.monolithicFinish(m) },
-		conserv: func(int) metrics.Outcome { return conservativeSDC(len(inj.T.Prog.FinalOutputs)) },
+		limit:    func(sites.Site) uint64 { return TimeoutFactor * inj.T.TotalDyn },
+		finish:   func(m *vm.Machine, _ int, _ sites.Site) metrics.Outcome { return inj.monolithicFinish(m) },
+		conserv:  func(int) metrics.Outcome { return conservativeSDC(len(inj.T.Prog.FinalOutputs)) },
+		masked:   func(int) metrics.Outcome { return metrics.Outcome{Kind: metrics.Masked} },
+		cleanEnd: inj.T.Final.Dyn,
 	})
 }
 
@@ -359,10 +391,12 @@ func (inj *Injector) RunSection(ctx context.Context, inst *trace.Instance, class
 // RunSectionCoRunResume for their semantics.
 func (inj *Injector) RunSectionResume(ctx context.Context, inst *trace.Instance, classes []*sites.Class, hooks CampaignHooks) ([]metrics.Outcome, Stats) {
 	return inj.runAll(ctx, classes, experiment{
-		limit:   func(sites.Site) uint64 { return sectionLimit(inst) },
-		finish:  func(m *vm.Machine, _ int, _ sites.Site) metrics.Outcome { return inj.sectionFinish(m, inst) },
-		conserv: func(int) metrics.Outcome { return conservativeSDC(len(inst.IO.Outputs)) },
-		hooks:   hooks,
+		limit:    func(sites.Site) uint64 { return sectionLimit(inst) },
+		finish:   func(m *vm.Machine, _ int, _ sites.Site) metrics.Outcome { return inj.sectionFinish(m, inst) },
+		conserv:  func(int) metrics.Outcome { return conservativeSDC(len(inst.IO.Outputs)) },
+		masked:   func(int) metrics.Outcome { return metrics.Outcome{Kind: metrics.Masked} },
+		cleanEnd: inst.Exit.Dyn,
+		hooks:    hooks,
 	})
 }
 
@@ -376,7 +410,16 @@ type experiment struct {
 	// to fill the slot of a quarantined (twice-panicked) experiment so the
 	// downstream analysis stays sound. Nil means conservativeSDC(0).
 	conserv func(i int) metrics.Outcome
-	hooks   CampaignHooks
+	// masked yields the outcome of a statically-proven-dead flip for class
+	// i — by construction the clean outcome of this experiment shape. Nil
+	// disables the elision tier for this campaign shape.
+	masked func(i int) metrics.Outcome
+	// cleanEnd is the clean dynamic count at which this experiment shape
+	// terminates (section exit or program end); an elided experiment is
+	// accounted SimInstrs = cleanEnd − its checkpoint, exactly what a
+	// scalar run of the proven-masked flip would have cost.
+	cleanEnd uint64
+	hooks    CampaignHooks
 }
 
 // conservative returns the quarantine outcome for class i.
@@ -503,6 +546,56 @@ func siteOf(c *sites.Class) sites.Site {
 	}
 }
 
+// batchFlip injects site's burst into replica k of a batch, the replica
+// counterpart of applyFlip's bit loop.
+func batchFlip(b *vm.Batch, k int, site sites.Site) {
+	width := int(site.Width)
+	if width < 1 {
+		width = 1
+	}
+	for off := 0; off < width; off++ {
+		bit := uint(site.Bit) + uint(off)
+		if bit >= 64 {
+			break
+		}
+		if site.Operand.Class == isa.RegFloat {
+			b.FlipFloat(k, int(site.Operand.Reg), bit)
+		} else {
+			b.FlipInt(k, int(site.Operand.Reg), bit)
+		}
+	}
+}
+
+// elidePass resolves the classes whose pilot flip the static masking tier
+// proved dead (sites.Class.Elided) without simulating anything: the faulty
+// architectural state is bit-identical to the clean run by construction, so
+// the clean outcome of the experiment shape is recorded at the exact
+// SimInstrs cost a scalar experiment would have accounted. It returns the
+// surviving schedule (filtered in place) plus the stats of the elided
+// population. Running before the worker split keeps each worker's chunk
+// contiguous in dyn order, so elision composes with sharding and resume.
+func (inj *Injector) elidePass(classes []*sites.Class, order []int, exp *experiment, outcomes []metrics.Outcome) ([]int, Stats) {
+	if exp.masked == nil {
+		return order, Stats{}
+	}
+	var stats Stats
+	rest := order[:0]
+	for _, i := range order {
+		if !classes[i].Elided {
+			rest = append(rest, i)
+			continue
+		}
+		outcomes[i] = exp.masked(i)
+		acct := exp.cleanEnd - inj.T.NearestCheckpointDyn(classes[i].Pilot())
+		cost := Stats{Experiments: 1, ElidedExperiments: 1, SimInstrs: acct, ElidedInstrs: acct}
+		stats.Add(cost)
+		if exp.hooks.Record != nil {
+			exp.hooks.Record(i, outcomes[i], nil, cost)
+		}
+	}
+	return rest, stats
+}
+
 // runAll distributes one experiment per class over the worker pool. Each
 // worker checks ctx between experiments, so a cancelled campaign stops
 // within one in-flight experiment per worker. Stats count only the
@@ -527,8 +620,9 @@ func (inj *Injector) runAll(ctx context.Context, classes []*sites.Class, exp exp
 	// from a WAL are then filtered out: the remainder is still dyn-sorted,
 	// so the contiguous-range invariant survives both sharding and resume.
 	order := exp.hooks.scheduled(classes)
+	order, elided := inj.elidePass(classes, order, &exp, outcomes)
 	if len(order) == 0 {
-		return outcomes, Stats{}
+		return outcomes, elided
 	}
 
 	nw := inj.workers()
@@ -548,7 +642,7 @@ func (inj *Injector) runAll(ctx context.Context, classes []*sites.Class, exp exp
 	}
 	wg.Wait()
 
-	var stats Stats
+	stats := elided
 	for _, s := range statsPer {
 		stats.Add(s)
 	}
@@ -576,10 +670,9 @@ func (inj *Injector) runRange(ctx context.Context, classes []*sites.Class, chunk
 	cur := seed.Clone() // rolling clean cursor, only ever advances
 	em := cur.Clone()   // experiment machine, forked from the cursor
 
-	for _, i := range chunk {
-		if ctx.Err() != nil {
-			break
-		}
+	// runScalar runs one experiment on a scalar fork of the cursor,
+	// including supervision, retry, and record delivery.
+	runScalar := func(i int) {
 		site := siteOf(classes[i])
 
 		// Per-experiment cost share; the cursor advance is attributed to the
@@ -666,6 +759,147 @@ func (inj *Injector) runRange(ctx context.Context, classes []*sites.Class, chunk
 			exp.hooks.Record(i, outcomes[i], nil, expStats)
 		}
 	}
+
+	// runBatch advances a same-dyn group of experiments in one lockstep
+	// vm.Batch: the clean prefix is advanced once, each replica gets its
+	// flip, and one dispatch per opcode drives every faulty suffix until
+	// it detaches (crash, control divergence) or the batch reaches a
+	// stop-before boundary; each replica is then materialized onto the
+	// fork machine and classified by the exact scalar epilogue. Outcomes
+	// and accounted costs are identical to forking the group one by one —
+	// batching changes wall clock only.
+	//
+	// Each replica is accounted and recorded as it materializes, with a
+	// cancellation check in between, so the campaign keeps the scalar
+	// engine's per-experiment delivery granularity. A panic anywhere
+	// inside rebuilds the machines and re-runs only the not-yet-delivered
+	// members under the scalar path's per-class supervision, so the WAL
+	// sees each member exactly once.
+	runBatch := func(group []int) {
+		pilotDyn := classes[group[0]].Pilot()
+		var cleanShare uint64
+		if pilotDyn > cur.Dyn {
+			cleanShare = pilotDyn - cur.Dyn
+		}
+		delivered := 0
+		_, rec := runSupervised(func() *vm.Machine { return em }, func() Stats {
+			if pilotDyn > cur.Dyn {
+				cur.BeginJournal()
+				if ev := cur.RunUntilDyn(pilotDyn); ev.Kind != vm.EvNone {
+					panic(fmt.Errorf("inject: clean cursor to dyn %d ended with %v", pilotDyn, ev.Kind))
+				}
+				if cur.ReplayJournalInto(em) {
+					em.CopyScalarsFrom(cur)
+				} else {
+					em.RestoreFrom(cur)
+				}
+				cur.EndJournal()
+			}
+
+			// Source flips land before the site instruction. If any
+			// replica flips a destination, the batch executes the site
+			// instruction once — clean for those replicas, already faulty
+			// for source-flipped ones — and the destination flips land
+			// after it, the same order applyFlip imposes.
+			em.MaxDyn = exp.limit(siteOf(classes[group[0]]))
+			b := vm.NewBatch(em, len(group))
+			hasDst := false
+			for j, i := range group {
+				site := siteOf(classes[i])
+				if site.Operand.Role == isa.OperandDst {
+					hasDst = true
+					continue
+				}
+				batchFlip(b, j, site)
+			}
+			if hasDst {
+				if !b.Step() {
+					panic(fmt.Errorf("inject: batch at dyn %d stopped before the site instruction", pilotDyn))
+				}
+				for j, i := range group {
+					site := siteOf(classes[i])
+					if site.Operand.Role == isa.OperandDst {
+						batchFlip(b, j, site)
+					}
+				}
+			}
+			b.Run()
+			stats.Batches++
+
+			for j, i := range group {
+				if ctx.Err() != nil {
+					break
+				}
+				site := siteOf(classes[i])
+				em.MaxDyn = exp.limit(site)
+				em.BeginJournal()
+				b.MaterializeInto(j, em)
+				out := exp.finish(em, i, site)
+				flipDyn := site.Dyn
+				if site.Operand.Role == isa.OperandDst {
+					flipDyn++
+				}
+				cost := Stats{Experiments: 1, BatchExperiments: 1}
+				cost.SimInstrs = em.Dyn - t.NearestCheckpointDyn(site.Dyn)
+				if j == 0 {
+					cost.CleanInstrs = cleanShare
+				}
+				cost.CleanInstrs += flipDyn - site.Dyn
+				cost.FaultyInstrs = em.Dyn - flipDyn
+				if em.UndoJournal() {
+					em.CopyScalarsFrom(cur)
+				} else {
+					em.RestoreFrom(cur)
+				}
+				outcomes[i] = out
+				stats.Add(cost)
+				delivered = j + 1
+				if exp.hooks.Record != nil {
+					exp.hooks.Record(i, out, nil, cost)
+				}
+			}
+			return Stats{}
+		})
+		if rec == nil {
+			return
+		}
+		seed, _ := t.ReplaySeed(pilotDyn)
+		cur = seed.Clone()
+		em = cur.Clone()
+		inj.notePanicRetry()
+		for _, i := range group[delivered:] {
+			if ctx.Err() != nil {
+				break
+			}
+			runScalar(i)
+		}
+	}
+
+	// The chunk is dyn-sorted, so experiments sharing a pilot dynamic
+	// index — the dense same-range groups the batch tier targets — are
+	// consecutive. PanicHook (the chaos-test seam) forces the scalar path
+	// so attempt-targeted panics keep their per-class semantics.
+	for gi := 0; gi < len(chunk); {
+		ge := gi + 1
+		for ge < len(chunk) && classes[chunk[ge]].Pilot() == classes[chunk[gi]].Pilot() {
+			ge++
+		}
+		group := chunk[gi:ge]
+		gi = ge
+		if ctx.Err() != nil {
+			break
+		}
+		if len(group) >= 2 && !inj.NoBatch && inj.PanicHook == nil {
+			runBatch(group)
+			continue
+		}
+		for _, i := range group {
+			if ctx.Err() != nil {
+				break
+			}
+			runScalar(i)
+		}
+	}
 	return stats
 }
 
@@ -675,9 +909,9 @@ func (inj *Injector) runAllLegacy(ctx context.Context, classes []*sites.Class, e
 	t := inj.T
 	outcomes := make([]metrics.Outcome, len(classes))
 	order := exp.hooks.scheduled(classes)
+	order, stats := inj.elidePass(classes, order, &exp, outcomes)
 	var next atomic.Uint64
 	var mu sync.Mutex
-	var stats Stats
 	var wg sync.WaitGroup
 	nw := inj.workers()
 	if nw > len(order) {

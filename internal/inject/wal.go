@@ -58,7 +58,7 @@ import (
 // walMagic identifies a WAL segment and its format version. Bump the
 // version byte on any incompatible format change; old segments are then
 // discarded rather than misparsed.
-var walMagic = [8]byte{'F', 'F', 'W', 'A', 'L', 0, 0, 1}
+var walMagic = [8]byte{'F', 'F', 'W', 'A', 'L', 0, 0, 2}
 
 // walHeaderSize is the fixed segment header: magic, section key,
 // campaign fingerprint.
@@ -644,8 +644,27 @@ func appendExperimentPayload(buf []byte, rec WALRecord) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, rec.Cost.SimInstrs)
 	buf = binary.LittleEndian.AppendUint64(buf, rec.Cost.CleanInstrs)
 	buf = binary.LittleEndian.AppendUint64(buf, rec.Cost.FaultyInstrs)
+	// v2: how the experiment was executed. Elision and batching are
+	// outcome-neutral, but a resumed campaign must re-account recovered
+	// records at their original cost shares so merged summaries stay
+	// identical to an uninterrupted run.
+	var flags byte
+	if rec.Cost.ElidedExperiments > 0 {
+		flags |= walFlagElided
+	}
+	if rec.Cost.BatchExperiments > 0 {
+		flags |= walFlagBatched
+	}
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint64(buf, rec.Cost.ElidedInstrs)
 	return buf
 }
+
+// Experiment-record execution flags (WAL format v2).
+const (
+	walFlagElided  = byte(1 << 0)
+	walFlagBatched = byte(1 << 1)
+)
 
 func appendOutcome(buf []byte, o metrics.Outcome) []byte {
 	buf = append(buf, byte(o.Kind), byte(o.Reason))
@@ -726,6 +745,19 @@ func parseExperimentPayload(body []byte) (WALRecord, error) {
 	}
 	if rec.Cost.FaultyInstrs, err = r.u64(); err != nil {
 		return rec, err
+	}
+	flags, err := r.u8()
+	if err != nil {
+		return rec, err
+	}
+	if rec.Cost.ElidedInstrs, err = r.u64(); err != nil {
+		return rec, err
+	}
+	if flags&walFlagElided != 0 {
+		rec.Cost.ElidedExperiments = 1
+	}
+	if flags&walFlagBatched != 0 {
+		rec.Cost.BatchExperiments = 1
 	}
 	if len(r.b) != 0 {
 		return rec, errWALShort

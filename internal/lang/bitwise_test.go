@@ -1,0 +1,88 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"fastflip/internal/isa"
+)
+
+func TestBitwiseOps(t *testing.T) {
+	src := `
+kernel bits(v: int[1], out: int[8]) {
+    var x: int = 202;            // 0b11001010
+    out[0] = x & 15;             // 10
+    out[1] = x | 5;              // 207
+    out[2] = x ^ 255;            // 53
+    out[3] = x << 2;             // 808
+    out[4] = x >> 3;             // 25
+    var m: int = 12;
+    out[5] = x & m;              // reg-reg form: 8
+    out[6] = 1 | x & 12;         // & binds tighter than |: 9
+    out[7] = x >> 1 + 1;         // additive binds tighter than shift: 50
+}`
+	m := runKernel(t, src, Bindings{"v": 0, "out": 1}, "bits", nil)
+	want := []int64{10, 207, 53, 808, 25, 8, 9, 50}
+	for i, w := range want {
+		if got := int64(m.Mem[1+i]); got != w {
+			t.Errorf("out[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestBitwiseLiteralUsesImmediateForm: a literal right operand must compile
+// to the immediate opcode — the static masking analysis can only prove
+// absorption against constants that appear in the instruction stream.
+func TestBitwiseLiteralUsesImmediateForm(t *testing.T) {
+	src := `
+kernel f(out: int[1]) {
+    var x: int = 77;
+    out[0] = (((x & 240) | 7) ^ 12) << 4 >> 2;
+}`
+	fns, err := Compile(src, Bindings{"out": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[isa.Op]bool{}
+	for _, in := range fns[0].Instrs {
+		got[in.Op] = true
+	}
+	for _, op := range []isa.Op{isa.ANDI, isa.ORI, isa.XORI, isa.SHLI, isa.SHRI} {
+		if !got[op] {
+			t.Errorf("compiled kernel is missing immediate form %v", op)
+		}
+	}
+	for _, op := range []isa.Op{isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR} {
+		if got[op] {
+			t.Errorf("literal operands compiled to register form %v", op)
+		}
+	}
+}
+
+func TestBitwiseTypeErrors(t *testing.T) {
+	cases := []struct{ name, src, wantErr string }{
+		{"float operand", `
+kernel f(x: float[1], out: int[1]) {
+    out[0] = int(x[0]) & 3;
+    var y: float = x[0];
+    out[0] = y & 3;
+}`, "& requires int operands"},
+		{"float context", `
+kernel f(out: float[1]) {
+    out[0] = 2 & 3;
+}`, "expected float expression, found int"},
+		{"float shift", `
+kernel f(out: float[1]) {
+    var v: float = 1.0;
+    out[0] = v << 1;
+}`, "<< requires int operands"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile(tc.src, Bindings{"x": 0, "out": 1})
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Compile error = %v, want it to contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -37,9 +37,9 @@ func CompileKernel(k *Kernel, binds Bindings) (*prog.Function, error) {
 		vars:  map[string]varInfo{},
 		bufs:  map[string]bufInfo{},
 		// r0 stays zero-initialized scratch, r1/r2 are address scratch;
-		// persistent int variables live in r3..r9, int temps in r10..r11.
+		// persistent int variables live in r3..r9, int temps in r10..r15.
 		intVars:    []int{3, 4, 5, 6, 7, 8, 9},
-		intTemps:   []int{10, 11},
+		intTemps:   []int{10, 11, 12, 13, 14, 15},
 		floatVars:  []int{8, 9, 10, 11, 12, 13, 14, 15},
 		floatTemps: []int{0, 1, 2, 3, 4, 5, 6, 7},
 	}
@@ -192,8 +192,14 @@ func (cg *codegen) typeOf(e Expr) (ty Type, literal bool, err error) {
 		case "<", "<=", ">", ">=", "==", "!=":
 			return TInt, false, nil // comparisons yield int 0/1
 		}
-		if e.Op == "%" && t != TInt {
-			return 0, false, cg.errf("%% requires int operands")
+		switch e.Op {
+		case "%", "&", "|", "^", "<<", ">>":
+			if t != TInt {
+				return 0, false, cg.errf("%s requires int operands", e.Op)
+			}
+			// Int-only results never adapt to a float context, even when
+			// both operands are literals.
+			return TInt, false, nil
 		}
 		return t, lL && lR, nil
 	case Call:
@@ -382,6 +388,15 @@ func (cg *codegen) stmt(s Stmt) error {
 	return cg.errf("unsupported statement %T", s)
 }
 
+// isBitOp reports whether op is one of the int-only bitwise operators.
+func isBitOp(op string) bool {
+	switch op {
+	case "&", "|", "^", "<<", ">>":
+		return true
+	}
+	return false
+}
+
 // move emits a register move when src and dst differ.
 func (cg *codegen) move(ty Type, dst, src int) {
 	if dst == src {
@@ -454,6 +469,34 @@ func (cg *codegen) genExpr(e Expr, want Type) (reg int, isTemp bool, err error) 
 			// (e.g. 2*3 used where a float is expected).
 			opTy = want
 		}
+		// A bitwise op with a literal right operand compiles to the
+		// immediate form, so the constant mask is visible in the
+		// instruction stream (the static masking analysis depends on it).
+		if n, ok := e.R.(Num); ok && n.IsInt && isBitOp(e.Op) {
+			lr, lTemp, err := cg.genExpr(e.L, TInt)
+			if err != nil {
+				return 0, false, err
+			}
+			dst, err := cg.allocTemp(TInt)
+			if err != nil {
+				return 0, false, err
+			}
+			imm := int64(n.Value)
+			switch e.Op {
+			case "&":
+				cg.b.Andi(dst, lr, imm)
+			case "|":
+				cg.b.Ori(dst, lr, imm)
+			case "^":
+				cg.b.Xori(dst, lr, imm)
+			case "<<":
+				cg.b.Shli(dst, lr, imm)
+			case ">>":
+				cg.b.Shri(dst, lr, imm)
+			}
+			cg.releaseIfTemp(TInt, lr, lTemp)
+			return dst, true, nil
+		}
 		lr, lTemp, err := cg.genExpr(e.L, opTy)
 		if err != nil {
 			return 0, false, err
@@ -489,6 +532,16 @@ func (cg *codegen) genExpr(e Expr, want Type) (reg int, isTemp bool, err error) 
 				cg.b.Div(dst, lr, rr)
 			case "%":
 				cg.b.Rem(dst, lr, rr)
+			case "&":
+				cg.b.And(dst, lr, rr)
+			case "|":
+				cg.b.Or(dst, lr, rr)
+			case "^":
+				cg.b.Xor(dst, lr, rr)
+			case "<<":
+				cg.b.Shl(dst, lr, rr)
+			case ">>":
+				cg.b.Shr(dst, lr, rr)
 			}
 		}
 		cg.releaseIfTemp(opTy, rr, rTemp)

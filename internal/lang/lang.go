@@ -114,9 +114,10 @@ type Index struct {
 	Idx Expr
 }
 
-// Binary applies an arithmetic or comparison operator.
+// Binary applies an arithmetic, bitwise, or comparison operator. The
+// bitwise family (& | ^ << >>) is int-only.
 type Binary struct {
-	Op   string // + - * / % < <= > >= == !=
+	Op   string // + - * / % & | ^ << >> < <= > >= == !=
 	L, R Expr
 }
 
@@ -195,14 +196,14 @@ scan:
 			lx.pos++
 		}
 		return token{kind: tokNumber, text: lx.src[start:lx.pos], line: lx.line}, nil
-	case strings.ContainsRune("+-*/%(){}[]=<>!,:;", rune(c)):
+	case strings.ContainsRune("+-*/%(){}[]=<>!,:;&|^", rune(c)):
 		lx.pos++
 		text := string(c)
 		// Two-character operators.
 		if lx.pos < len(lx.src) {
 			two := text + string(lx.src[lx.pos])
 			switch two {
-			case "<=", ">=", "==", "!=":
+			case "<=", ">=", "==", "!=", "<<", ">>":
 				lx.pos++
 				text = two
 			}
@@ -484,21 +485,87 @@ func (p *parser) lvalue() (LValue, error) {
 	return VarRef{Name: name}, nil
 }
 
-// Expression grammar: comparison > additive > multiplicative > unary > primary.
+// Expression grammar, loosest-binding first: comparison, then the
+// bitwise chain | ^ &, shifts, additive, multiplicative, unary, primary
+// (C's relative order for the bitwise family).
 
 func (p *parser) expr() (Expr, error) {
-	l, err := p.additive()
+	l, err := p.bitOr()
 	if err != nil {
 		return nil, err
 	}
 	switch op := p.peek().text; op {
 	case "<", "<=", ">", ">=", "==", "!=":
 		p.advance()
-		r, err := p.additive()
+		r, err := p.bitOr()
 		if err != nil {
 			return nil, err
 		}
 		return Binary{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) bitOr() (Expr, error) {
+	l, err := p.bitXor()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().text == "|" {
+		p.advance()
+		r, err := p.bitXor()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "|", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) bitXor() (Expr, error) {
+	l, err := p.bitAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().text == "^" {
+		p.advance()
+		r, err := p.bitAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "^", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) bitAnd() (Expr, error) {
+	l, err := p.shift()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().text == "&" {
+		p.advance()
+		r, err := p.shift()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) shift() (Expr, error) {
+	l, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().text == "<<" || p.peek().text == ">>" {
+		op := p.advance().text
+		r, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
 	}
 	return l, nil
 }

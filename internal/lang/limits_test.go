@@ -37,12 +37,12 @@ func TestTooManyIntVariables(t *testing.T) {
 
 func TestExpressionTooDeep(t *testing.T) {
 	// Variable reads cost no temporaries, but buffer loads do. A
-	// right-nested chain of loads holds one temp per level; with two int
-	// temporaries the third simultaneous load must fail with a clear
+	// right-nested chain of loads holds one temp per level; with six int
+	// temporaries the seventh simultaneous load must fail with a clear
 	// error.
 	src := `
 kernel k(o: int[1]) {
-    o[0] = o[0] + (o[0] + o[0]);
+    o[0] = o[0] + (o[0] + (o[0] + (o[0] + (o[0] + (o[0] + o[0])))));
 }`
 	_, err := Compile(src, Bindings{"o": 0})
 	if err == nil || !strings.Contains(err.Error(), "expression too deep") {

@@ -70,6 +70,13 @@ type Class struct {
 	Reg     uint8        // architectural register number
 	Width   uint8        // burst width of the class's sites
 	Members []uint64     // dynamic indices, ascending
+	// Elided marks a class whose burst the static masking analysis proved
+	// dead at its instruction: the flipped bits are never observed by any
+	// subsequent instruction, so every member site is architecturally
+	// Masked and the experiment engine records the clean outcome without
+	// simulating. Static liveness is a property of the pc, and a class's
+	// members all share one pc, so elision is decided per class.
+	Elided bool
 }
 
 // Pilot returns the dynamic index of the class pilot: the median member.
@@ -80,12 +87,24 @@ func (c *Class) Pilot() uint64 { return c.Members[len(c.Members)/2] }
 // Size returns the number of sites in the class.
 func (c *Class) Size() int { return len(c.Members) }
 
+// Masks is the static bit-liveness oracle consumed during classification
+// (satisfied by maskelide.Masks). SiteElidable reports whether flipping the
+// width-bit burst at bit of the given operand of the instruction at pc is
+// provably invisible to the architectural outcome.
+type Masks interface {
+	SiteElidable(pc int, op isa.Operand, bit, width uint8) bool
+}
+
 // Options configures site enumeration.
 type Options struct {
 	// Prune enables equivalence-class grouping; false yields singletons.
 	Prune bool
 	// Width is the burst width in bits (0/1 = single-bit upsets).
 	Width int
+	// Masks, when non-nil, marks classes whose burst is provably dead
+	// (Class.Elided) so the experiment engine can skip them with the clean
+	// outcome. Nil disables the elision tier.
+	Masks Masks
 }
 
 func (o Options) width() int {
@@ -151,12 +170,14 @@ func classify(t *trace.Trace, lo, hi uint64, opts Options) []*Class {
 				if !prune {
 					classes = append(classes, &Class{
 						Key: key, Class: op.Class, Reg: op.Reg, Width: uint8(width), Members: []uint64{d},
+						Elided: opts.Masks != nil && opts.Masks.SiteElidable(pc, op, uint8(bit), uint8(width)),
 					})
 					continue
 				}
 				c := byKey[key]
 				if c == nil {
 					c = &Class{Key: key, Class: op.Class, Reg: op.Reg, Width: uint8(width)}
+					c.Elided = opts.Masks != nil && opts.Masks.SiteElidable(pc, op, uint8(bit), uint8(width))
 					byKey[key] = c
 					classes = append(classes, c)
 				}

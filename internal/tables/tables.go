@@ -40,6 +40,12 @@ type Options struct {
 	// suite run logged are merged instead of re-executed.
 	WALDir string
 	Resume bool
+	// NoElide disables the static masking tier (every experiment is
+	// simulated); NoBatch disables lockstep batch replay (scalar forks).
+	// Both exist to measure the tiers' wins and to fall back if needed —
+	// outcomes are identical either way.
+	NoElide bool
+	NoBatch bool
 }
 
 // DefaultOptions mirrors the paper's evaluation setup.
@@ -125,6 +131,8 @@ func RunSuite(opts Options) (*Suite, error) {
 		cfg.Sens = opts.Sens
 		cfg.WALDir = opts.WALDir
 		cfg.Resume = opts.Resume
+		cfg.Elide = !opts.NoElide
+		cfg.NoBatch = opts.NoBatch
 		if inacc, ok := bench.PilotInaccuracies[name]; ok {
 			cfg.PilotInaccuracy = inacc
 		}
@@ -355,17 +363,25 @@ type PerfRecord struct {
 	Reused    int    `json:"reused_instances"`
 	Injected  int    `json:"injected_instances"`
 
-	FFExperiments  int     `json:"ff_experiments"`
-	FFSimInstrs    uint64  `json:"ff_sim_instrs"`
-	FFCleanInstrs  uint64  `json:"ff_clean_instrs"`
-	FFFaultyInstrs uint64  `json:"ff_faulty_instrs"`
-	FFWallNs       int64   `json:"ff_wall_ns"`
-	BaseExperims   int     `json:"base_experiments"`
-	BaseSimInstrs  uint64  `json:"base_sim_instrs"`
-	BaseCleanInstr uint64  `json:"base_clean_instrs"`
-	BaseFaultyInst uint64  `json:"base_faulty_instrs"`
-	BaseWallNs     int64   `json:"base_wall_ns"`
-	Speedup        float64 `json:"speedup"`
+	FFExperiments  int    `json:"ff_experiments"`
+	FFSimInstrs    uint64 `json:"ff_sim_instrs"`
+	FFCleanInstrs  uint64 `json:"ff_clean_instrs"`
+	FFFaultyInstrs uint64 `json:"ff_faulty_instrs"`
+	FFWallNs       int64  `json:"ff_wall_ns"`
+	// The elision tiers' contribution: experiments the masking tier proved
+	// Masked without simulation (and their accounted cost share), the
+	// simulated remainder, and how much of it ran inside lockstep batches.
+	FFElidedExperiments   int     `json:"ff_elided_experiments"`
+	FFElidedSimInstrs     uint64  `json:"ff_elided_sim_instrs"`
+	FFExecutedExperiments int     `json:"ff_executed_experiments"`
+	FFBatchedExperiments  int     `json:"ff_batched_experiments"`
+	FFBatchReplicasAvg    float64 `json:"ff_batch_replicas_avg"`
+	BaseExperims          int     `json:"base_experiments"`
+	BaseSimInstrs         uint64  `json:"base_sim_instrs"`
+	BaseCleanInstr        uint64  `json:"base_clean_instrs"`
+	BaseFaultyInst        uint64  `json:"base_faulty_instrs"`
+	BaseWallNs            int64   `json:"base_wall_ns"`
+	Speedup               float64 `json:"speedup"`
 }
 
 // PerfRecords digests every run of the suite for machine-readable output.
@@ -373,25 +389,33 @@ func (s *Suite) PerfRecords() []PerfRecord {
 	recs := make([]PerfRecord, 0, len(s.Runs))
 	for _, run := range s.Runs {
 		r := run.R
-		recs = append(recs, PerfRecord{
-			Bench:          run.Bench,
-			Variant:        string(run.Variant),
-			SiteCount:      r.SiteCount,
-			DynInstrs:      r.Trace.TotalDyn,
-			Reused:         r.ReusedInstances,
-			Injected:       r.InjectedInstances,
-			FFExperiments:  r.FFInject.Experiments,
-			FFSimInstrs:    r.FFCost(),
-			FFCleanInstrs:  r.FFInject.CleanInstrs,
-			FFFaultyInstrs: r.FFInject.FaultyInstrs,
-			FFWallNs:       r.FFWall.Nanoseconds(),
-			BaseExperims:   r.BaseInject.Experiments,
-			BaseSimInstrs:  r.BaseCost(),
-			BaseCleanInstr: r.BaseInject.CleanInstrs,
-			BaseFaultyInst: r.BaseInject.FaultyInstrs,
-			BaseWallNs:     r.BaseWall.Nanoseconds(),
-			Speedup:        float64(r.BaseCost()) / float64(max(r.FFCost(), 1)),
-		})
+		rec := PerfRecord{
+			Bench:                 run.Bench,
+			Variant:               string(run.Variant),
+			SiteCount:             r.SiteCount,
+			DynInstrs:             r.Trace.TotalDyn,
+			Reused:                r.ReusedInstances,
+			Injected:              r.InjectedInstances,
+			FFExperiments:         r.FFInject.Experiments,
+			FFSimInstrs:           r.FFCost(),
+			FFCleanInstrs:         r.FFInject.CleanInstrs,
+			FFFaultyInstrs:        r.FFInject.FaultyInstrs,
+			FFWallNs:              r.FFWall.Nanoseconds(),
+			FFElidedExperiments:   r.FFInject.ElidedExperiments,
+			FFElidedSimInstrs:     r.FFInject.ElidedInstrs,
+			FFExecutedExperiments: r.FFInject.Experiments - r.FFInject.ElidedExperiments,
+			FFBatchedExperiments:  r.FFInject.BatchExperiments,
+			BaseExperims:          r.BaseInject.Experiments,
+			BaseSimInstrs:         r.BaseCost(),
+			BaseCleanInstr:        r.BaseInject.CleanInstrs,
+			BaseFaultyInst:        r.BaseInject.FaultyInstrs,
+			BaseWallNs:            r.BaseWall.Nanoseconds(),
+			Speedup:               float64(r.BaseCost()) / float64(max(r.FFCost(), 1)),
+		}
+		if b := r.FFInject.Batches; b > 0 {
+			rec.FFBatchReplicasAvg = float64(r.FFInject.BatchExperiments) / float64(b)
+		}
+		recs = append(recs, rec)
 	}
 	return recs
 }

@@ -1,0 +1,536 @@
+// Lockstep batch replay: Tier B of the experiment-elision stack.
+//
+// A Batch advances K faulty replicas that share one clean prefix. All
+// replicas fork from the same positioned machine, so while their control
+// flow agrees they share one PC, one dynamic counter, and one call stack;
+// only the register files differ (structure-of-arrays, one slice per
+// architectural register) plus a per-replica memory write-delta over the
+// shared read-only base memory. Each opcode is fetched and decoded once
+// per batch and applied to every active replica, amortizing dispatch.
+//
+// A replica leaves the lockstep set when its execution stops matching the
+// group's: a private crash (division by zero, out-of-bounds access from a
+// flipped base register) freezes it as Crashed exactly as a scalar Step
+// would have, and a branch that decides differently from the group
+// detaches it Running at its own target. The batch as a whole stops
+// *before* anything the scalar experiment driver must observe itself —
+// SECEND and HALT events, a shared PC out of bounds, the MaxDyn timeout,
+// call-stack crashes — so a replica materialized out of the batch and
+// finished on a scalar Machine passes through the exact same state
+// sequence as an unbatched run: batching changes wall-clock, never
+// outcomes.
+package vm
+
+import (
+	"math"
+
+	"fastflip/internal/isa"
+)
+
+// Batch is K replicas advancing in lockstep from a shared fork point.
+type Batch struct {
+	code []isa.Instr
+	base *Machine // fork-point machine; its memory is the shared base, never written
+
+	n int
+	r [isa.NumRegs][]uint64 // r[reg][replica]
+	f [isa.NumRegs][]uint64
+	// delta[k] holds replica k's memory writes, overlaying base.Mem.
+	delta []map[uint64]uint64
+
+	// Shared state of the lockstep set.
+	active []int
+	pc     int
+	dyn    uint64
+	maxDyn uint64
+	stack  []int
+
+	// Frozen state of detached replicas.
+	detached []bool
+	status   []Status
+	crashk   []CrashKind
+	pcs      []int
+	dyns     []uint64
+	stacks   [][]int
+
+	steps uint64 // lockstep dispatches executed
+}
+
+// NewBatch forks n replicas off the positioned machine base. The base must
+// be Running; it is not mutated (reads go through it, writes go to
+// per-replica deltas).
+func NewBatch(base *Machine, n int) *Batch {
+	b := &Batch{
+		code:     base.Code,
+		base:     base,
+		n:        n,
+		delta:    make([]map[uint64]uint64, n),
+		active:   make([]int, n),
+		pc:       base.PC,
+		dyn:      base.Dyn,
+		maxDyn:   base.MaxDyn,
+		stack:    append([]int(nil), base.Stack...),
+		detached: make([]bool, n),
+		status:   make([]Status, n),
+		crashk:   make([]CrashKind, n),
+		pcs:      make([]int, n),
+		dyns:     make([]uint64, n),
+		stacks:   make([][]int, n),
+	}
+	rBack := make([]uint64, isa.NumRegs*n)
+	fBack := make([]uint64, isa.NumRegs*n)
+	for reg := 0; reg < isa.NumRegs; reg++ {
+		b.r[reg] = rBack[reg*n : (reg+1)*n]
+		b.f[reg] = fBack[reg*n : (reg+1)*n]
+		for k := 0; k < n; k++ {
+			b.r[reg][k] = base.R[reg]
+			b.f[reg][k] = base.F[reg]
+		}
+	}
+	for k := range b.active {
+		b.active[k] = k
+	}
+	return b
+}
+
+// Replicas returns the batch width K.
+func (b *Batch) Replicas() int { return b.n }
+
+// Steps returns the number of lockstep dispatches executed so far — each
+// one would have cost len(active) scalar Step calls.
+func (b *Batch) Steps() uint64 { return b.steps }
+
+// ActiveCount returns how many replicas are still in the lockstep set.
+func (b *Batch) ActiveCount() int { return len(b.active) }
+
+// FlipInt flips one bit of replica k's integer register reg.
+func (b *Batch) FlipInt(k, reg int, bit uint) { b.r[reg][k] ^= 1 << bit }
+
+// FlipFloat flips one bit of replica k's float register reg.
+func (b *Batch) FlipFloat(k, reg int, bit uint) { b.f[reg][k] ^= 1 << bit }
+
+// load reads replica k's view of memory word addr.
+func (b *Batch) load(k int, addr uint64) uint64 {
+	if d := b.delta[k]; d != nil {
+		if v, ok := d[addr]; ok {
+			return v
+		}
+	}
+	return b.base.Mem[addr]
+}
+
+// store writes v to replica k's memory overlay.
+func (b *Batch) store(k int, addr, v uint64) {
+	d := b.delta[k]
+	if d == nil {
+		d = make(map[uint64]uint64, 8)
+		b.delta[k] = d
+	}
+	d[addr] = v
+}
+
+// detach freezes replica k out of the lockstep set at the given pc with
+// the current (already advanced) dynamic counter.
+func (b *Batch) detach(k, pc int, st Status, ck CrashKind) {
+	b.detached[k] = true
+	b.status[k] = st
+	b.crashk[k] = ck
+	b.pcs[k] = pc
+	b.dyns[k] = b.dyn
+	b.stacks[k] = append([]int(nil), b.stack...)
+}
+
+func (b *Batch) fval(k int, reg uint8) float64 {
+	return math.Float64frombits(b.f[reg][k])
+}
+
+// Step executes one instruction in lockstep across the active set. It
+// returns false — leaving all shared state untouched — when the batch must
+// stop and hand its replicas to a scalar finisher: the active set is
+// empty, or the next instruction is one the experiment driver has to
+// observe on a real Machine (SECEND/HALT events, PC out of bounds, the
+// MaxDyn timeout, a call-stack crash, an undefined opcode).
+func (b *Batch) Step() bool {
+	if len(b.active) == 0 {
+		return false
+	}
+	if b.pc < 0 || b.pc >= len(b.code) {
+		return false
+	}
+	if b.maxDyn > 0 && b.dyn >= b.maxDyn {
+		return false
+	}
+	in := b.code[b.pc]
+	switch in.Op {
+	case isa.SECEND, isa.HALT:
+		return false
+	case isa.CALL:
+		if len(b.stack) >= maxCallDepth {
+			return false
+		}
+	case isa.RET:
+		if len(b.stack) == 0 {
+			return false
+		}
+	}
+	if !isa.Valid(in.Op) {
+		return false
+	}
+
+	b.dyn++
+	b.steps++
+	next := b.pc + 1
+
+	switch in.Op {
+	case isa.NOP, isa.SECBEG, isa.ROIBEG, isa.ROIEND:
+		// Markers carry no architectural effect; their events are only
+		// meaningful to the scalar driver at batch boundaries (SECEND and
+		// HALT stop the batch above).
+
+	case isa.ADD:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = b.r[in.Ra][k] + b.r[in.Rb][k]
+		}
+	case isa.SUB:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = b.r[in.Ra][k] - b.r[in.Rb][k]
+		}
+	case isa.MUL:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = b.r[in.Ra][k] * b.r[in.Rb][k]
+		}
+	case isa.DIV, isa.REM:
+		keep := b.active[:0]
+		for _, k := range b.active {
+			rb := b.r[in.Rb][k]
+			if rb == 0 {
+				b.detach(k, b.pc, Crashed, CrashDivZero)
+				continue
+			}
+			if in.Op == isa.DIV {
+				b.r[in.Rd][k] = uint64(int64(b.r[in.Ra][k]) / int64(rb))
+			} else {
+				b.r[in.Rd][k] = uint64(int64(b.r[in.Ra][k]) % int64(rb))
+			}
+			keep = append(keep, k)
+		}
+		b.active = keep
+	case isa.AND:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = b.r[in.Ra][k] & b.r[in.Rb][k]
+		}
+	case isa.OR:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = b.r[in.Ra][k] | b.r[in.Rb][k]
+		}
+	case isa.XOR:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = b.r[in.Ra][k] ^ b.r[in.Rb][k]
+		}
+	case isa.SHL:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = b.r[in.Ra][k] << (b.r[in.Rb][k] & 63)
+		}
+	case isa.SHR:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = b.r[in.Ra][k] >> (b.r[in.Rb][k] & 63)
+		}
+	case isa.SRA:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = uint64(int64(b.r[in.Ra][k]) >> (b.r[in.Rb][k] & 63))
+		}
+	case isa.SLT:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = b2u(int64(b.r[in.Ra][k]) < int64(b.r[in.Rb][k]))
+		}
+	case isa.SLTU:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = b2u(b.r[in.Ra][k] < b.r[in.Rb][k])
+		}
+
+	case isa.ADDI:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = b.r[in.Ra][k] + uint64(in.Imm)
+		}
+	case isa.MULI:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = b.r[in.Ra][k] * uint64(in.Imm)
+		}
+	case isa.ANDI:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = b.r[in.Ra][k] & uint64(in.Imm)
+		}
+	case isa.ORI:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = b.r[in.Ra][k] | uint64(in.Imm)
+		}
+	case isa.XORI:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = b.r[in.Ra][k] ^ uint64(in.Imm)
+		}
+	case isa.SHLI:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = b.r[in.Ra][k] << (uint64(in.Imm) & 63)
+		}
+	case isa.SHRI:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = b.r[in.Ra][k] >> (uint64(in.Imm) & 63)
+		}
+	case isa.SRAI:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = uint64(int64(b.r[in.Ra][k]) >> (uint64(in.Imm) & 63))
+		}
+
+	case isa.MOV:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = b.r[in.Ra][k]
+		}
+	case isa.NOT:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = ^b.r[in.Ra][k]
+		}
+	case isa.NEG:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = -b.r[in.Ra][k]
+		}
+	case isa.LI:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = uint64(in.Imm)
+		}
+
+	case isa.ADD32:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = (b.r[in.Ra][k] + b.r[in.Rb][k]) & 0xffffffff
+		}
+	case isa.ROTR32:
+		s := uint(in.Imm) & 31
+		for _, k := range b.active {
+			x := uint32(b.r[in.Ra][k])
+			b.r[in.Rd][k] = uint64(x>>s | x<<(32-s))
+		}
+	case isa.NOT32:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = ^b.r[in.Ra][k] & 0xffffffff
+		}
+
+	case isa.FADD:
+		for _, k := range b.active {
+			b.f[in.Rd][k] = math.Float64bits(b.fval(k, in.Ra) + b.fval(k, in.Rb))
+		}
+	case isa.FSUB:
+		for _, k := range b.active {
+			b.f[in.Rd][k] = math.Float64bits(b.fval(k, in.Ra) - b.fval(k, in.Rb))
+		}
+	case isa.FMUL:
+		for _, k := range b.active {
+			b.f[in.Rd][k] = math.Float64bits(b.fval(k, in.Ra) * b.fval(k, in.Rb))
+		}
+	case isa.FDIV:
+		for _, k := range b.active {
+			b.f[in.Rd][k] = math.Float64bits(b.fval(k, in.Ra) / b.fval(k, in.Rb))
+		}
+	case isa.FMIN:
+		for _, k := range b.active {
+			b.f[in.Rd][k] = math.Float64bits(math.Min(b.fval(k, in.Ra), b.fval(k, in.Rb)))
+		}
+	case isa.FMAX:
+		for _, k := range b.active {
+			b.f[in.Rd][k] = math.Float64bits(math.Max(b.fval(k, in.Ra), b.fval(k, in.Rb)))
+		}
+
+	case isa.FSQRT:
+		for _, k := range b.active {
+			b.f[in.Rd][k] = math.Float64bits(math.Sqrt(b.fval(k, in.Ra)))
+		}
+	case isa.FNEG:
+		for _, k := range b.active {
+			b.f[in.Rd][k] = math.Float64bits(-b.fval(k, in.Ra))
+		}
+	case isa.FABS:
+		for _, k := range b.active {
+			b.f[in.Rd][k] = math.Float64bits(math.Abs(b.fval(k, in.Ra)))
+		}
+	case isa.FEXP:
+		for _, k := range b.active {
+			b.f[in.Rd][k] = math.Float64bits(math.Exp(b.fval(k, in.Ra)))
+		}
+	case isa.FLN:
+		for _, k := range b.active {
+			b.f[in.Rd][k] = math.Float64bits(math.Log(b.fval(k, in.Ra)))
+		}
+	case isa.FMOV:
+		for _, k := range b.active {
+			b.f[in.Rd][k] = b.f[in.Ra][k]
+		}
+
+	case isa.FLI:
+		for _, k := range b.active {
+			b.f[in.Rd][k] = uint64(in.Imm)
+		}
+
+	case isa.ITOF:
+		for _, k := range b.active {
+			b.f[in.Rd][k] = math.Float64bits(float64(int64(b.r[in.Ra][k])))
+		}
+	case isa.FTOI:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = ftoi(b.fval(k, in.Ra))
+		}
+	case isa.FBITS:
+		for _, k := range b.active {
+			b.r[in.Rd][k] = b.f[in.Ra][k]
+		}
+	case isa.BITSF:
+		for _, k := range b.active {
+			b.f[in.Rd][k] = b.r[in.Ra][k]
+		}
+
+	case isa.LD, isa.FLD:
+		keep := b.active[:0]
+		memLen := uint64(len(b.base.Mem))
+		for _, k := range b.active {
+			addr := b.r[in.Ra][k] + uint64(in.Imm)
+			if addr >= memLen {
+				b.detach(k, b.pc, Crashed, CrashMemOOB)
+				continue
+			}
+			if in.Op == isa.LD {
+				b.r[in.Rd][k] = b.load(k, addr)
+			} else {
+				b.f[in.Rd][k] = b.load(k, addr)
+			}
+			keep = append(keep, k)
+		}
+		b.active = keep
+	case isa.ST, isa.FST:
+		keep := b.active[:0]
+		memLen := uint64(len(b.base.Mem))
+		for _, k := range b.active {
+			addr := b.r[in.Rb][k] + uint64(in.Imm)
+			if addr >= memLen {
+				b.detach(k, b.pc, Crashed, CrashMemOOB)
+				continue
+			}
+			if in.Op == isa.ST {
+				b.store(k, addr, b.r[in.Ra][k])
+			} else {
+				b.store(k, addr, b.f[in.Ra][k])
+			}
+			keep = append(keep, k)
+		}
+		b.active = keep
+
+	case isa.JMP:
+		next = int(in.Imm)
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BLE, isa.BGT, isa.BGE:
+		taken := func(k int) bool {
+			a, bb := int64(b.r[in.Ra][k]), int64(b.r[in.Rb][k])
+			switch in.Op {
+			case isa.BEQ:
+				return a == bb
+			case isa.BNE:
+				return a != bb
+			case isa.BLT:
+				return a < bb
+			case isa.BLE:
+				return a <= bb
+			case isa.BGT:
+				return a > bb
+			default:
+				return a >= bb
+			}
+		}
+		next = b.branch(in, next, taken)
+	case isa.FBEQ, isa.FBNE, isa.FBLT, isa.FBLE:
+		taken := func(k int) bool {
+			a, bb := b.fval(k, in.Ra), b.fval(k, in.Rb)
+			switch in.Op {
+			case isa.FBEQ:
+				return a == bb
+			case isa.FBNE:
+				return a != bb
+			case isa.FBLT:
+				return a < bb
+			default:
+				return a <= bb
+			}
+		}
+		next = b.branch(in, next, taken)
+
+	case isa.CALL:
+		b.stack = append(b.stack, next)
+		next = int(in.Imm)
+	case isa.RET:
+		next = b.stack[len(b.stack)-1]
+		b.stack = b.stack[:len(b.stack)-1]
+	}
+
+	b.pc = next
+	return true
+}
+
+// branch partitions the active set by branch decision: the subset agreeing
+// with the first active replica stays in lockstep, the rest detach Running
+// at their own targets (the branch itself already executed for them).
+func (b *Batch) branch(in isa.Instr, fallthru int, taken func(k int) bool) int {
+	groupTaken := taken(b.active[0])
+	keep := b.active[:0]
+	for _, k := range b.active {
+		t := groupTaken
+		if k != b.active[0] {
+			t = taken(k)
+		}
+		if t == groupTaken {
+			keep = append(keep, k)
+			continue
+		}
+		tgt := fallthru
+		if t {
+			tgt = int(in.Imm)
+		}
+		b.detach(k, tgt, Running, CrashNone)
+	}
+	b.active = keep
+	if groupTaken {
+		return int(in.Imm)
+	}
+	return fallthru
+}
+
+// Run advances the batch until Step refuses — all replicas detached or a
+// shared stop condition reached.
+func (b *Batch) Run() {
+	for b.Step() {
+	}
+}
+
+// MaterializeInto writes replica k's architectural state onto m, which
+// must currently mirror the batch's fork point (same memory as the base
+// machine). Memory is patched through the journal when m is journaling, so
+// the caller can revert the materialization with UndoJournal exactly like
+// a scalar experiment fork.
+func (b *Batch) MaterializeInto(k int, m *Machine) {
+	for reg := 0; reg < isa.NumRegs; reg++ {
+		m.R[reg] = b.r[reg][k]
+		m.F[reg] = b.f[reg][k]
+	}
+	if b.detached[k] {
+		m.PC = b.pcs[k]
+		m.Dyn = b.dyns[k]
+		m.Stack = append(m.Stack[:0], b.stacks[k]...)
+		m.Status = b.status[k]
+		m.Crash = b.crashk[k]
+	} else {
+		m.PC = b.pc
+		m.Dyn = b.dyn
+		m.Stack = append(m.Stack[:0], b.stack...)
+		m.Status = Running
+		m.Crash = CrashNone
+	}
+	for addr, v := range b.delta[k] {
+		if m.journaling {
+			m.recordWrite(addr)
+		}
+		m.Mem[addr] = v
+	}
+}

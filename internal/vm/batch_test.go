@@ -1,0 +1,205 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastflip/internal/isa"
+	"fastflip/internal/prog"
+)
+
+// batchProg exercises every detach path: loops (branch divergence), a
+// call, integer and float arithmetic, loads/stores with computed
+// addresses, and a division whose divisor a flip can zero.
+func batchProg(t testing.TB) *prog.Linked {
+	main := prog.NewFunc("main")
+	main.Li(1, 0) // base
+	main.Li(2, 0) // i
+	main.Li(3, 6) // n
+	main.Li(7, 3) // divisor
+	main.Label("loop")
+	main.Li(4, 0x9e3779b9)
+	main.Add(4, 4, 2)
+	main.Div(5, 4, 7)
+	main.Call("mix")
+	main.St(6, 1, 2)
+	main.Ld(8, 1, 2)
+	main.Itof(9, 8)
+	main.Fsqrt(9, 9)
+	main.Fst(9, 1, 3)
+	main.Addi(2, 2, 1)
+	main.Blt(2, 3, "loop")
+	main.Halt()
+
+	mix := prog.NewFunc("mix")
+	mix.Rotr32(6, 5, 5)
+	mix.Add32(6, 6, 4)
+	mix.Andi(6, 6, 0x7fffffff)
+	mix.Ret()
+
+	p := prog.New()
+	p.MustAdd(main.MustBuild())
+	p.MustAdd(mix.MustBuild())
+	l, err := p.Link("main")
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return l
+}
+
+type flipSpec struct {
+	float bool
+	reg   int
+	bit   uint
+}
+
+// scalarGroundTruth runs one flipped replica on a scalar Machine from the
+// fork point to termination and returns its final state.
+func scalarGroundTruth(fork *Machine, fl flipSpec) *Machine {
+	m := fork.Clone()
+	if fl.float {
+		m.FlipFloat(fl.reg, fl.bit)
+	} else {
+		m.FlipInt(fl.reg, fl.bit)
+	}
+	m.Run()
+	return m
+}
+
+// TestBatchMatchesScalar forks a batch of randomly flipped replicas at
+// several dynamic positions and checks every replica, materialized and
+// finished on a scalar machine, against an unbatched scalar run:
+// identical status, crash kind, dynamic count, registers, and memory.
+func TestBatchMatchesScalar(t *testing.T) {
+	l := batchProg(t)
+	const memWords = 32
+	rng := rand.New(rand.NewSource(7))
+
+	clean := New(l.Code, l.Entry, memWords)
+	if ev := clean.Run(); ev.Kind != EvHalt {
+		t.Fatalf("clean run: %v", ev.Kind)
+	}
+	total := clean.Dyn
+
+	for _, forkAt := range []uint64{0, 3, 9, 17, total - 2} {
+		fork := New(l.Code, l.Entry, memWords)
+		fork.MaxDyn = 10 * total
+		if ev := fork.RunUntilDyn(forkAt); ev.Kind != EvNone {
+			t.Fatalf("fork replay to %d: %v", forkAt, ev.Kind)
+		}
+
+		const K = 24
+		flips := make([]flipSpec, K)
+		for k := range flips {
+			flips[k] = flipSpec{
+				float: rng.Intn(4) == 0,
+				reg:   1 + rng.Intn(9),
+				bit:   uint(rng.Intn(64)),
+			}
+		}
+
+		b := NewBatch(fork, K)
+		for k, fl := range flips {
+			if fl.float {
+				b.FlipFloat(k, fl.reg, fl.bit)
+			} else {
+				b.FlipInt(k, fl.reg, fl.bit)
+			}
+		}
+		b.Run()
+
+		scratch := fork.Clone()
+		for k, fl := range flips {
+			want := scalarGroundTruth(fork, fl)
+
+			scratch.BeginJournal()
+			b.MaterializeInto(k, scratch)
+			got := scratch.Clone()
+			got.Run()
+
+			if got.Status != want.Status || got.Crash != want.Crash {
+				t.Fatalf("fork %d replica %d (%+v): status %v/%v, want %v/%v",
+					forkAt, k, fl, got.Status, got.Crash, want.Status, want.Crash)
+			}
+			if got.Dyn != want.Dyn {
+				t.Fatalf("fork %d replica %d (%+v): dyn %d, want %d", forkAt, k, fl, got.Dyn, want.Dyn)
+			}
+			if got.R != want.R || got.F != want.F {
+				t.Fatalf("fork %d replica %d (%+v): register files differ", forkAt, k, fl)
+			}
+			for a := range got.Mem {
+				if got.Mem[a] != want.Mem[a] {
+					t.Fatalf("fork %d replica %d (%+v): mem[%d] = %#x, want %#x",
+						forkAt, k, fl, a, got.Mem[a], want.Mem[a])
+				}
+			}
+
+			// The journal must revert the materialization so the scratch
+			// machine can host the next replica.
+			if scratch.UndoJournal() {
+				scratch.CopyScalarsFrom(fork)
+			} else {
+				scratch.RestoreFrom(fork)
+			}
+			for a := range scratch.Mem {
+				if scratch.Mem[a] != fork.Mem[a] {
+					t.Fatalf("fork %d replica %d: journal revert left mem[%d] dirty", forkAt, k, a)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchStopsBeforeEvents ensures a batch never consumes SECEND or
+// HALT: the scalar finisher must observe those events itself.
+func TestBatchStopsBeforeEvents(t *testing.T) {
+	b := prog.NewFunc("main")
+	b.RoiBeg()
+	b.SecBeg(0)
+	b.Li(1, 1)
+	b.Addi(1, 1, 2)
+	b.SecEnd(0)
+	b.RoiEnd()
+	b.Halt()
+	p := prog.New()
+	p.MustAdd(b.MustBuild())
+	l, err := p.Link("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork := New(l.Code, l.Entry, 8)
+	batch := NewBatch(fork, 3)
+	batch.Run()
+	if got := l.Code[batch.pc].Op; got != isa.SECEND {
+		t.Fatalf("batch stopped at %v, want SECEND", got)
+	}
+	m := fork.Clone()
+	batch.MaterializeInto(0, m)
+	if ev := m.Step(); ev.Kind != EvSecEnd {
+		t.Fatalf("materialized step = %v, want EvSecEnd", ev.Kind)
+	}
+}
+
+func BenchmarkBatchStep(b *testing.B) {
+	l := batchProg(b)
+	const memWords = 32
+	fork := New(l.Code, l.Entry, memWords)
+	clean := New(l.Code, l.Entry, memWords)
+	clean.Run()
+	for _, width := range []int{1, 8, 32} {
+		name := map[int]string{1: "k1", 8: "k8", 32: "k32"}[width]
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				bt := NewBatch(fork, width)
+				for k := 0; k < width; k++ {
+					bt.FlipInt(k, 4, uint(k%64))
+				}
+				bt.Run()
+				steps += int(bt.Steps())
+			}
+			b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+		})
+	}
+}
