@@ -44,6 +44,8 @@ func main() {
 		resume    = flag.Bool("resume", false, "with -wal-dir: merge experiments a previous (crashed) run logged and re-execute only the remainder")
 		noElide   = flag.Bool("no-elide", false, "disable the static masking tier (simulate every experiment instead of proving masked bits)")
 		noBatch   = flag.Bool("no-batch", false, "disable lockstep batch replay (run every faulty replica as a scalar fork)")
+		sharedDir = flag.String("shared-store", "", "directory of the shared content-addressed outcome tier (sections analyzed by any process using the same directory are reused, fresh ones published back)")
+		tenant    = flag.String("tenant", "cli", "tenant name attributed in the shared store (with -shared-store)")
 	)
 	flag.Parse()
 	if *benchName == "" {
@@ -84,6 +86,16 @@ func main() {
 		}
 	}
 
+	var shared *fastflip.SharedStore
+	if *sharedDir != "" {
+		var err error
+		shared, err = fastflip.OpenSharedStore(fastflip.SharedStoreOptions{Dir: *sharedDir})
+		if err != nil {
+			log.Fatal(err)
+		}
+		a.Store.WithTier(shared.AsTier(*tenant))
+	}
+
 	p, err := fastflip.BuildBenchmark(*benchName, fastflip.Variant(*variant))
 	if err != nil {
 		log.Fatal(err)
@@ -122,6 +134,12 @@ func main() {
 		s := r.Summarize(*eps, evals)
 		s.Bench = *benchName
 		s.Variant = *variant
+		if shared != nil {
+			// The handle is opened fresh per process, so its counters are
+			// exactly this run's shared-tier traffic.
+			st := shared.Stats()
+			s.SharedHits, s.SharedMisses = int(st.Hits), int(st.Misses)
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(s); err != nil {
@@ -188,6 +206,17 @@ func main() {
 		}
 		if !*jsonOut {
 			fmt.Printf("saved store %s (%d sections)\n", *storePath, len(a.Store.Sections))
+		}
+	}
+	if shared != nil {
+		// Close publishes the sections this run staged so other processes
+		// sharing the directory can reuse them.
+		if err := shared.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if !*jsonOut {
+			st := shared.Stats()
+			fmt.Printf("shared store: %d hits, %d misses, %d sections on disk\n", st.Hits, st.Misses, st.Sections)
 		}
 	}
 }

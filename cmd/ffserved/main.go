@@ -41,6 +41,7 @@ import (
 
 	"fastflip/internal/coord"
 	"fastflip/internal/core"
+	"fastflip/internal/ostore"
 	"fastflip/internal/server"
 	"fastflip/internal/service"
 )
@@ -63,6 +64,9 @@ func main() {
 		peers    = flag.String("peers", "", "comma-separated worker base URLs; turns this daemon into a campaign coordinator")
 		noElide  = flag.Bool("no-elide", false, "disable the static masking tier for every job (simulate all experiments)")
 		noBatch  = flag.Bool("no-batch", false, "disable lockstep batch replay for every job (scalar forks only)")
+		shared   = flag.String("shared-store", "", "directory of the shared content-addressed outcome tier; several ffserved processes may point at the same directory")
+		sharedQ  = flag.Int64("shared-quota", 0, "per-tenant live byte quota in the shared store, oldest sections evicted beyond it (0 = unlimited)")
+		tenantQ  = flag.Int("tenant-jobs", 0, "per-tenant active-job quota, submissions beyond it get 429 (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -109,6 +113,21 @@ func main() {
 		}
 	}
 
+	var sharedStore *ostore.Store
+	if *shared != "" {
+		var err error
+		sharedStore, err = ostore.Open(ostore.Options{Dir: *shared, TenantQuotaBytes: *sharedQ})
+		if err != nil {
+			log.Fatalf("shared store: %v", err)
+		}
+		defer func() {
+			if err := sharedStore.Close(); err != nil {
+				log.Printf("shared store close: %v", err)
+			}
+		}()
+		log.Printf("shared outcome tier at %s", *shared)
+	}
+
 	mgr := service.New(service.Options{
 		Workers:          *jobs,
 		QueueDepth:       *queue,
@@ -117,6 +136,8 @@ func main() {
 		WALDir:           *walDir,
 		MaxCachedBenches: *benches,
 		Coordinator:      co,
+		Shared:           sharedStore,
+		MaxTenantActive:  *tenantQ,
 		ConfigHook: func(cfg *core.Config) {
 			cfg.Elide = !*noElide
 			cfg.NoBatch = *noBatch

@@ -7,6 +7,7 @@ import (
 	"fastflip/internal/knap"
 	"fastflip/internal/lang"
 	"fastflip/internal/metrics"
+	"fastflip/internal/ostore"
 	"fastflip/internal/prog"
 	"fastflip/internal/sens"
 	"fastflip/internal/spec"
@@ -112,6 +113,12 @@ type (
 	PropagationSpec = chisel.Spec
 	// Store persists per-section results across versions.
 	Store = store.Store
+	// SharedStore is the disk-backed, content-addressed outcome tier
+	// shared across processes and tenants (attach with Store.WithTier and
+	// SharedStore.AsTier).
+	SharedStore = ostore.Store
+	// SharedStoreOptions configure OpenSharedStore.
+	SharedStoreOptions = ostore.Options
 )
 
 // DefaultConfig mirrors the paper's evaluation setup.
@@ -125,6 +132,10 @@ func NewStore() *Store { return store.New() }
 
 // LoadStore reads a store previously written with Store.Save.
 func LoadStore(path string) (*Store, error) { return store.Load(path) }
+
+// OpenSharedStore opens (creating if necessary) the shared outcome tier
+// in opts.Dir. Any number of processes may share one directory.
+func OpenSharedStore(opts SharedStoreOptions) (*SharedStore, error) { return ostore.Open(opts) }
 
 // The paper's benchmarks (Table 1) and evaluation harness.
 type (

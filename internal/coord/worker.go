@@ -148,10 +148,15 @@ func (w *Worker) shard(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var key store.Key
+	var keyErr error
 	if cfg.StrictReuseKeys {
-		key = store.KeyForStrict(t, inst)
+		key, keyErr = store.KeyForStrict(t, inst)
 	} else {
-		key = store.KeyFor(t, inst)
+		key, keyErr = store.KeyFor(t, inst)
+	}
+	if keyErr != nil {
+		httpError(rw, http.StatusBadRequest, fmt.Errorf("computing section key: %w", keyErr))
+		return
 	}
 	if got := hex.EncodeToString(key[:]); got != req.SectionKey {
 		httpError(rw, http.StatusConflict, fmt.Errorf("section key mismatch: lease names %s, worker computes %s", req.SectionKey, got))

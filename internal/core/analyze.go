@@ -358,10 +358,17 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, p *spec.Program) (*Result
 		}
 		classes := sites.ForInstance(t, inst, siteOpts)
 		var key store.Key
+		var keyErr error
 		if a.Cfg.StrictReuseKeys {
-			key = store.KeyForStrict(t, inst)
+			key, keyErr = store.KeyForStrict(t, inst)
 		} else {
-			key = store.KeyFor(t, inst)
+			key, keyErr = store.KeyFor(t, inst)
+		}
+		if keyErr != nil {
+			// A buffer declaration outside the machine's memory: the spec
+			// is malformed, and an unkeyable section can neither reuse nor
+			// publish results. Fail the job instead of panicking it.
+			return nil, fmt.Errorf("core: computing reuse key for instance %d: %w", idx, keyErr)
 		}
 		if st := a.storeLookup(key, classes); st != nil {
 			for _, c := range classes {

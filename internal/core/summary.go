@@ -79,6 +79,14 @@ type Summary struct {
 	RemoteExperiments int `json:"remote_experiments,omitempty"`
 	ShardsMerged      int `json:"shards_merged,omitempty"`
 
+	// SharedHits counts section lookups this job resolved from the shared
+	// cross-process outcome tier, SharedMisses those the tier could not
+	// serve (both zero without a shared tier; included in Reused/Injected
+	// respectively). Like the wall-clock and work-split fields, they
+	// describe where this run's results came from, not what they are.
+	SharedHits   int `json:"shared_hits,omitempty"`
+	SharedMisses int `json:"shared_misses,omitempty"`
+
 	Outcomes OutcomeStats `json:"outcomes"`
 
 	Baseline *BaselineSummary `json:"baseline,omitempty"`

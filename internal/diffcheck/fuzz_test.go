@@ -115,6 +115,25 @@ func TestOracleSweep(t *testing.T) {
 	}
 }
 
+// TestIncrementalTierMatchesScratch runs the incremental oracle with the
+// reuse flowing through the shared outcome tier: two independent store
+// handles over one directory, every reused section round-tripping through
+// gob and a segment file. The acceptance bar for the shared tier is that
+// this is indistinguishable from the warm in-memory store.
+func TestIncrementalTierMatchesScratch(t *testing.T) {
+	seeds := []uint64{1, 42}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		g := Generate(seed, FamilyMixed)
+		e := ProposeEdit(g, newRNG(seed^0xed17))
+		if v := CheckIncrementalTier(g, e, t.TempDir()); v != nil {
+			t.Fatal(v)
+		}
+	}
+}
+
 // TestSeededChiselBugCaughtAndShrunk is the harness's own differential
 // test: disable the chisel bound widening for sub-unity amplification
 // factors (a seeded soundness defect behind a test hook) and require the

@@ -9,6 +9,7 @@ import (
 
 	"fastflip/internal/core"
 	"fastflip/internal/metrics"
+	"fastflip/internal/ostore"
 	"fastflip/internal/spec"
 )
 
@@ -182,6 +183,89 @@ func CheckIncremental(g *Prog, e *Edit) *Violation {
 	if min := MinReuse(len(g.Secs), e); rIncr.ReusedInstances < min {
 		return violationf(InvIncremental, g, e,
 			"edit %s reused %d section instances, want at least %d", e.Kind, rIncr.ReusedInstances, min)
+	}
+	return nil
+}
+
+// CheckIncrementalTier verifies invariant 2 with the reuse flowing
+// through the shared outcome tier instead of a warm in-memory store: the
+// base program is analyzed by one process-equivalent (its own
+// ostore.Store handle over dir, publishing every section), the edited
+// program by a second handle with a completely fresh section store — so
+// every reused section must round-trip through gob, the segment file, and
+// the cross-handle directory rescan — and the result must still equal a
+// from-scratch analysis of the edited program. dir is a scratch
+// directory; "" allocates a temporary one.
+func CheckIncrementalTier(g *Prog, e *Edit, dir string) *Violation {
+	edited := e.Apply(g)
+	pBase, v := build(InvIncremental, g, e)
+	if v != nil {
+		return v
+	}
+	pEdit, v := build(InvIncremental, edited, e)
+	if v != nil {
+		return v
+	}
+	if dir == "" {
+		d, err := os.MkdirTemp("", "diffcheck-ostore-")
+		if err != nil {
+			return violationf(InvIncremental, g, e, "mkdir temp: %v", err)
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	cfg := baseConfig()
+	cfg.StrictReuseKeys = true // see CheckIncremental
+
+	os1, err := ostore.Open(ostore.Options{Dir: dir})
+	if err != nil {
+		return violationf(InvIncremental, g, e, "opening shared tier: %v", err)
+	}
+	a1 := core.NewAnalyzer(cfg)
+	a1.Store.WithTier(os1.AsTier("base"))
+	if _, err := a1.Analyze(pBase); err != nil {
+		return violationf(InvIncremental, g, e, "base analysis failed: %v", err)
+	}
+	if err := os1.Close(); err != nil {
+		return violationf(InvIncremental, g, e, "publishing base sections: %v", err)
+	}
+
+	os2, err := ostore.Open(ostore.Options{Dir: dir})
+	if err != nil {
+		return violationf(InvIncremental, g, e, "reopening shared tier: %v", err)
+	}
+	defer os2.Close()
+	a2 := core.NewAnalyzer(cfg)
+	a2.Store.WithTier(os2.AsTier("incr"))
+	a2.NoteModification()
+	rIncr, err := a2.Analyze(pEdit)
+	if err != nil {
+		return violationf(InvIncremental, g, e, "incremental analysis failed: %v", err)
+	}
+	rScratch, err := core.NewAnalyzer(cfg).Analyze(pEdit)
+	if err != nil {
+		return violationf(InvIncremental, g, e, "scratch analysis failed: %v", err)
+	}
+
+	if v := compareOutcomes(InvIncremental, g, e, rScratch, rIncr, "scratch", "incremental-tier"); v != nil {
+		return v
+	}
+	sIncr := rIncr.Summarize(cfg.Epsilon, nil)
+	sScratch := rScratch.Summarize(cfg.Epsilon, nil)
+	for _, s := range []*core.Summary{sIncr, sScratch} {
+		neutralizeWork(s)
+		s.Reused, s.Injected = 0, 0
+		s.FFExperiments = 0
+		s.FFSimInstrs = 0
+		s.ElidedExperiments, s.ElidedSimInstrs = 0, 0
+	}
+	if !reflect.DeepEqual(sIncr, sScratch) {
+		return violationf(InvIncremental, g, e,
+			"summaries differ with shared tier (edit %s):\nincremental: %+v\nscratch:     %+v", e.Kind, sIncr, sScratch)
+	}
+	if min := MinReuse(len(g.Secs), e); rIncr.ReusedInstances < min {
+		return violationf(InvIncremental, g, e,
+			"edit %s reused %d section instances through the shared tier, want at least %d", e.Kind, rIncr.ReusedInstances, min)
 	}
 	return nil
 }

@@ -23,7 +23,10 @@ func TestResumeMidSectionCampaign(t *testing.T) {
 	if len(classes) < 4 {
 		t.Fatalf("fixture too small: %d classes", len(classes))
 	}
-	key := store.KeyFor(tr, inst)
+	key, err := store.KeyFor(tr, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
 	dir := t.TempDir()
 
 	// Reference: uninterrupted campaign.

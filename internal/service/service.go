@@ -21,11 +21,13 @@ import (
 	"os"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fastflip/internal/bench"
 	"fastflip/internal/coord"
 	"fastflip/internal/core"
+	"fastflip/internal/ostore"
 	"fastflip/internal/spec"
 	"fastflip/internal/store"
 )
@@ -67,6 +69,19 @@ type Request struct {
 	// Modified marks this as a modified version of the last analysis of
 	// the same benchmark (advances the §4.10 m_adj counter).
 	Modified bool `json:"modified,omitempty"`
+	// Tenant names the submitting tenant for shared-tier attribution,
+	// per-tenant quotas, and metrics. Empty means "default". The tenant is
+	// a namespace for accounting, not for lookups: content addressing
+	// makes every tenant's published sections reusable by every other.
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// tenant returns the request's tenant name, defaulted.
+func (r Request) tenant() string {
+	if r.Tenant == "" {
+		return "default"
+	}
+	return r.Tenant
 }
 
 // JobView is a point-in-time snapshot of a job, safe to serialize.
@@ -137,6 +152,23 @@ type Metrics struct {
 	// completed distributed job performs before merging its results.
 	StoreInvalidations uint64 `json:"store_invalidations"`
 
+	// Shared-tier counters, all zero without Options.Shared. Hits and
+	// misses are lookups against the cross-process outcome store (a hit
+	// means the section was analyzed by some earlier job — possibly in
+	// another process, by another tenant); Bytes and Evictions describe
+	// the store's live on-disk footprint and quota enforcement.
+	SharedHits      uint64 `json:"shared_hits,omitempty"`
+	SharedMisses    uint64 `json:"shared_misses,omitempty"`
+	SharedBytes     int64  `json:"shared_bytes,omitempty"`
+	SharedEvictions uint64 `json:"shared_evictions,omitempty"`
+	SharedSections  int    `json:"shared_sections,omitempty"`
+	SharedSegments  int    `json:"shared_segments,omitempty"`
+	// SharedTenants maps tenant names to their shared-tier counters.
+	SharedTenants map[string]ostore.TenantStats `json:"shared_tenants,omitempty"`
+	// ClientDisconnects counts response writes abandoned because the
+	// client went away (set by the HTTP layer, not the manager).
+	ClientDisconnects uint64 `json:"client_disconnects,omitempty"`
+
 	// Dist carries the distributed-campaign coordinator's counters
 	// (shard throughput, leases, reassignments); nil when the service
 	// runs campaigns locally.
@@ -197,6 +229,17 @@ type Options struct {
 	// stale cached section (e.g. a conservative poison fill from an
 	// earlier local run) would silently override re-executed results.
 	Coordinator *coord.Coordinator
+	// Shared, when non-nil, is the cross-process outcome tier behind
+	// every job's store snapshot: lookups fall through benchmark cache →
+	// shared tier → miss, and freshly analyzed sections are published
+	// back. The staged batch is flushed after every job. Distributed jobs
+	// skip the tier for the same reason they skip the benchmark cache.
+	// The Manager does not own the store; the caller closes it.
+	Shared *ostore.Store
+	// MaxTenantActive bounds one tenant's queued-plus-running jobs;
+	// submissions beyond it fail with ErrTenantQuota (HTTP 429). 0 means
+	// unlimited.
+	MaxTenantActive int
 }
 
 func (o Options) withDefaults() Options {
@@ -226,6 +269,14 @@ var (
 	ErrFinished  = errors.New("service: job already finished")
 	ErrQueueFull = errors.New("service: queue full")
 	ErrClosed    = errors.New("service: manager closed")
+	// ErrInvalid wraps submit failures caused by the request itself — an
+	// unknown benchmark, a malformed spec — and maps to 400; ErrInfra
+	// wraps failures of the service's own machinery (an unwritable WAL
+	// directory, shared-tier I/O) and maps to 500. ErrTenantQuota rejects
+	// a tenant already at its active-job quota and maps to 429.
+	ErrInvalid     = errors.New("service: invalid request")
+	ErrInfra       = errors.New("service: infrastructure failure")
+	ErrTenantQuota = errors.New("service: tenant active-job quota exceeded")
 )
 
 type job struct {
@@ -241,6 +292,10 @@ type job struct {
 	result   *core.Summary
 	cancel   context.CancelFunc
 	done     chan struct{}
+	// watchers receive coalesced JobView snapshots on every state or
+	// progress change (capacity-1 channels: a slow watcher sees the
+	// latest view, never a backlog). All closed when the job finishes.
+	watchers []chan JobView
 }
 
 // Manager owns the job queue, the worker pool, and the store cache.
@@ -275,21 +330,48 @@ func New(opts Options) *Manager {
 }
 
 // Submit validates req, builds its program, and enqueues a job, returning
-// its snapshot. Fails with ErrQueueFull when the queue is at capacity and
-// ErrClosed after Close.
+// its snapshot. Failures are classified: request problems (unknown
+// benchmark, malformed spec) wrap ErrInvalid, service problems (an
+// unwritable WAL directory) wrap ErrInfra, a full queue is ErrQueueFull,
+// a tenant at its active-job quota ErrTenantQuota, and a draining manager
+// ErrClosed.
 func (m *Manager) Submit(req Request) (JobView, error) {
 	if req.Variant == "" {
 		req.Variant = string(bench.None)
 	}
 	p, err := m.opts.Build(req.Bench, req.Variant)
 	if err != nil {
-		return JobView{}, err
+		return JobView{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	// Validate the spec before the job can reach the analyzer: a buffer
+	// declared outside memory must fail this tenant's build step, not a
+	// worker goroutine.
+	if err := p.Validate(); err != nil {
+		return JobView{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if dir := m.opts.WALDir; dir != "" {
+		// Probe durability now: accepting a job whose campaign log cannot
+		// be written is an infrastructure failure, not the client's fault.
+		if err := checkWritable(dir); err != nil {
+			return JobView{}, fmt.Errorf("%w: wal dir: %v", ErrInfra, err)
+		}
 	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return JobView{}, ErrClosed
+	}
+	if q := m.opts.MaxTenantActive; q > 0 {
+		active := 0
+		for _, j := range m.jobs {
+			if !j.state.Terminal() && j.req.tenant() == req.tenant() {
+				active++
+			}
+		}
+		if active >= q {
+			return JobView{}, fmt.Errorf("%w: tenant %q has %d active jobs (max %d)", ErrTenantQuota, req.tenant(), active, q)
+		}
 	}
 	m.nextID++
 	j := &job{
@@ -374,6 +456,67 @@ func (m *Manager) Wait(ctx context.Context, id string) (JobView, error) {
 	}
 }
 
+// Watch subscribes to a job's state and progress changes. The returned
+// channel immediately carries the current snapshot, then a fresh one on
+// every change, coalesced: a slow consumer sees the latest view rather
+// than a backlog. The channel is closed after the terminal snapshot is
+// delivered (or when cancel is called). cancel is idempotent and must be
+// called once the caller is done.
+func (m *Manager) Watch(id string) (<-chan JobView, func(), error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	ch := make(chan JobView, 1)
+	ch <- m.viewLocked(j)
+	if j.state.Terminal() {
+		// Already over: the snapshot above is the terminal one.
+		close(ch)
+		return ch, func() {}, nil
+	}
+	j.watchers = append(j.watchers, ch)
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			for i, w := range j.watchers {
+				if w == ch {
+					j.watchers = append(j.watchers[:i], j.watchers[i+1:]...)
+					close(ch)
+					break
+				}
+			}
+			// Not found: finishLocked already closed it.
+		})
+	}
+	return ch, cancel, nil
+}
+
+// notifyLocked pushes the job's current view to every watcher,
+// displacing any undelivered older view (the channels have capacity 1
+// and every send happens under m.mu, so drain-then-send cannot race
+// another producer).
+func (m *Manager) notifyLocked(j *job) {
+	if len(j.watchers) == 0 {
+		return
+	}
+	v := m.viewLocked(j)
+	for _, ch := range j.watchers {
+		select {
+		case ch <- v:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			ch <- v
+		}
+	}
+}
+
 // Metrics returns the current counters and gauges.
 func (m *Manager) Metrics() Metrics {
 	m.mu.Lock()
@@ -394,6 +537,16 @@ func (m *Manager) Metrics() Metrics {
 	mt.StoreBenches = len(m.stores)
 	for _, st := range m.stores {
 		mt.StoreSections += len(st.Sections)
+	}
+	if m.opts.Shared != nil {
+		st := m.opts.Shared.Stats()
+		mt.SharedHits = st.Hits
+		mt.SharedMisses = st.Misses
+		mt.SharedBytes = st.Bytes
+		mt.SharedEvictions = st.Evictions
+		mt.SharedSections = st.Sections
+		mt.SharedSegments = st.Segments
+		mt.SharedTenants = st.Tenants
 	}
 	if m.opts.Coordinator != nil {
 		d := m.opts.Coordinator.Metrics()
@@ -482,6 +635,7 @@ func (m *Manager) runJob(j *job) {
 	j.cancel = cancel
 	distributed := m.opts.Coordinator != nil
 	var snap *store.Store
+	var tier *tenantTier
 	if distributed {
 		// A distributed campaign is re-executed authoritatively across the
 		// fleet: it must not resolve sections from the per-benchmark clone,
@@ -490,11 +644,27 @@ func (m *Manager) runJob(j *job) {
 		snap = store.New()
 	} else {
 		snap = m.storeSnapshotLocked(j.req.Bench)
+		if m.opts.Shared != nil {
+			// The job's snapshot falls through to the shared tier on a
+			// benchmark-cache miss and publishes what it analyzes. The
+			// adapter carries this job's tenant for attribution and counts
+			// this job's traffic for its summary.
+			tier = &tenantTier{shared: m.opts.Shared, tenant: j.req.tenant()}
+			snap.WithTier(tier)
+		}
 	}
+	m.notifyLocked(j)
 	m.mu.Unlock()
 	defer cancel()
 
 	r, evals, err, panicked := m.analyze(ctx, j, snap)
+
+	if m.opts.Shared != nil {
+		// Publish this job's staged sections before reporting it finished:
+		// the next process's lookup must see them. A failed flush keeps
+		// the batch staged (counted in shared stats), never fails the job.
+		_ = m.opts.Shared.Flush()
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -506,7 +676,10 @@ func (m *Manager) runJob(j *job) {
 	}
 	// Sections completed before a cancellation are valid (their keys are
 	// content hashes), so merge the snapshot back unconditionally: a
-	// cancelled job still warms the cache for its retry.
+	// cancelled job still warms the cache for its retry. The tier is
+	// detached first — the cached store must stay tenant-neutral, and
+	// each job re-attaches its own adapter to its clone.
+	snap.WithTier(nil)
 	m.mergeStoreLocked(j.req.Bench, snap)
 	j.cancel = nil
 	switch {
@@ -514,6 +687,10 @@ func (m *Manager) runJob(j *job) {
 		s := r.Summarize(j.req.Epsilon, evals)
 		s.Bench = j.req.Bench
 		s.Variant = j.req.Variant
+		if tier != nil {
+			s.SharedHits = int(tier.hits.Load())
+			s.SharedMisses = int(tier.misses.Load())
+		}
 		j.result = s
 		if n := len(s.Poisoned); n > 0 {
 			// The analysis completed (poisoned classes carry the
@@ -577,6 +754,7 @@ func (m *Manager) analyze(ctx context.Context, j *job, snap *store.Store) (r *co
 	a.Progress = func(p core.Progress) {
 		m.mu.Lock()
 		j.progress = p
+		m.notifyLocked(j)
 		m.mu.Unlock()
 	}
 	if j.req.Modified {
@@ -593,7 +771,8 @@ func (m *Manager) analyze(ctx context.Context, j *job, snap *store.Store) (r *co
 }
 
 // finishLocked moves j to a terminal state, bumps the matching counter,
-// wakes waiters, and applies retention.
+// wakes waiters, delivers the terminal snapshot to watchers, and applies
+// retention.
 func (m *Manager) finishLocked(j *job, s State) {
 	j.state = s
 	j.finished = time.Now()
@@ -606,6 +785,11 @@ func (m *Manager) finishLocked(j *job, s State) {
 		m.counters.JobsCancelled++
 	}
 	close(j.done)
+	m.notifyLocked(j)
+	for _, ch := range j.watchers {
+		close(ch)
+	}
+	j.watchers = nil
 	m.evictLocked()
 }
 
@@ -755,6 +939,33 @@ func (m *Manager) configFor(req Request) core.Config {
 		m.opts.ConfigHook(&cfg)
 	}
 	return cfg
+}
+
+// tenantTier adapts the shared outcome store to the store.Tier interface
+// for one job, carrying the submitting tenant for attribution and
+// counting the job's own tier traffic (the shared store's counters are
+// global; a job's summary wants just its slice).
+type tenantTier struct {
+	shared *ostore.Store
+	tenant string
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func (t *tenantTier) TierLookup(key store.Key) *store.Section {
+	sec := t.shared.Get(t.tenant, key)
+	if sec != nil {
+		t.hits.Add(1)
+	} else {
+		t.misses.Add(1)
+	}
+	return sec
+}
+
+func (t *tenantTier) TierPublish(key store.Key, sec *store.Section) {
+	// Staged only; the manager flushes after the job so the publish cost
+	// is off the analysis path. Errors surface through shared stats.
+	_ = t.shared.Put(t.tenant, key, sec)
 }
 
 // Readiness reports whether the service can usefully accept a new job:

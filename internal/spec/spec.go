@@ -104,8 +104,11 @@ func (p *Program) Validate() error {
 		}
 		for j, io := range s.Instances {
 			for _, b := range append(append(append([]Buffer{}, io.Inputs...), io.Outputs...), io.Live...) {
-				if b.Addr < 0 || b.Addr+b.Len > p.MemWords {
-					return fmt.Errorf("spec %s: section %q instance %d: buffer %v outside memory", p.Name, s.Name, j, b)
+				// b.Len > p.MemWords-b.Addr rather than b.Addr+b.Len >
+				// p.MemWords: the sum overflows for adversarial
+				// declarations and would wrap past the check.
+				if b.Addr < 0 || b.Len < 0 || b.Addr > p.MemWords || b.Len > p.MemWords-b.Addr {
+					return fmt.Errorf("spec %s: section %q instance %d: buffer %v outside memory [0:%d)", p.Name, s.Name, j, b, p.MemWords)
 				}
 			}
 		}
@@ -114,8 +117,8 @@ func (p *Program) Validate() error {
 		return fmt.Errorf("spec %s: no final outputs declared", p.Name)
 	}
 	for _, b := range p.FinalOutputs {
-		if b.Addr < 0 || b.Addr+b.Len > p.MemWords {
-			return fmt.Errorf("spec %s: final output %v outside memory", p.Name, b)
+		if b.Addr < 0 || b.Len < 0 || b.Addr > p.MemWords || b.Len > p.MemWords-b.Addr {
+			return fmt.Errorf("spec %s: final output %v outside memory [0:%d)", p.Name, b, p.MemWords)
 		}
 	}
 	return nil

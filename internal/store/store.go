@@ -69,7 +69,12 @@ func (k Key) String() string { return fmt.Sprintf("%x", k[:8]) }
 // on the entry contents of those buffers (the differential fuzzer found
 // exactly this divergence; see DESIGN.md §10). KeyForStrict closes that
 // hole at the price of less reuse.
-func KeyFor(t *trace.Trace, inst *trace.Instance) Key {
+//
+// A buffer declaration that falls outside the entry snapshot's memory
+// (malformed Addr or Len, including sums that overflow int) is an error,
+// not a panic: a multi-tenant service must fail the offending job's build
+// step, never the process. The returned key covers only validated bytes.
+func KeyFor(t *trace.Trace, inst *trace.Instance) (Key, error) {
 	return keyFor(t, inst, false)
 }
 
@@ -78,11 +83,21 @@ func KeyFor(t *trace.Trace, inst *trace.Instance) Key {
 // inside declared state can observe. Incremental re-analysis under strict
 // keys reproduces a from-scratch analysis experiment for experiment;
 // default keys trade that exactness for the paper's reuse rate.
-func KeyForStrict(t *trace.Trace, inst *trace.Instance) Key {
+func KeyForStrict(t *trace.Trace, inst *trace.Instance) (Key, error) {
 	return keyFor(t, inst, true)
 }
 
-func keyFor(t *trace.Trace, inst *trace.Instance, strict bool) Key {
+// validBuffer checks one declared buffer against the entry snapshot. The
+// length is compared as memWords-Addr rather than Addr+Len vs memWords so
+// an adversarial declaration cannot wrap the sum past the check.
+func validBuffer(b spec.Buffer, memWords int) error {
+	if b.Addr < 0 || b.Len < 0 || b.Addr > memWords || b.Len > memWords-b.Addr {
+		return fmt.Errorf("store: buffer %s [addr %d, len %d] outside machine memory [0:%d)", b.Name, b.Addr, b.Len, memWords)
+	}
+	return nil
+}
+
+func keyFor(t *trace.Trace, inst *trace.Instance, strict bool) (Key, error) {
 	h := sha256.New()
 	var buf [8]byte
 	wu := func(v uint64) {
@@ -92,7 +107,11 @@ func keyFor(t *trace.Trace, inst *trace.Instance, strict bool) Key {
 	wu(uint64(inst.Sec))
 	code := t.CodeKey(inst)
 	h.Write(code[:])
+	memWords := len(inst.Entry.Mem)
 	for _, b := range inst.IO.Inputs {
+		if err := validBuffer(b, memWords); err != nil {
+			return Key{}, fmt.Errorf("section %d input: %w", inst.Sec, err)
+		}
 		h.Write([]byte(b.Name))
 		wu(uint64(b.Addr))
 		wu(uint64(b.Len))
@@ -102,6 +121,9 @@ func keyFor(t *trace.Trace, inst *trace.Instance, strict bool) Key {
 		}
 	}
 	for _, b := range append(append([]spec.Buffer{}, inst.IO.Outputs...), inst.IO.Live...) {
+		if err := validBuffer(b, memWords); err != nil {
+			return Key{}, fmt.Errorf("section %d output/live: %w", inst.Sec, err)
+		}
 		h.Write([]byte(b.Name))
 		wu(uint64(b.Addr))
 		wu(uint64(b.Len))
@@ -117,7 +139,18 @@ func keyFor(t *trace.Trace, inst *trace.Instance, strict bool) Key {
 	}
 	var k Key
 	h.Sum(k[:0])
-	return k
+	return k, nil
+}
+
+// Tier is a second lookup/publish level behind the in-memory Sections
+// map: the shared, cross-process outcome store. A Lookup that misses
+// Sections falls through to the tier and promotes a hit; a Put publishes
+// to both. Implementations must be safe for concurrent use.
+type Tier interface {
+	// TierLookup returns the stored section for key, or nil.
+	TierLookup(key Key) *Section
+	// TierPublish offers a freshly analyzed section to the tier.
+	TierPublish(key Key, sec *Section)
 }
 
 // Store holds analysis results across versions of one program.
@@ -131,6 +164,11 @@ type Store struct {
 	// ModsSinceAdjust counts program modifications analyzed since the last
 	// target adjustment (the paper's m_adj).
 	ModsSinceAdjust int
+
+	// tier, when set, backs Sections with the shared outcome store.
+	// Unexported on purpose: gob never serializes it, so a saved store
+	// file is identical with or without a tier attached.
+	tier Tier
 }
 
 // TargetKey identifies one adjusted target.
@@ -147,14 +185,23 @@ func New() *Store {
 	}
 }
 
+// WithTier attaches (or clears, with nil) the shared outcome tier behind
+// this store's section map and returns the store.
+func (s *Store) WithTier(t Tier) *Store {
+	s.tier = t
+	return s
+}
+
 // Clone returns a copy of the store whose maps are independent of the
 // original; the per-section payloads are shared (they are immutable once
 // recorded). Useful for replaying an analysis against a fixed snapshot.
+// The clone keeps the original's tier attachment.
 func (s *Store) Clone() *Store {
 	c := &Store{
 		Sections:        make(map[Key]*Section, len(s.Sections)),
 		AdjustedTargets: make(map[TargetKey]float64, len(s.AdjustedTargets)),
 		ModsSinceAdjust: s.ModsSinceAdjust,
+		tier:            s.tier,
 	}
 	for k, v := range s.Sections {
 		c.Sections[k] = v
@@ -165,14 +212,29 @@ func (s *Store) Clone() *Store {
 	return c
 }
 
-// Lookup returns the stored section for key, or nil.
+// Lookup returns the stored section for key, or nil. A miss in the
+// in-memory map falls through to the attached tier (if any); a tier hit
+// is promoted into Sections so the analysis — and the per-benchmark cache
+// it merges back into — serves repeats locally.
 func (s *Store) Lookup(key Key) *Section {
-	return s.Sections[key]
+	if sec := s.Sections[key]; sec != nil {
+		return sec
+	}
+	if s.tier != nil {
+		if sec := s.tier.TierLookup(key); sec != nil {
+			s.Sections[key] = sec
+			return sec
+		}
+	}
+	return nil
 }
 
-// Put records the section under key.
+// Put records the section under key and offers it to the attached tier.
 func (s *Store) Put(key Key, sec *Section) {
 	s.Sections[key] = sec
+	if s.tier != nil {
+		s.tier.TierPublish(key, sec)
+	}
 }
 
 // Save writes the store to path with encoding/gob (gob round-trips the

@@ -10,6 +10,7 @@ import (
 	"fastflip/internal/metrics"
 	"fastflip/internal/prog"
 	"fastflip/internal/sites"
+	"fastflip/internal/spec"
 	"fastflip/internal/testprog"
 	"fastflip/internal/trace"
 	"fastflip/internal/vm"
@@ -24,10 +25,19 @@ func recorded(t *testing.T) *trace.Trace {
 	return tr
 }
 
+func mustKey(t *testing.T, tr *trace.Trace, inst *trace.Instance) Key {
+	t.Helper()
+	k, err := KeyFor(tr, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
 func TestKeyForDeterministic(t *testing.T) {
 	tr1, tr2 := recorded(t), recorded(t)
 	for i := range tr1.Instances {
-		if KeyFor(tr1, tr1.Instances[i]) != KeyFor(tr2, tr2.Instances[i]) {
+		if mustKey(t, tr1, tr1.Instances[i]) != mustKey(t, tr2, tr2.Instances[i]) {
 			t.Errorf("instance %d keys differ across identical traces", i)
 		}
 	}
@@ -35,7 +45,7 @@ func TestKeyForDeterministic(t *testing.T) {
 
 func TestKeyForDistinguishesInstances(t *testing.T) {
 	tr := recorded(t)
-	if KeyFor(tr, tr.Instances[0]) == KeyFor(tr, tr.Instances[1]) {
+	if mustKey(t, tr, tr.Instances[0]) == mustKey(t, tr, tr.Instances[1]) {
 		t.Error("different sections share a key")
 	}
 }
@@ -46,10 +56,10 @@ func TestKeyForTracksCodeChange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if KeyFor(tr1, tr1.Instances[0]) != KeyFor(tr2, tr2.Instances[0]) {
+	if mustKey(t, tr1, tr1.Instances[0]) != mustKey(t, tr2, tr2.Instances[0]) {
 		t.Error("unmodified section's key changed")
 	}
-	if KeyFor(tr1, tr1.Instances[1]) == KeyFor(tr2, tr2.Instances[1]) {
+	if mustKey(t, tr1, tr1.Instances[1]) == mustKey(t, tr2, tr2.Instances[1]) {
 		t.Error("modified section's key unchanged")
 	}
 }
@@ -66,12 +76,39 @@ func TestKeyForTracksInputChange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if KeyFor(tr1, tr1.Instances[0]) == KeyFor(tr2, tr2.Instances[0]) {
+	if mustKey(t, tr1, tr1.Instances[0]) == mustKey(t, tr2, tr2.Instances[0]) {
 		t.Error("input change did not change the first section's key")
 	}
 	// The downstream section's input (y) also changed, so its key must too.
-	if KeyFor(tr1, tr1.Instances[1]) == KeyFor(tr2, tr2.Instances[1]) {
+	if mustKey(t, tr1, tr1.Instances[1]) == mustKey(t, tr2, tr2.Instances[1]) {
 		t.Error("downstream input change did not change the second section's key")
+	}
+}
+
+func TestKeyForRejectsOutOfRangeBuffer(t *testing.T) {
+	tr := recorded(t)
+	inst := tr.Instances[0]
+	// Clone the instance and declare a malformed input buffer whose
+	// Addr+Len wraps past the machine memory (the panic a bounds-checked
+	// keyFor must turn into an error).
+	bad := *inst
+	bad.IO.Inputs = append([]spec.Buffer{}, inst.IO.Inputs...)
+	bad.IO.Inputs[0].Addr = int(^uint(0)>>1) - 5 // maxint-5
+	bad.IO.Inputs[0].Len = 10                    // Addr+Len wraps negative
+	if _, err := KeyFor(tr, &bad); err == nil {
+		t.Error("KeyFor accepted an overflowing buffer declaration")
+	}
+	bad = *inst
+	bad.IO.Inputs = append([]spec.Buffer{}, inst.IO.Inputs...)
+	bad.IO.Inputs[0].Len = len(inst.Entry.Mem) + 1
+	if _, err := KeyFor(tr, &bad); err == nil {
+		t.Error("KeyFor accepted a buffer past the end of memory")
+	}
+	bad = *inst
+	bad.IO.Outputs = append([]spec.Buffer{}, inst.IO.Outputs...)
+	bad.IO.Outputs[0].Len = -1
+	if _, err := KeyForStrict(tr, &bad); err == nil {
+		t.Error("KeyForStrict accepted a negative-length output buffer")
 	}
 }
 
