@@ -67,11 +67,13 @@ func main() {
 		shared   = flag.String("shared-store", "", "directory of the shared content-addressed outcome tier; several ffserved processes may point at the same directory")
 		sharedQ  = flag.Int64("shared-quota", 0, "per-tenant live byte quota in the shared store, oldest sections evicted beyond it (0 = unlimited)")
 		tenantQ  = flag.Int("tenant-jobs", 0, "per-tenant active-job quota, submissions beyond it get 429 (0 = unlimited)")
+		token    = flag.String("worker-token", "", "shared secret for worker shard endpoints: workers refuse leases without it, coordinators send it as a bearer token")
+		shardTO  = flag.Duration("shard-timeout", 0, "coordinator cap on one shard dispatch's deadline budget (0 = default 2m)")
 	)
 	flag.Parse()
 
 	if *workMode {
-		runWorker(*addr, *workerID, *workers)
+		runWorker(*addr, *workerID, *workers, *token)
 		return
 	}
 
@@ -95,7 +97,7 @@ func main() {
 
 	var co *coord.Coordinator
 	if *peers != "" {
-		co = coord.NewCoordinator(coord.Options{Logf: log.Printf})
+		co = coord.NewCoordinator(coord.Options{Logf: log.Printf, WorkerToken: *token, ShardTimeout: *shardTO})
 		defer co.Close()
 		for _, url := range strings.Split(*peers, ",") {
 			url = strings.TrimSpace(url)
@@ -181,8 +183,8 @@ func main() {
 // runWorker serves the shard-worker API and nothing else: a worker holds
 // no job queue, no store cache, and no WAL — every lease it runs streams
 // straight back to the coordinator that owns the campaign.
-func runWorker(addr, id string, injectWorkers int) {
-	w := coord.NewWorker(coord.WorkerOptions{ID: id, Workers: injectWorkers})
+func runWorker(addr, id string, injectWorkers int, token string) {
+	w := coord.NewWorker(coord.WorkerOptions{ID: id, Workers: injectWorkers, Token: token})
 	srv := &http.Server{Addr: addr, Handler: w, ReadHeaderTimeout: 10 * time.Second}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,164 @@
+package coord
+
+import (
+	"time"
+)
+
+// breakerState is the circuit position of one worker's breaker.
+type breakerState int
+
+const (
+	// breakerClosed: the worker is healthy; dispatches flow.
+	breakerClosed breakerState = iota
+	// breakerOpen: the worker failed too often; dispatches are refused
+	// until the backoff elapses.
+	breakerOpen
+	// breakerHalfOpen: the backoff elapsed; exactly one probe dispatch is
+	// allowed through, and its outcome snaps the breaker closed or open.
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is a per-worker circuit breaker: closed while the worker
+// behaves, opened by consecutive failures with exponentially growing,
+// capped, jittered backoff, half-open for a single probe once the
+// backoff elapses. It replaces the old binary down/heartbeat-revival
+// worker state: instead of one failed fetch evicting a worker until the
+// next probe, the breaker absorbs isolated failures, takes a repeatedly
+// failing worker out of rotation for bounded, growing intervals, and
+// lets one trial dispatch (or heartbeat probe) re-admit it.
+//
+// The breaker also keeps a health score — an EWMA of dispatch success —
+// that the scheduler folds into partition sizing, so a slow-but-alive
+// worker is handed smaller ranges rather than dropped.
+//
+// Not self-locking: the Coordinator serializes access under its own
+// mutex. The clock and jitter source are injectable for tests.
+type breaker struct {
+	threshold   int           // consecutive failures that open the circuit
+	baseBackoff time.Duration // first open interval
+	maxBackoff  time.Duration // backoff growth cap
+	now         func() time.Time
+	jitter      func() float64 // uniform [0,1)
+
+	state   breakerState
+	fails   int       // consecutive failures in the closed state
+	opens   int       // consecutive opens, drives exponential backoff
+	until   time.Time // earliest half-open probe while open
+	probing bool      // a half-open probe is outstanding
+	health  float64   // EWMA of dispatch success in [0,1]
+}
+
+// healthAlpha is the EWMA weight of the newest dispatch outcome.
+const healthAlpha = 0.25
+
+func newBreaker(threshold int, base, max time.Duration, now func() time.Time, jitter func() float64) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	if jitter == nil {
+		jitter = func() float64 { return 0.5 }
+	}
+	return &breaker{
+		threshold:   threshold,
+		baseBackoff: base,
+		maxBackoff:  max,
+		now:         now,
+		jitter:      jitter,
+		health:      1,
+	}
+}
+
+// allow reports whether a dispatch (or probe) may go to this worker now,
+// and claims the half-open probe slot when it does: a caller that gets
+// true must follow with success or failure.
+func (b *breaker) allow() bool {
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Before(b.until) {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	case breakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// canAttempt is allow without the state transition or probe claim — the
+// scheduler's peek for "is it worth waiting on this worker".
+func (b *breaker) canAttempt() bool {
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		return !b.now().Before(b.until)
+	case breakerHalfOpen:
+		return !b.probing
+	}
+	return false
+}
+
+// success records a sealed dispatch or an answered probe: any state
+// snaps closed and the backoff resets.
+func (b *breaker) success() {
+	b.state = breakerClosed
+	b.fails, b.opens = 0, 0
+	b.probing = false
+	b.health = b.health*(1-healthAlpha) + healthAlpha
+}
+
+// failure records a failed dispatch or probe. It returns true when this
+// failure opened the circuit (for the breaker_open transition counter).
+// A half-open probe failure re-opens immediately with a doubled backoff;
+// closed-state failures open only at the consecutive threshold.
+func (b *breaker) failure() bool {
+	b.probing = false
+	b.health = b.health * (1 - healthAlpha)
+	switch b.state {
+	case breakerHalfOpen:
+		b.open()
+		return true
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.open()
+			return true
+		}
+	}
+	return false
+}
+
+// open trips the circuit with the next backoff interval: exponential in
+// the number of consecutive opens, capped at maxBackoff, with ±25%
+// jitter so a fleet of breakers does not probe in lockstep.
+func (b *breaker) open() {
+	b.state = breakerOpen
+	b.fails = 0
+	b.opens++
+	d := b.baseBackoff << (b.opens - 1)
+	if b.opens > 30 || d > b.maxBackoff || d <= 0 {
+		d = b.maxBackoff
+	}
+	d = time.Duration(float64(d) * (0.75 + 0.5*b.jitter()))
+	b.until = b.now().Add(d)
+}

@@ -1,0 +1,149 @@
+package coord
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(clk *fakeClock) *breaker {
+	// Fixed mid-range jitter makes every backoff exactly its nominal value.
+	return newBreaker(3, time.Second, 8*time.Second, clk.now, func() float64 { return 0.5 })
+}
+
+// TestBreakerStateMachine drives the full circuit: consecutive failures
+// open it, the backoff gates the half-open probe, a probe failure
+// re-opens with doubled backoff, and a probe success closes it again.
+func TestBreakerStateMachine(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTestBreaker(clk)
+
+	if b.state != breakerClosed || !b.allow() {
+		t.Fatalf("new breaker not closed/allowing: %v", b.state)
+	}
+
+	// Two failures: still closed (threshold is 3), isolated faults absorbed.
+	b.failure()
+	if got := b.failure(); got {
+		t.Error("second failure reported an open transition")
+	}
+	if b.state != breakerClosed || !b.allow() {
+		t.Fatalf("breaker opened below threshold: %v", b.state)
+	}
+
+	// Third consecutive failure trips it.
+	if !b.failure() {
+		t.Error("threshold failure did not report the open transition")
+	}
+	if b.state != breakerOpen {
+		t.Fatalf("state after threshold failures: %v", b.state)
+	}
+	if b.allow() || b.canAttempt() {
+		t.Error("open breaker allowed a dispatch before the backoff")
+	}
+
+	// Backoff elapses: exactly one half-open probe is admitted.
+	clk.advance(time.Second + time.Millisecond)
+	if !b.canAttempt() {
+		t.Error("due breaker refuses the probe peek")
+	}
+	if !b.allow() {
+		t.Fatal("due breaker refused the half-open probe")
+	}
+	if b.state != breakerHalfOpen {
+		t.Fatalf("state after probe admission: %v", b.state)
+	}
+	if b.allow() {
+		t.Error("half-open breaker admitted a second concurrent probe")
+	}
+
+	// The probe fails: re-open immediately, backoff doubled (2s).
+	if !b.failure() {
+		t.Error("half-open probe failure did not report re-open")
+	}
+	if b.state != breakerOpen {
+		t.Fatalf("state after failed probe: %v", b.state)
+	}
+	clk.advance(time.Second)
+	if b.allow() {
+		t.Error("re-opened breaker ignored its doubled backoff")
+	}
+	clk.advance(time.Second + time.Millisecond)
+	if !b.allow() {
+		t.Fatal("breaker refused the probe after the doubled backoff")
+	}
+
+	// This probe succeeds: closed, backoff reset, full service resumed.
+	b.success()
+	if b.state != breakerClosed || !b.allow() || b.probing {
+		t.Fatalf("breaker not closed after successful probe: %+v", b)
+	}
+
+	// The reset backoff: a fresh open waits the base interval again.
+	b.failure()
+	b.failure()
+	b.failure()
+	clk.advance(time.Second + time.Millisecond)
+	if !b.allow() {
+		t.Error("backoff did not reset after the circuit closed")
+	}
+}
+
+// TestBreakerBackoffCap: backoff growth is capped at maxBackoff no matter
+// how many consecutive opens accumulate.
+func TestBreakerBackoffCap(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(2000, 0)}
+	b := newTestBreaker(clk)
+	for i := 0; i < 12; i++ {
+		b.failure()
+		b.failure()
+		b.failure()
+		wait := b.until.Sub(clk.now())
+		if wait > 8*time.Second {
+			t.Fatalf("open %d backoff %v exceeds cap", i, wait)
+		}
+		clk.advance(wait + time.Millisecond)
+		if !b.allow() {
+			t.Fatalf("open %d: probe refused after backoff", i)
+		}
+	}
+}
+
+// TestBreakerJitterBounds: the jittered interval stays within ±25% of
+// nominal, so an open worker is never benched longer than 1.25× the cap.
+func TestBreakerJitterBounds(t *testing.T) {
+	for _, j := range []float64{0, 0.999} {
+		clk := &fakeClock{t: time.Unix(3000, 0)}
+		b := newBreaker(1, time.Second, 8*time.Second, clk.now, func() float64 { return j })
+		b.failure()
+		wait := b.until.Sub(clk.now())
+		if wait < 750*time.Millisecond || wait > 1250*time.Millisecond {
+			t.Errorf("jitter %v: backoff %v outside [0.75s, 1.25s]", j, wait)
+		}
+	}
+}
+
+// TestBreakerHealthScore: the health EWMA decays under failures and
+// recovers under successes, staying in [0,1].
+func TestBreakerHealthScore(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(4000, 0)}
+	b := newTestBreaker(clk)
+	if b.health != 1 {
+		t.Fatalf("initial health %v", b.health)
+	}
+	b.failure()
+	b.failure()
+	afterFail := b.health
+	if afterFail >= 1 || afterFail < 0 {
+		t.Fatalf("health after failures out of range: %v", afterFail)
+	}
+	b.success()
+	if b.health <= afterFail || b.health > 1 {
+		t.Fatalf("health did not recover: %v -> %v", afterFail, b.health)
+	}
+}

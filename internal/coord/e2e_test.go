@@ -3,11 +3,13 @@ package coord
 import (
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -163,6 +165,98 @@ func TestDistributedFFTSmallWorkerKilled(t *testing.T) {
 	t.Logf("kill e2e: remote=%d fallback=%d reassignments=%d duplicates=%d straggler=%s",
 		met.RemoteExperiments, met.LocalFallbackExperiments, met.Reassignments, met.DuplicateRecords,
 		time.Duration(met.StragglerNanos))
+}
+
+// TestDistributedFFTSmallWorkerStalled is the straggler-chaos e2e on
+// fft-small: two workers run the campaign, one freezes mid-stream on its
+// first lease and never recovers, and the scheduler must hedge the
+// stalled remainder to the healthy worker and finish — byte-identical to
+// an uninterrupted local run, with the hedge's duplicated delivery
+// counted instead of double-merged, and without waiting out the stall.
+func TestDistributedFFTSmallWorkerStalled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full injection campaign")
+	}
+
+	cfg := core.DefaultConfig()
+	p := bench.MustBuild("fft", bench.Small)
+
+	rRef, err := core.NewAnalyzer(cfg).Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumRef := rRef.Summarize(cfg.Epsilon, nil)
+	neutralize(sumRef)
+
+	var mu sync.Mutex
+	stalled := false
+	plan := func(a ShardAttempt) ShardFault {
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case a.Hedge:
+			return ShardFault{Duplicate: true}
+		case !stalled:
+			stalled = true
+			return ShardFault{StallAfterRecords: 8}
+		}
+		return ShardFault{}
+	}
+
+	c := NewCoordinator(Options{
+		Heartbeat:      -1,
+		Fault:          plan,
+		StragglerFloor: 100 * time.Millisecond,
+		Logf:           t.Logf,
+	})
+	defer c.Close()
+	for _, id := range []string{"stall", "rescue"} {
+		srv := httptest.NewServer(NewWorker(WorkerOptions{ID: id, Workers: 1}))
+		t.Cleanup(srv.Close)
+		if _, err := c.AddWorker(srv.URL); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The stalled stream never ends on its own: the campaign finishing at
+	// all (under the suite deadline) is the hedging claim. A generous
+	// watchdog turns a wedged scheduler into a failure, not a timeout.
+	type outcome struct {
+		r   *core.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		cfg := cfg
+		cfg.SectionInjector = c.SectionInjector("fft", string(bench.Small))
+		r, err := core.NewAnalyzer(cfg).Analyze(p)
+		done <- outcome{r, err}
+	}()
+	var o outcome
+	select {
+	case o = <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("campaign did not complete while a worker was stalled")
+	}
+	if o.err != nil {
+		t.Fatal(o.err)
+	}
+
+	sum := o.r.Summarize(cfg.Epsilon, nil)
+	neutralize(sum)
+	if !reflect.DeepEqual(sumRef, sum) {
+		t.Errorf("summary with stalled worker differs from uninterrupted local run:\nlocal: %+v\ndist:  %+v", sumRef, sum)
+	}
+	met := c.Metrics()
+	if met.HedgedDispatches == 0 || o.r.HedgedDispatches == 0 {
+		t.Errorf("stalled worker produced no hedge: met=%d result=%d", met.HedgedDispatches, o.r.HedgedDispatches)
+	}
+	if met.DuplicateRecords == 0 {
+		t.Errorf("duplicated hedge delivery produced no counted duplicates: %+v", met)
+	}
+	t.Logf("stall e2e: remote=%d fallback=%d hedged=%d releases=%d duplicates=%d p95=%s",
+		met.RemoteExperiments, met.LocalFallbackExperiments, met.HedgedDispatches, met.Releases,
+		met.DuplicateRecords, time.Duration(met.ShardP95Nanos))
 }
 
 // TestWorkerHTTPSurface drives the worker handler exactly as a remote

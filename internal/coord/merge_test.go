@@ -148,7 +148,7 @@ func TestMergerShuffledOverlappingSegments(t *testing.T) {
 	}
 }
 
-// TestMergeShardOutOfOrderStreams drives the real mergeShard with
+// TestMergeShardOutOfOrderStreams drives the real record merge with
 // overlapping shard streams arriving in reverse range order: every class
 // keeps its first-delivered outcome, costs are counted once, and shard
 // provenance reports only the fresh records of each stream.
@@ -181,18 +181,27 @@ func TestMergeShardOutOfOrderStreams(t *testing.T) {
 	}
 
 	mid := len(order) / 2
-	// Overlap of one position around mid; the late stream arrives first.
-	late := &shardResult{workerID: "w2", epoch: 2, lo: mid - 1, hi: len(order), records: stream(mid-1, len(order)), sealed: true}
-	early := &shardResult{workerID: "w1", epoch: 1, lo: 0, hi: mid + 1, records: stream(0, mid+1), sealed: true}
 
 	res := core.SectionResult{Outcomes: make([]metrics.Outcome, len(classes))}
 	job := core.SectionJob{Trace: tr, Instance: 0, Classes: classes, Config: core.DefaultConfig()}
 	var shards []inject.WALShard
 	job.Hooks.Shard = func(s inject.WALShard) { shards = append(shards, s) }
 	mg := newMerger(classes, nil)
+	s := &sectionRun{c: c, job: job, inst: inst, mg: mg, res: &res}
 
-	c.mergeShard(&res, job, inst, mg, late)
-	c.mergeShard(&res, job, inst, mg, early)
+	deliver := func(worker string, epoch uint64, lo, hi int) {
+		d := &dispatch{workerID: worker, sealed: true}
+		d.req.Epoch, d.req.Lo, d.req.Hi = epoch, lo, hi
+		for _, rec := range stream(lo, hi) {
+			d.records++
+			s.mergeRecord(d, rec)
+		}
+		s.finishStream(d)
+	}
+
+	// Overlap of one position around mid; the late stream arrives first.
+	deliver("w2", 2, mid-1, len(order))
+	deliver("w1", 1, 0, mid+1)
 
 	if !mg.done() {
 		t.Fatal("overlapping streams left classes unresolved")

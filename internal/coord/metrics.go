@@ -2,8 +2,8 @@ package coord
 
 // Metrics are the coordinator's cumulative counters and gauges, exposed
 // through service /metrics as the "dist" block. Counters only ever grow;
-// WorkersRegistered/WorkersLive/InflightLeases are gauges computed at
-// snapshot time.
+// WorkersRegistered/WorkersLive/InflightLeases and the shard duration
+// percentiles are gauges computed at snapshot time.
 type Metrics struct {
 	WorkersRegistered int `json:"workers_registered"`
 	WorkersLive       int `json:"workers_live"`
@@ -11,31 +11,53 @@ type Metrics struct {
 	InflightLeases int `json:"inflight_leases"`
 
 	// ShardsDispatched counts lease attempts; Completed the streams that
-	// arrived sealed; Failed the dropped, rejected, or cut ones.
+	// arrived sealed; Failed the dropped, rejected, timed-out, or cut ones.
 	ShardsDispatched uint64 `json:"shards_dispatched"`
 	ShardsCompleted  uint64 `json:"shards_completed"`
 	ShardsFailed     uint64 `json:"shards_failed"`
 	// Reassignments counts leases whose unlogged remainder had to be
 	// re-leased after a worker loss or a partial stream.
 	Reassignments uint64 `json:"reassignments"`
+	// Releases counts finished dispatches that returned unresolved
+	// positions to the work queue for intra-section re-lease — the
+	// completion-driven scheduler's unit of "work handed back".
+	Releases uint64 `json:"releases"`
+	// HedgedDispatches counts straggler hedges: leases re-dispatched to an
+	// idle worker while the original — slower than the adaptive straggler
+	// threshold — was still streaming. First delivery wins per experiment.
+	HedgedDispatches uint64 `json:"hedged_dispatches"`
+
+	// BreakerOpen counts circuit-open transitions across all workers: a
+	// worker crossed its consecutive-failure threshold (or failed its
+	// half-open probe) and left dispatch rotation for a backoff interval.
+	BreakerOpen uint64 `json:"breaker_open"`
+	// AuthFailures counts leases a worker refused with 401: the
+	// coordinator's bearer token did not match the worker's.
+	AuthFailures uint64 `json:"auth_failures"`
 
 	// RecordsStreamed counts experiment records received from workers;
 	// DuplicateRecords the subset discarded by the merger's
 	// dedupe-by-experiment-identity (overlapping ranges, duplicate
-	// delivery, or a re-leased prefix racing its original).
+	// delivery, or a hedged or re-leased range racing its original).
 	RecordsStreamed  uint64 `json:"records_streamed"`
 	DuplicateRecords uint64 `json:"duplicate_records"`
 
 	// RemoteExperiments counts experiments resolved from worker streams;
 	// LocalFallbackExperiments those the coordinator ran in-process after
-	// the fleet could not finish a section (no live workers or the round
+	// the fleet could not finish a section (no usable workers or the lease
 	// budget exhausted) — the convergence guarantee of last resort.
 	RemoteExperiments        uint64 `json:"remote_experiments"`
 	LocalFallbackExperiments uint64 `json:"local_fallback_experiments"`
 
-	// ShardNanos sums wall time of all shard fetches; StragglerNanos sums,
-	// per dispatch round, the gap between the fastest and slowest shard —
-	// the straggler latency a range-rebalancing scheduler would reclaim.
+	// ShardNanos sums wall time of all shard fetches; StragglerNanos sums
+	// the in-flight time dispatches spent beyond the straggler threshold —
+	// the latency the hedging scheduler is reclaiming.
 	ShardNanos     int64 `json:"shard_nanos"`
 	StragglerNanos int64 `json:"straggler_nanos"`
+	// ShardP50Nanos/ShardP95Nanos are percentiles over the most recent
+	// completed shard durations (a sliding window); the p95 — with a
+	// configurable floor — is the adaptive straggler threshold hedging
+	// decisions are made against.
+	ShardP50Nanos int64 `json:"shard_p50_nanos"`
+	ShardP95Nanos int64 `json:"shard_p95_nanos"`
 }

@@ -1,10 +1,14 @@
 package coord
 
+import "time"
+
 // Injectable network faults, the errfs idiom applied to the shard wire:
 // chaos tests hand the coordinator a FaultPlan and break chosen dispatch
 // attempts — a dropped request, a stream cut mid-delivery, a duplicated
-// delivery — to prove the campaign still converges without losing or
-// double-counting experiments.
+// delivery, added latency, a slow drip-fed stream, or a stream that
+// stalls forever — to prove the campaign still converges without losing
+// or double-counting experiments, and that the lease scheduler hedges
+// stragglers instead of waiting on them.
 
 // ShardAttempt identifies one dispatch for fault-plan decisions.
 type ShardAttempt struct {
@@ -14,8 +18,12 @@ type ShardAttempt struct {
 	Epoch uint64
 	// Lo, Hi bound the leased dyn-order positions.
 	Lo, Hi int
-	// Round is the dispatch round within the section (0-based).
+	// Round is the attempt ordinal of the lease's positions (0-based):
+	// 0 for a first lease, 1 for its first re-lease, and so on.
 	Round int
+	// Hedge marks a hedged dispatch — a straggler's remainder re-leased
+	// to an idle worker while the original keeps streaming.
+	Hedge bool
 }
 
 // ShardFault is the injected failure for one dispatch attempt. The zero
@@ -24,11 +32,26 @@ type ShardFault struct {
 	// Drop fails the request before it is sent: the worker never sees the
 	// lease and no records arrive.
 	Drop bool
+	// Delay postpones the dispatch by the given duration before the
+	// request is sent, simulating network or queueing latency. The
+	// dispatch's deadline budget keeps running while it waits.
+	Delay time.Duration
 	// TruncateAfterRecords, when > 0, cuts the response stream after that
 	// many records, simulating a connection lost mid-delivery. The records
 	// before the cut are kept (the stream has no seal, so the coordinator
 	// treats it as partial and re-leases the remainder).
 	TruncateAfterRecords int
+	// StallAfterRecords, when > 0, freezes the response stream after that
+	// many records: no further bytes arrive and the connection never
+	// closes, simulating a worker hung mid-stream. The dispatch blocks
+	// until its deadline budget expires or the section completes without
+	// it; the records before the stall are kept and merged.
+	StallAfterRecords int
+	// RecordDelay inserts the given pause before each record is consumed,
+	// simulating a slow-streaming worker: the shard keeps delivering, just
+	// far below fleet throughput, which is what the straggler hedge
+	// exists to outrun.
+	RecordDelay time.Duration
 	// Duplicate delivers the shard's record list twice to the merger,
 	// simulating an at-least-once transport. The merger's dedupe-by-class
 	// must absorb it without double-counting.

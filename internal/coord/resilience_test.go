@@ -1,0 +1,237 @@
+package coord
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fastflip/internal/core"
+)
+
+// TestDistributedStallHedged: one worker freezes mid-stream and never
+// recovers; the completion-driven scheduler must hedge the straggler's
+// remainder to the idle worker and converge to the exact local summary —
+// with the hedge's duplicated delivery counted, not double-merged.
+func TestDistributedStallHedged(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Workers = 1
+	want := runLocal(t, cfg)
+
+	var mu sync.Mutex
+	stalled := false
+	plan := func(a ShardAttempt) ShardFault {
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case a.Hedge:
+			// Every hedge is delivered twice: dedupe must absorb the race
+			// between the hedge and whatever the original already merged.
+			return ShardFault{Duplicate: true}
+		case !stalled:
+			// The campaign's first lease freezes after two records, forever.
+			stalled = true
+			return ShardFault{StallAfterRecords: 2}
+		}
+		return ShardFault{}
+	}
+
+	c := NewCoordinator(Options{
+		Heartbeat:      -1,
+		Fault:          plan,
+		StragglerFloor: 50 * time.Millisecond,
+		Logf:           t.Logf,
+	})
+	defer c.Close()
+	for _, srv := range []*httptest.Server{startWorker(t, "stall"), startWorker(t, "rescue")} {
+		if _, err := c.AddWorker(srv.URL); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, r := runDistributed(t, cfg, c)
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("stall summary differs from local:\nlocal: %+v\ndist:  %+v", want, got)
+	}
+	met := c.Metrics()
+	if met.HedgedDispatches == 0 {
+		t.Errorf("stalled stream produced no hedge: %+v", met)
+	}
+	if r.HedgedDispatches == 0 {
+		t.Errorf("hedges not surfaced in the analysis result: %+v", r.HedgedDispatches)
+	}
+	if met.DuplicateRecords == 0 {
+		t.Errorf("duplicated hedge delivery produced no counted duplicates: %+v", met)
+	}
+}
+
+// TestHungWorkerDeadlineBudget: a worker that accepts leases and then
+// never sends a byte must not wedge the campaign. Every dispatch carries
+// a deadline budget capped by ShardTimeout, the timeouts feed the hung
+// worker's circuit breaker until it opens, and the healthy worker
+// finishes the campaign byte-identical to local.
+func TestHungWorkerDeadlineBudget(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Workers = 1
+	want := runLocal(t, cfg)
+
+	// The hung worker answers health probes (so registration succeeds)
+	// but blocks forever on every shard lease, holding the connection
+	// open without writing — the worst-case wedge a default http.Client
+	// with no timeout would wait on indefinitely.
+	healthy := NewWorker(WorkerOptions{ID: "hung", Build: pipelineBuild, Workers: 1})
+	block := make(chan struct{})
+	hung := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, healthPath) {
+			healthy.ServeHTTP(rw, r)
+			return
+		}
+		select {
+		case <-block:
+		case <-r.Context().Done():
+		}
+	}))
+	// Release the blocked handlers before Close waits on them.
+	defer func() {
+		close(block)
+		hung.Close()
+	}()
+
+	// ShardTimeout below the straggler floor pins the failure mode: a
+	// hung lease always hits its deadline (feeding the breaker) before a
+	// hedge or section completion can cancel it neutrally. Two timeouts
+	// open the circuit, and the long backoff keeps it open through the
+	// end of the campaign.
+	c := NewCoordinator(Options{
+		Heartbeat:        -1,
+		ShardTimeout:     150 * time.Millisecond,
+		StragglerFloor:   500 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerBackoff:   time.Minute,
+		Logf:             t.Logf,
+	})
+	defer c.Close()
+	for _, url := range []string{hung.URL, startWorker(t, "good").URL} {
+		if _, err := c.AddWorker(url); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	start := time.Now()
+	got, _ := runDistributed(t, cfg, c)
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("hung-worker summary differs from local:\nlocal: %+v\ndist:  %+v", want, got)
+	}
+	met := c.Metrics()
+	if met.ShardsFailed == 0 {
+		t.Errorf("hung worker's dispatches never timed out: %+v", met)
+	}
+	if met.BreakerOpen == 0 {
+		t.Errorf("repeated timeouts never opened the hung worker's circuit: %+v", met)
+	}
+	if met.Releases == 0 {
+		t.Errorf("timed-out leases returned no work to the queue: %+v", met)
+	}
+	hungLive := false
+	for _, w := range c.Workers() {
+		if w.ID == "hung" && w.Live {
+			hungLive = true
+		}
+	}
+	if hungLive {
+		t.Error("hung worker still live after its circuit opened")
+	}
+	t.Logf("hung-worker campaign finished in %v (failed=%d breaker_open=%d)",
+		time.Since(start).Round(time.Millisecond), met.ShardsFailed, met.BreakerOpen)
+}
+
+// TestWorkerAuth covers the shared-secret bearer-token gate end to end:
+// the worker refuses untokened and mistokened leases with 401 (keeping
+// its health endpoint open for liveness), a mismatched coordinator
+// counts the rejections and converges through the local fallback, and a
+// matched coordinator runs the campaign remotely.
+func TestWorkerAuth(t *testing.T) {
+	srv := httptest.NewServer(NewWorker(WorkerOptions{ID: "gated", Build: pipelineBuild, Workers: 1, Token: "s3cret"}))
+	defer srv.Close()
+
+	// Raw surface: healthz open, shard gated.
+	resp, err := srv.Client().Get(srv.URL + healthPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz with no token: %d, want open", resp.StatusCode)
+	}
+	for _, tc := range []struct{ name, header string }{
+		{"noToken", ""},
+		{"wrongToken", "Bearer nope"},
+		{"malformed", "s3cret"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			req, _ := http.NewRequest(http.MethodPost, srv.URL+shardPath, strings.NewReader("{}"))
+			if tc.header != "" {
+				req.Header.Set("Authorization", tc.header)
+			}
+			resp, err := srv.Client().Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusUnauthorized {
+				t.Errorf("shard with %q: %d, want 401", tc.header, resp.StatusCode)
+			}
+		})
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Workers = 1
+	want := runLocal(t, cfg)
+
+	t.Run("mismatch", func(t *testing.T) {
+		c := NewCoordinator(Options{Heartbeat: -1, WorkerToken: "wrong", MaxRounds: 2, Logf: t.Logf})
+		defer c.Close()
+		if _, err := c.AddWorker(srv.URL); err != nil {
+			t.Fatal(err)
+		}
+		got, r := runDistributed(t, cfg, c)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("mistokened summary differs from local:\nlocal: %+v\ndist:  %+v", want, got)
+		}
+		if r.RemoteExperiments != 0 {
+			t.Errorf("mistokened coordinator ran %d experiments remotely", r.RemoteExperiments)
+		}
+		met := c.Metrics()
+		if met.AuthFailures == 0 {
+			t.Errorf("401 rejections not counted: %+v", met)
+		}
+		// A credential mismatch is an operator error, not worker sickness:
+		// the worker stays live and its breaker closed.
+		for _, w := range c.Workers() {
+			if !w.Live || w.State != "closed" {
+				t.Errorf("auth rejection changed worker state: %+v", w)
+			}
+		}
+	})
+
+	t.Run("match", func(t *testing.T) {
+		c := NewCoordinator(Options{Heartbeat: -1, WorkerToken: "s3cret", Logf: t.Logf})
+		defer c.Close()
+		if _, err := c.AddWorker(srv.URL); err != nil {
+			t.Fatal(err)
+		}
+		got, r := runDistributed(t, cfg, c)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("tokened summary differs from local:\nlocal: %+v\ndist:  %+v", want, got)
+		}
+		if r.RemoteExperiments == 0 {
+			t.Error("tokened coordinator ran nothing remotely")
+		}
+		if met := c.Metrics(); met.AuthFailures != 0 {
+			t.Errorf("matched token produced auth failures: %+v", met)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package coord
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -35,6 +36,11 @@ type WorkerOptions struct {
 	Build BuildFunc
 	// Workers bounds the worker's injection parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Token, when non-empty, is the shared secret the worker demands as a
+	// bearer token on shard leases: a request without `Authorization:
+	// Bearer <token>` is refused with 401. The health endpoint stays open
+	// so liveness probes work regardless of credential state.
+	Token string
 }
 
 // Worker executes leased shards of remote injection campaigns: it serves
@@ -126,6 +132,14 @@ const maxShardBody = 8 << 20
 // stream unsealed — the coordinator treats it as partial, exactly like a
 // torn WAL tail.
 func (w *Worker) shard(rw http.ResponseWriter, r *http.Request) {
+	if w.opts.Token != "" {
+		got := r.Header.Get("Authorization")
+		want := "Bearer " + w.opts.Token
+		if subtle.ConstantTimeCompare([]byte(got), []byte(want)) != 1 {
+			httpError(rw, http.StatusUnauthorized, fmt.Errorf("missing or invalid worker token"))
+			return
+		}
+	}
 	var req ShardRequest
 	if err := json.NewDecoder(http.MaxBytesReader(rw, r.Body, maxShardBody)).Decode(&req); err != nil {
 		httpError(rw, http.StatusBadRequest, fmt.Errorf("decoding shard request: %w", err))

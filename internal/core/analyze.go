@@ -211,6 +211,12 @@ type Result struct {
 	// ShardsMerged counts the remote shard streams merged into this
 	// campaign.
 	ShardsMerged int
+	// HedgedDispatches counts straggler shard leases re-dispatched to an
+	// idle worker while the original was still streaming; Releases counts
+	// finished dispatches that returned unresolved work to the lease
+	// queue. Zero for a purely local campaign.
+	HedgedDispatches int
+	Releases         int
 	// PanicRetries counts experiment attempts that panicked and were
 	// retried on fresh machines (the retried runs are indistinguishable in
 	// cost accounting from panic-free ones).
@@ -445,6 +451,8 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, p *spec.Program) (*Result
 			outcomes, fins, stats = res.Outcomes, res.Fins, res.Stats
 			r.RemoteExperiments += res.Remote
 			r.ShardsMerged += res.Shards
+			r.HedgedDispatches += res.HedgedDispatches
+			r.Releases += res.Releases
 			remotePoisoned = append(remotePoisoned, res.Poisoned...)
 		} else if a.Cfg.CoRunBaseline {
 			outcomes, fins, stats = inj.RunSectionCoRunResume(ctx, inst, classes, hooks)

@@ -65,6 +65,11 @@ type SectionResult struct {
 	Remote int
 	// Shards counts the remote shard streams merged into the section.
 	Shards int
+	// HedgedDispatches counts straggler hedges issued while resolving the
+	// section; Releases counts finished dispatches that handed unresolved
+	// positions back to the work queue for re-lease.
+	HedgedDispatches int
+	Releases         int
 	// Poisoned lists experiments quarantined during the campaign,
 	// local or remote.
 	Poisoned []inject.Poison

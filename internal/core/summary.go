@@ -78,6 +78,13 @@ type Summary struct {
 	// never the outcome fields above.
 	RemoteExperiments int `json:"remote_experiments,omitempty"`
 	ShardsMerged      int `json:"shards_merged,omitempty"`
+	// HedgedDispatches counts straggler shard leases the coordinator
+	// re-dispatched to an idle worker while the original kept streaming;
+	// Releases counts finished dispatches that handed unresolved work back
+	// to the lease queue. Resilience accounting only — like the fields
+	// above they never change the outcome fields.
+	HedgedDispatches int `json:"hedged_dispatches,omitempty"`
+	Releases         int `json:"releases,omitempty"`
 
 	// SharedHits counts section lookups this job resolved from the shared
 	// cross-process outcome tier, SharedMisses those the tier could not
@@ -167,6 +174,8 @@ func (r *Result) Summarize(eps float64, evals []TargetEval) *Summary {
 	s.PanicRetries = r.PanicRetries
 	s.RemoteExperiments = r.RemoteExperiments
 	s.ShardsMerged = r.ShardsMerged
+	s.HedgedDispatches = r.HedgedDispatches
+	s.Releases = r.Releases
 	for _, p := range r.Poisoned {
 		s.Poisoned = append(s.Poisoned, PoisonSummary{
 			Class:     fmt.Sprintf("%v/%v.bit%d", p.Key.Static, p.Key.Role, p.Key.Bit),

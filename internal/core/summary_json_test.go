@@ -42,8 +42,12 @@ func fullSummary() *Summary {
 			MachineFP: "00000000deadbeef",
 			Stack:     "goroutine 1 [running]:\nexample",
 		}},
-		PanicRetries: 3,
-		Outcomes:     OutcomeStats{Masked: 1000, Detected: 500, SDCGood: 300, SDCBad: 200, Untested: 48},
+		PanicRetries:      3,
+		RemoteExperiments: 1024,
+		ShardsMerged:      12,
+		HedgedDispatches:  2,
+		Releases:          5,
+		Outcomes:          OutcomeStats{Masked: 1000, Detected: 500, SDCGood: 300, SDCBad: 200, Untested: 48},
 		Baseline: &BaselineSummary{
 			Experiments:        4096,
 			SimInstrs:          5000000,
@@ -102,6 +106,8 @@ func TestSummaryOmitEmpty(t *testing.T) {
 		"poisoned", "panic_retries", "baseline", "targets", "bench", "variant",
 		"elided_experiments", "elided_sim_instrs",
 		"batched_experiments", "batch_replicas_avg",
+		"remote_experiments", "shards_merged",
+		"hedged_dispatches", "releases",
 	} {
 		if strings.Contains(text, `"`+absent+`"`) {
 			t.Errorf("zero-value summary serializes %q: %s", absent, text)

@@ -53,6 +53,11 @@ func TestWorkerRegistration(t *testing.T) {
 	if len(list) != 1 || list[0].ID != "w-reg" || !list[0].Live {
 		t.Errorf("worker list %+v", list)
 	}
+	// The circuit state and health score ride along in the same view: a
+	// freshly registered worker starts with a closed breaker, full health.
+	if list[0].State != "closed" || list[0].Health != 1 {
+		t.Errorf("fresh worker state %q health %v, want closed breaker at full health", list[0].State, list[0].Health)
+	}
 }
 
 func TestWorkerRegistrationRejectsDeadAndMalformed(t *testing.T) {

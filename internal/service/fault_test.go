@@ -230,7 +230,8 @@ func TestReadinessStates(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitState(t, m, slow.ID, StateRunning)
-	if _, err := m.Submit(Request{Bench: "pipe"}); err != nil {
+	queued, err := m.Submit(Request{Bench: "pipe"})
+	if err != nil {
 		t.Fatal(err)
 	}
 	if err := m.Readiness(); err == nil {
@@ -240,6 +241,9 @@ func TestReadinessStates(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitDone(t, m, slow.ID)
+	// The queued job starts once the slot frees and writes WAL segments;
+	// let it finish before yanking the WAL dir out from under it.
+	waitDone(t, m, queued.ID)
 
 	// Unwritable WAL dir: the probe must fail when the path cannot be a
 	// directory (tests run as root, so permission bits are no obstacle —
