@@ -3,6 +3,8 @@
 // Usage:
 //
 //	fasm -dump-bench lud                 # disassemble a benchmark to stdout
+//	fasm -dump-bench lud -harden         # ... hardened: every eligible
+//	                                     # instruction gets a detector
 //	fasm prog.fasm                       # assemble, report sizes
 //	fasm -run -entry main -mem 64 prog.fasm
 //	                                     # assemble and execute, dump memory
@@ -17,7 +19,9 @@ import (
 
 	"fastflip/internal/asm"
 	"fastflip/internal/bench"
+	"fastflip/internal/harden"
 	"fastflip/internal/inject"
+	"fastflip/internal/prog"
 	"fastflip/internal/vm"
 )
 
@@ -51,6 +55,7 @@ func main() {
 	var (
 		dumpBench = flag.String("dump-bench", "", "disassemble a built-in benchmark (with -variant)")
 		variant   = flag.String("variant", "none", "benchmark variant for -dump-bench")
+		hardenAll = flag.Bool("harden", false, "with -dump-bench: protect every eligible instruction with a duplication-and-compare detector before disassembling")
 		run       = flag.Bool("run", false, "execute the assembled program")
 		entry     = flag.String("entry", "main", "entry function for -run")
 		mem       = flag.Int("mem", 1024, "memory words for -run")
@@ -72,6 +77,19 @@ func main() {
 		p, err := bench.Build(*dumpBench, bench.Variant(*variant))
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *hardenAll {
+			sel := make(map[prog.StaticID]bool, len(p.Linked.Code))
+			for pc := range p.Linked.Code {
+				sel[p.Linked.StaticIDOf(pc)] = true
+			}
+			hp, res, err := harden.Program(p, sel, harden.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "hardened %s: %d instructions protected, %d ineligible, +%d instructions, %d spills\n",
+				*dumpBench, len(res.Protected), len(res.Skipped), res.AddedInstrs, res.Spills)
+			p = hp
 		}
 		mod, err := asm.ModuleOf(p.Linked)
 		if err != nil {

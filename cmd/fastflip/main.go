@@ -9,9 +9,12 @@
 //	fastflip -bench lud -variant small -store lud.ffs -modified
 //	                                          # re-analyze after a change, reusing the store
 //	fastflip -bench lud -list                 # print the selected instructions
+//	fastflip -bench lud -harden -target 0.95  # apply the selection as detectors
+//	                                          # and measure the residual SDC
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,6 +49,9 @@ func main() {
 		noBatch   = flag.Bool("no-batch", false, "disable lockstep batch replay (run every faulty replica as a scalar fork)")
 		sharedDir = flag.String("shared-store", "", "directory of the shared content-addressed outcome tier (sections analyzed by any process using the same directory are reused, fresh ones published back)")
 		tenant    = flag.String("tenant", "cli", "tenant name attributed in the shared store (with -shared-store)")
+		hardenOn  = flag.Bool("harden", false, "apply the knapsack selection as duplication-and-compare detectors, re-inject the hardened program, and report the measured residual SDC against the predicted bound")
+		hardenTgt = flag.Float64("target", 0.95, "with -harden: protection value target the selection is solved for")
+		dumpAsm   = flag.Bool("dump-hardened", false, "with -harden: print the hardened program's disassembly")
 	)
 	flag.Parse()
 	if *benchName == "" {
@@ -130,8 +136,21 @@ func main() {
 		}
 	}
 
+	var h *fastflip.HardenEval
+	if *hardenOn {
+		if h, err = a.Harden(context.Background(), r, *eps, *hardenTgt); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	if *jsonOut {
 		s := r.Summarize(*eps, evals)
+		if h != nil {
+			h.ApplyTo(s)
+			if s.HardenedAsm, err = h.Asm(); err != nil {
+				log.Fatal(err)
+			}
+		}
 		s.Bench = *benchName
 		s.Variant = *variant
 		if shared != nil {
@@ -189,6 +208,23 @@ func main() {
 				for _, id := range ids {
 					fmt.Printf("  %s\n", id)
 				}
+			}
+		}
+
+		if h != nil {
+			orig := r.FFBadCounts(*eps).Total
+			fmt.Printf("hardened (target %.3f): %d instructions protected (%d ineligible), +%d instructions, %d spills\n",
+				h.Target, len(h.Protected), len(h.Skipped), h.AddedInstrs, h.Spills)
+			fmt.Printf("residual SDC: %d measured <= %d predicted (unhardened %d); detector coverage %.1f%%, %d detector triggers, %.1f%% dynamic overhead\n",
+				h.ResidualSDC, h.PredictedResidual, orig,
+				100*h.DetectorCoverage, h.DetectorTriggers, 100*h.ProtectionOverhead)
+			if *dumpAsm {
+				text, err := h.Asm()
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Println()
+				fmt.Print(text)
 			}
 		}
 

@@ -1,15 +1,16 @@
 // Command fffuzz runs differential fuzzing campaigns over generated
-// minilang programs, checking the four invariants of the compositional
+// minilang programs, checking the five invariants of the compositional
 // analysis (see internal/diffcheck):
 //
 //	sound        composed SDC bound covers the monolithic co-run truth
 //	incremental  re-analysis after an edit equals from-scratch analysis
 //	resume       killed+resumed campaign converges to the uninterrupted one
 //	engines      legacy and cursor replay engines agree per class
+//	harden       protect-everything hardening preserves fault-free semantics
 //
 // Usage:
 //
-//	fffuzz -seed 1 -n 200                      # all four, round-robin
+//	fffuzz -seed 1 -n 200                      # all five, round-robin
 //	fffuzz -seed 7 -n 50 -invariant sound      # one invariant only
 //	fffuzz -repro corpus/sound-0000...json     # re-run a saved reproducer
 //
@@ -34,7 +35,7 @@ func main() {
 	var (
 		seed      = flag.Uint64("seed", 1, "campaign master seed")
 		n         = flag.Int("n", 100, "number of checks to run")
-		invariant = flag.String("invariant", "", "restrict to one invariant: sound, incremental, resume, engines (default all)")
+		invariant = flag.String("invariant", "", "restrict to one invariant: sound, incremental, resume, engines, harden (default all)")
 		corpus    = flag.String("corpus", "diffcheck-corpus", "directory for shrunk reproducers")
 		noShrink  = flag.Bool("no-shrink", false, "report violations without minimizing them")
 		repro     = flag.String("repro", "", "re-run a saved reproducer JSON file and exit")
@@ -73,7 +74,7 @@ func main() {
 			}
 		}
 		if !valid {
-			log.Fatalf("unknown invariant %q (have: sound, incremental, resume, engines)", *invariant)
+			log.Fatalf("unknown invariant %q (have: sound, incremental, resume, engines, harden)", *invariant)
 		}
 		opts.Invariants = []diffcheck.Invariant{inv}
 	}

@@ -14,6 +14,13 @@
 //	curl localhost:8080/v1/jobs/job-1
 //	curl -X DELETE localhost:8080/v1/jobs/job-1
 //
+// A job with "harden": true (optionally "harden_target": 0.95) closes the
+// protection loop: the selected instructions are hardened with
+// duplication-and-compare detectors, the hardened program is re-injected,
+// and the result reports the measured residual SDC, detector coverage,
+// and the hardened disassembly (result.hardened_asm, fasm syntax). The
+// /metrics endpoint counts hardened_jobs and detector_triggers.
+//
 // Distributed campaigns connect several ffserved processes:
 //
 //	ffserved -worker -addr :8081            # injection worker, no job API

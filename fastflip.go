@@ -99,6 +99,10 @@ type (
 	BadCounts = core.BadCounts
 	// Selection is a chosen set of instructions to protect.
 	Selection = knap.Selection
+	// HardenEval is the measured outcome of the protection loop
+	// (Analyzer.Harden): the applied selection, the hardened program, and
+	// its residual SDC against the predicted bound.
+	HardenEval = core.HardenEval
 	// Outcome classifies one injection experiment.
 	Outcome = metrics.Outcome
 	// Summary is the machine-readable digest of one analysis (the shape

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"fastflip/internal/bench"
+	"fastflip/internal/prog"
+	"fastflip/internal/testprog"
+)
+
+// TestHardenPipeline closes the protection loop on the two-section fixture:
+// solve, transform, re-inject, and check the measured residual against the
+// predicted bound.
+func TestHardenPipeline(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Targets = nil
+	cfg.AdjustTargets = false
+	a := NewAnalyzer(cfg)
+	p := testprog.Pipeline()
+	r, err := a.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := a.Harden(context.Background(), r, cfg.Epsilon, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Protected) == 0 {
+		t.Fatal("nothing protected")
+	}
+	if h.ResidualSDC > h.PredictedResidual {
+		t.Errorf("residual SDC %d exceeds predicted bound %d", h.ResidualSDC, h.PredictedResidual)
+	}
+	orig := r.FFBadCounts(cfg.Epsilon).Total
+	if h.ResidualSDC >= orig {
+		t.Errorf("residual SDC %d not below unprotected %d", h.ResidualSDC, orig)
+	}
+	if h.DetectorCoverage < 0 || h.DetectorCoverage > 1 {
+		t.Errorf("detector coverage %v outside [0,1]", h.DetectorCoverage)
+	}
+	if h.DetectorTriggers == 0 {
+		t.Error("no hardened site was caught by a detector trap")
+	}
+	if h.ProtectionOverhead <= 0 {
+		t.Errorf("protection overhead %v not positive", h.ProtectionOverhead)
+	}
+	if h.Prog.Name != p.Name+"+hardened" {
+		t.Errorf("hardened program name %q", h.Prog.Name)
+	}
+
+	s := r.Summarize(cfg.Epsilon, nil)
+	h.ApplyTo(s)
+	if s.ResidualSDC != h.ResidualSDC || s.PredictedResidual != h.PredictedResidual ||
+		s.DetectorCoverage != h.DetectorCoverage || s.DetectorTriggers != h.DetectorTriggers ||
+		s.ProtectionOverhead != h.ProtectionOverhead || s.HardenedTarget != h.Target {
+		t.Errorf("ApplyTo dropped fields: %+v vs %+v", s, h)
+	}
+}
+
+// TestHardenResidualWithinBound is the protection loop's correctness claim
+// on real benchmarks: for fft-small and lud, the hardened program's
+// measured residual SDC must stay within the knapsack-predicted bound, and
+// the SDC-Bad counts at unprotected instructions must be byte-identical to
+// the unhardened campaign — hardening may only remove badness where it
+// placed detectors. Runs under the same WAL/resume discipline as a
+// production campaign. CI runs this under -race as the harden-e2e gate.
+func TestHardenResidualWithinBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full injection campaigns per benchmark")
+	}
+	for _, name := range []string{"fft", "lud"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Targets = nil
+			cfg.AdjustTargets = false
+			cfg.WALDir = t.TempDir()
+			cfg.Resume = true
+			a := NewAnalyzer(cfg)
+			p := bench.MustBuild(name, bench.Small)
+			r, err := a.Analyze(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := a.Harden(context.Background(), r, cfg.Epsilon, 0.95)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ffBC := r.FFBadCounts(cfg.Epsilon)
+			hardBC := h.Hardened.FFBadCounts(cfg.Epsilon)
+
+			if h.ResidualSDC > h.PredictedResidual {
+				t.Errorf("residual SDC %d exceeds predicted bound %d", h.ResidualSDC, h.PredictedResidual)
+			}
+			if h.ResidualSDC >= ffBC.Total {
+				t.Errorf("residual SDC %d not below unprotected %d", h.ResidualSDC, ffBC.Total)
+			}
+			if h.DetectorTriggers == 0 {
+				t.Error("no hardened site was caught by a detector trap")
+			}
+
+			// Unprotected instructions must measure exactly as before:
+			// detectors only see flips at the instruction they duplicate.
+			eff := make(map[prog.StaticID]bool, len(h.Protected))
+			for _, id := range h.Protected {
+				eff[id] = true
+			}
+			for id, n := range ffBC.PerStatic {
+				if eff[id] {
+					continue
+				}
+				hid, ok := h.Map.OrigToHard[id]
+				if !ok {
+					t.Fatalf("map missing unprotected %v", id)
+				}
+				if got := hardBC.PerStatic[hid]; got != n {
+					t.Errorf("unprotected %v: hardened bad count %d, unhardened %d", id, got, n)
+				}
+			}
+		})
+	}
+}

@@ -94,6 +94,24 @@ type Summary struct {
 	SharedHits   int `json:"shared_hits,omitempty"`
 	SharedMisses int `json:"shared_misses,omitempty"`
 
+	// Protection-loop figures (Analyzer.Harden), present only when the job
+	// asked for hardening: the knapsack selection was applied as
+	// duplication-and-compare detectors and the hardened program was
+	// re-injected. ResidualSDC is its measured SDC-Bad site count,
+	// PredictedResidual the mechanism-aware bound derived from the original
+	// campaign, DetectorCoverage the fraction of tested bad sites at
+	// protected instructions the detectors removed, DetectorTriggers the
+	// hardened sites caught by a detector trap, and ProtectionOverhead the
+	// dynamic instruction overhead of the detectors. HardenedAsm carries
+	// the hardened program's disassembly when the caller requested it.
+	HardenedTarget     float64 `json:"hardened_target,omitempty"`
+	ResidualSDC        int     `json:"residual_sdc,omitempty"`
+	PredictedResidual  int     `json:"predicted_residual,omitempty"`
+	DetectorCoverage   float64 `json:"detector_coverage,omitempty"`
+	DetectorTriggers   int     `json:"detector_triggers,omitempty"`
+	ProtectionOverhead float64 `json:"protection_overhead,omitempty"`
+	HardenedAsm        string  `json:"hardened_asm,omitempty"`
+
 	Outcomes OutcomeStats `json:"outcomes"`
 
 	Baseline *BaselineSummary `json:"baseline,omitempty"`

@@ -42,12 +42,19 @@ func fullSummary() *Summary {
 			MachineFP: "00000000deadbeef",
 			Stack:     "goroutine 1 [running]:\nexample",
 		}},
-		PanicRetries:      3,
-		RemoteExperiments: 1024,
-		ShardsMerged:      12,
-		HedgedDispatches:  2,
-		Releases:          5,
-		Outcomes:          OutcomeStats{Masked: 1000, Detected: 500, SDCGood: 300, SDCBad: 200, Untested: 48},
+		PanicRetries:       3,
+		RemoteExperiments:  1024,
+		ShardsMerged:       12,
+		HedgedDispatches:   2,
+		Releases:           5,
+		HardenedTarget:     0.95,
+		ResidualSDC:        120,
+		PredictedResidual:  150,
+		DetectorCoverage:   0.93,
+		DetectorTriggers:   640,
+		ProtectionOverhead: 0.42,
+		HardenedAsm:        "func main {\n    halt\n}\n",
+		Outcomes:           OutcomeStats{Masked: 1000, Detected: 500, SDCGood: 300, SDCBad: 200, Untested: 48},
 		Baseline: &BaselineSummary{
 			Experiments:        4096,
 			SimInstrs:          5000000,
@@ -108,6 +115,9 @@ func TestSummaryOmitEmpty(t *testing.T) {
 		"batched_experiments", "batch_replicas_avg",
 		"remote_experiments", "shards_merged",
 		"hedged_dispatches", "releases",
+		"hardened_target", "residual_sdc", "predicted_residual",
+		"detector_coverage", "detector_triggers", "protection_overhead",
+		"hardened_asm",
 	} {
 		if strings.Contains(text, `"`+absent+`"`) {
 			t.Errorf("zero-value summary serializes %q: %s", absent, text)

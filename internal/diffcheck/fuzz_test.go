@@ -8,7 +8,7 @@ import (
 	"fastflip/internal/mix"
 )
 
-// The four native fuzz targets. Each input is one generator seed; the
+// The five native fuzz targets. Each input is one generator seed; the
 // harness derives program (and edit) deterministically from it, so every
 // crash reproduces from the seed alone. Checked-in corpus lives under
 // testdata/fuzz/<FuzzName>/.
@@ -51,6 +51,20 @@ func FuzzEnginesAgree(f *testing.F) {
 	f.Add(uint64(44))
 	f.Fuzz(func(t *testing.T, seed uint64) {
 		if v := Check(InvEngines, seed); v != nil {
+			t.Fatal(v)
+		}
+	})
+}
+
+func FuzzHardenPreserves(f *testing.F) {
+	f.Add(uint64(1))
+	f.Add(uint64(42))
+	// Seed 44's discrete kernel mixes integer and float protections with
+	// heavy register pressure, so the transform's spill save/restore path
+	// is on the semantics-preservation hook, not just the fast path.
+	f.Add(uint64(44))
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		if v := Check(InvHarden, seed); v != nil {
 			t.Fatal(v)
 		}
 	})

@@ -8,9 +8,12 @@ import (
 	"reflect"
 
 	"fastflip/internal/core"
+	"fastflip/internal/harden"
 	"fastflip/internal/metrics"
 	"fastflip/internal/ostore"
+	"fastflip/internal/prog"
 	"fastflip/internal/spec"
+	"fastflip/internal/vm"
 )
 
 // Invariant names the four differential invariants.
@@ -30,10 +33,15 @@ const (
 	// InvEngines: the legacy and clean-cursor replay engines agree on
 	// every per-class outcome.
 	InvEngines Invariant = "engines"
+	// InvHarden: the hardening transform is semantics-preserving — with
+	// every eligible instruction protected, the hardened program's
+	// fault-free run produces the same final memory, registers, and halt
+	// status as the original.
+	InvHarden Invariant = "harden"
 )
 
-// Invariants lists all four in fixed order.
-var Invariants = []Invariant{InvSound, InvIncremental, InvResume, InvEngines}
+// Invariants lists all five in fixed order.
+var Invariants = []Invariant{InvSound, InvIncremental, InvResume, InvEngines, InvHarden}
 
 // Violation describes one failed invariant check on one generated
 // program. It satisfies error so checks compose with normal error plumbing.
@@ -415,6 +423,54 @@ func CheckEngines(g *Prog) *Violation {
 	return nil
 }
 
+// CheckHarden verifies the harden invariant: protect every eligible
+// instruction of the generated program with duplication-and-compare
+// detectors and require the hardened fault-free run to halt with the same
+// final memory (below the original MemWords — the detector spill slots
+// above are private) and the same register files as the original. A
+// detector that fires without a fault, a mis-remapped branch, or an
+// unrestored spill all surface here as state divergence.
+func CheckHarden(g *Prog) *Violation {
+	p, v := build(InvHarden, g, nil)
+	if v != nil {
+		return v
+	}
+	m := p.NewMachine()
+	m.MaxDyn = 1 << 22
+	if ev := m.Run(); ev.Kind != vm.EvHalt {
+		return violationf(InvHarden, g, nil, "original run did not halt: %v (status %v)", ev.Kind, m.Status)
+	}
+
+	sel := make(map[prog.StaticID]bool, len(p.Linked.Code))
+	for pc := range p.Linked.Code {
+		sel[p.Linked.StaticIDOf(pc)] = true
+	}
+	hp, res, err := harden.Program(p, sel, harden.Options{})
+	if err != nil {
+		return violationf(InvHarden, g, nil, "hardening failed: %v", err)
+	}
+	hm := hp.NewMachine()
+	hm.MaxDyn = 1 << 22
+	if ev := hm.Run(); ev.Kind != vm.EvHalt {
+		return violationf(InvHarden, g, nil,
+			"hardened run did not halt: %v (status %v, pc %d; %d protected, %d spills)",
+			ev.Kind, hm.Status, hm.PC, len(res.Protected), res.Spills)
+	}
+	for i := 0; i < p.MemWords; i++ {
+		if m.Mem[i] != hm.Mem[i] {
+			return violationf(InvHarden, g, nil,
+				"mem[%d] diverged: original %#x, hardened %#x", i, m.Mem[i], hm.Mem[i])
+		}
+	}
+	if m.R != hm.R {
+		return violationf(InvHarden, g, nil, "integer registers diverged:\noriginal %v\nhardened %v", m.R, hm.R)
+	}
+	if m.F != hm.F {
+		return violationf(InvHarden, g, nil, "float registers diverged:\noriginal %v\nhardened %v", m.F, hm.F)
+	}
+	return nil
+}
+
 // compareOutcomes requires identical per-class outcome sequences.
 func compareOutcomes(inv Invariant, g *Prog, e *Edit, want, got *core.Result, wantName, gotName string) *Violation {
 	a, b := want.ClassOutcomes(), got.ClassOutcomes()
@@ -481,6 +537,8 @@ func Check(inv Invariant, seed uint64) *Violation {
 		return CheckResume(Generate(seed, FamilyMixed), "")
 	case InvEngines:
 		return CheckEngines(Generate(seed, FamilyMixed))
+	case InvHarden:
+		return CheckHarden(Generate(seed, FamilyMixed))
 	default:
 		panic(fmt.Sprintf("diffcheck: unknown invariant %q", inv))
 	}

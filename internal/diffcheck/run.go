@@ -15,7 +15,7 @@ type Options struct {
 	// N is the number of checks to run, distributed round-robin over
 	// Invariants.
 	N int
-	// Invariants restricts the campaign; nil means all four.
+	// Invariants restricts the campaign; nil means all five.
 	Invariants []Invariant
 	// CorpusDir, when non-empty, receives a shrunk reproducer per
 	// violation.

@@ -127,6 +127,8 @@ func predFor(inv Invariant) func(*Prog, *Edit) bool {
 			return CheckResume(g, "") != nil
 		case InvEngines:
 			return CheckEngines(g) != nil
+		case InvHarden:
+			return CheckHarden(g) != nil
 		}
 		return false
 	}
@@ -152,6 +154,10 @@ func ShrinkViolation(v *Violation) *Violation {
 		}
 	case InvEngines:
 		if nv := CheckEngines(g); nv != nil {
+			final.Detail = nv.Detail
+		}
+	case InvHarden:
+		if nv := CheckHarden(g); nv != nil {
 			final.Detail = nv.Detail
 		}
 	}

@@ -182,12 +182,24 @@ func (inj *Injector) Monolithic(m *vm.Machine, site sites.Site) (metrics.Outcome
 	return out, m.Dyn - t.NearestCheckpointDyn(site.Dyn)
 }
 
+// crashOutcome classifies a crashed machine: a vm.CrashTrap is a hardening
+// detector firing (DetectTrap), every other crash kind is an ordinary
+// detected crash. Both are Detected in the paper's taxonomy; the reason
+// split lets the hardening remeasure report detector coverage.
+func crashOutcome(m *vm.Machine) metrics.Outcome {
+	reason := metrics.DetectCrash
+	if m.Crash == vm.CrashTrap {
+		reason = metrics.DetectTrap
+	}
+	return metrics.Outcome{Kind: metrics.Detected, Reason: reason}
+}
+
 // monolithicFinish resumes a prepared machine to termination and classifies
 // the effect on the final outputs.
 func (inj *Injector) monolithicFinish(m *vm.Machine) metrics.Outcome {
 	switch ev := m.Run(); ev.Kind {
 	case vm.EvCrash:
-		return metrics.Outcome{Kind: metrics.Detected, Reason: metrics.DetectCrash}
+		return crashOutcome(m)
 	case vm.EvTimeout:
 		return metrics.Outcome{Kind: metrics.Detected, Reason: metrics.DetectTimeout}
 	}
@@ -227,7 +239,7 @@ func (inj *Injector) sectionFinish(m *vm.Machine, inst *trace.Instance) metrics.
 			// corrupted control flow skipped the section's remainder.
 			return conservativeSDC(len(inst.IO.Outputs))
 		case vm.EvCrash:
-			return metrics.Outcome{Kind: metrics.Detected, Reason: metrics.DetectCrash}
+			return crashOutcome(m)
 		case vm.EvTimeout:
 			return metrics.Outcome{Kind: metrics.Detected, Reason: metrics.DetectTimeout}
 		}
@@ -278,7 +290,7 @@ func (inj *Injector) coRunFinish(m *vm.Machine, inst *trace.Instance) (sec, fin 
 			fin = metrics.Compare(t.Prog.FinalOutputs, t.Final, m)
 			return sec, fin
 		case vm.EvCrash:
-			det := metrics.Outcome{Kind: metrics.Detected, Reason: metrics.DetectCrash}
+			det := crashOutcome(m)
 			if !secDone {
 				sec = det
 			}

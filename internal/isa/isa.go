@@ -118,6 +118,18 @@ const (
 	ROIBEG // start of the region of interest
 	ROIEND // end of the region of interest
 
+	// Hardening support (internal/harden). TRAP is the detector's mismatch
+	// sink: it halts the machine with a distinguishable crash kind so a
+	// fired detector is classified as Detected rather than SDC. The
+	// absolute-address memory ops move register bits to/from the reserved
+	// scratch slots the hardener appends beyond the program's declared
+	// memory, where no base register can be assumed intact.
+	TRAP
+	LDA  // Rd <- Mem[Imm]
+	STA  // Mem[Imm] <- Ra
+	FLDA // Fd <- frombits(Mem[Imm])
+	FSTA // Mem[Imm] <- bits(Fa)
+
 	numOps // sentinel; keep last
 )
 
@@ -238,6 +250,12 @@ var infos = [numOps]OpInfo{
 	SECEND: {Name: "secend", Imm: ImmSec},
 	ROIBEG: {Name: "roibeg"},
 	ROIEND: {Name: "roiend"},
+
+	TRAP: {Name: "trap"},
+	LDA:  {Name: "lda", Dst: RegInt, Imm: ImmOffset},
+	STA:  {Name: "sta", SrcA: RegInt, Imm: ImmOffset},
+	FLDA: {Name: "flda", Dst: RegFloat, Imm: ImmOffset},
+	FSTA: {Name: "fsta", SrcA: RegFloat, Imm: ImmOffset},
 }
 
 // Info returns the static metadata for op. It panics on an undefined opcode,

@@ -180,6 +180,32 @@ func TestGreedyNeverBeatsDP(t *testing.T) {
 	}
 }
 
+// TestGreedyMatchesDPOnUniformCosts pins the parity half of the ablation:
+// with uniform per-item cost the density order degrades to plain value
+// order, which is optimal, so greedy must match the DP's minimum cost
+// exactly — not merely bound it — on every random instance.
+func TestGreedyMatchesDPOnUniformCosts(t *testing.T) {
+	f := func(seed int64, cost uint8) bool {
+		c := int(cost%9) + 1
+		r := rand.New(rand.NewSource(seed))
+		items := randomItems(r, 30)
+		for i := range items {
+			items[i].Cost = c
+		}
+		s := New(items)
+		target := 0.2 + 0.7*r.Float64()*s.MaxValue()
+		sel, err := s.MinCostFor(target)
+		if err != nil {
+			return true
+		}
+		g := Greedy(items, target)
+		return g.Cost == sel.Cost && g.Value >= target-valueSlack
+	}
+	if err := quick.Check(f, qcheck.Config(t, 40)); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestNegativeInputsPanic(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -163,8 +163,9 @@ func successors(l *prog.Linked) (succs [][]int32, retOpen []bool) {
 
 	for pc, in := range l.Code {
 		switch in.Op {
-		case isa.HALT:
-			// No successors: nothing observes registers after halt.
+		case isa.HALT, isa.TRAP:
+			// No successors: nothing observes registers after halt, and a
+			// trap crashes the machine before any compare happens.
 		case isa.JMP:
 			succs[pc] = []int32{int32(in.Imm)}
 		case isa.CALL:
@@ -333,6 +334,12 @@ func useMasks(in isa.Instr, ld uint64) (ua, ub uint64) {
 		return allLive, 0
 	case isa.ST, isa.FST:
 		return allLive, allLive
+	// Absolute-address stores (hardening spills): no base register, but
+	// the stored value lands in memory, so it is fully observable. The
+	// absolute loads LDA/FLDA have no register sources at all and fall
+	// through to the zero default.
+	case isa.STA, isa.FSTA:
+		return allLive, 0
 
 	// Control flow observes its operands completely.
 	case isa.BEQ, isa.BNE, isa.BLT, isa.BLE, isa.BGT, isa.BGE,

@@ -50,6 +50,11 @@ const (
 	DetectCrash
 	DetectTimeout
 	DetectBadOutput // NaN/Inf introduced into a float output
+	// DetectTrap is a hardening detector firing (vm.CrashTrap): the
+	// duplicated computation disagreed with the protected instruction and
+	// the program trapped. Appended at the end so persisted reason values
+	// (WAL records, gob store entries) keep decoding.
+	DetectTrap
 )
 
 func (r DetectReason) String() string {
@@ -62,6 +67,8 @@ func (r DetectReason) String() string {
 		return "timeout"
 	case DetectBadOutput:
 		return "malformed output"
+	case DetectTrap:
+		return "trap"
 	}
 	return fmt.Sprintf("reason(%d)", uint8(r))
 }

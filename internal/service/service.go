@@ -69,6 +69,13 @@ type Request struct {
 	// Modified marks this as a modified version of the last analysis of
 	// the same benchmark (advances the §4.10 m_adj counter).
 	Modified bool `json:"modified,omitempty"`
+	// Harden closes the protection loop: the knapsack selection for
+	// HardenTarget (default 0.95) is applied as duplication-and-compare
+	// detectors, the hardened program is re-injected, and the result
+	// carries the measured residual SDC, detector coverage, and the
+	// hardened disassembly (Summary.HardenedAsm).
+	Harden       bool    `json:"harden,omitempty"`
+	HardenTarget float64 `json:"harden_target,omitempty"`
 	// Tenant names the submitting tenant for shared-tier attribution,
 	// per-tenant quotas, and metrics. Empty means "default". The tenant is
 	// a namespace for accounting, not for lookups: content addressing
@@ -119,6 +126,11 @@ type Metrics struct {
 	// off after a persistent write failure (the analysis still completed,
 	// memory-only for the affected sections).
 	WALDegradedJobs uint64 `json:"wal_degraded_jobs"`
+	// HardenedJobs counts jobs that ran the protection loop
+	// (Request.Harden); DetectorTriggers accumulates the hardened-campaign
+	// sites whose injection was caught by a detector trap.
+	HardenedJobs     uint64 `json:"hardened_jobs"`
+	DetectorTriggers uint64 `json:"detector_triggers"`
 
 	JobsQueued  int `json:"jobs_queued"`  // gauge
 	JobsRunning int `json:"jobs_running"` // gauge
@@ -657,7 +669,7 @@ func (m *Manager) runJob(j *job) {
 	m.mu.Unlock()
 	defer cancel()
 
-	r, evals, err, panicked := m.analyze(ctx, j, snap)
+	r, evals, h, err, panicked := m.analyze(ctx, j, snap)
 
 	if m.opts.Shared != nil {
 		// Publish this job's staged sections before reporting it finished:
@@ -687,6 +699,14 @@ func (m *Manager) runJob(j *job) {
 		s := r.Summarize(j.req.Epsilon, evals)
 		s.Bench = j.req.Bench
 		s.Variant = j.req.Variant
+		if h != nil {
+			h.ApplyTo(s)
+			// A disassembly failure loses only the retrievable text, never
+			// the measured figures.
+			s.HardenedAsm, _ = h.Asm()
+			m.counters.HardenedJobs++
+			m.counters.DetectorTriggers += uint64(h.DetectorTriggers)
+		}
 		if tier != nil {
 			s.SharedHits = int(tier.hits.Load())
 			s.SharedMisses = int(tier.misses.Load())
@@ -740,10 +760,10 @@ func (m *Manager) runJob(j *job) {
 // escapes — a harness bug in trace recording, composition, evaluation —
 // fails this job with the captured stack instead of killing the worker
 // goroutine (and with it the process).
-func (m *Manager) analyze(ctx context.Context, j *job, snap *store.Store) (r *core.Result, evals []core.TargetEval, err error, panicked bool) {
+func (m *Manager) analyze(ctx context.Context, j *job, snap *store.Store) (r *core.Result, evals []core.TargetEval, h *core.HardenEval, err error, panicked bool) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			r, evals = nil, nil
+			r, evals, h = nil, nil, nil
 			err = fmt.Errorf("service: job %s panicked: %v\n%s", j.id, rec, debug.Stack())
 			panicked = true
 		}
@@ -767,7 +787,14 @@ func (m *Manager) analyze(ctx context.Context, j *job, snap *store.Store) (r *co
 			evals, err = a.Evaluate(r, j.req.Epsilon, j.req.Modified)
 		}
 	}
-	return r, evals, err, false
+	if err == nil && j.req.Harden {
+		target := j.req.HardenTarget
+		if target <= 0 {
+			target = 0.95
+		}
+		h, err = a.Harden(ctx, r, j.req.Epsilon, target)
+	}
+	return r, evals, h, err, false
 }
 
 // finishLocked moves j to a terminal state, bumps the matching counter,

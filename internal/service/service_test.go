@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -182,6 +183,46 @@ func TestJobLifecycleAndCacheReuse(t *testing.T) {
 	}
 	if mt.InjectionsRun == 0 || mt.SimInstrs == 0 {
 		t.Error("metrics: injection counters did not move")
+	}
+}
+
+// TestHardenedJob runs the protection loop through the job path: the
+// result must carry the measured residual figures within the predicted
+// bound, the hardened disassembly, and the metrics must count the job and
+// its detector triggers.
+func TestHardenedJob(t *testing.T) {
+	m := New(testOptions())
+	defer m.Close(context.Background())
+	v, err := m.Submit(Request{Bench: "pipe", Harden: true, HardenTarget: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := m.Wait(context.Background(), v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("state %v (error %q)", fin.State, fin.Error)
+	}
+	s := fin.Result
+	if s.HardenedTarget != 0.9 {
+		t.Errorf("hardened target %v, want 0.9", s.HardenedTarget)
+	}
+	if s.ResidualSDC > s.PredictedResidual {
+		t.Errorf("residual SDC %d exceeds predicted bound %d", s.ResidualSDC, s.PredictedResidual)
+	}
+	if s.DetectorTriggers == 0 {
+		t.Error("no detector triggers in the hardened campaign")
+	}
+	if !strings.Contains(s.HardenedAsm, "trap") {
+		t.Errorf("hardened disassembly carries no detector trap:\n%s", s.HardenedAsm)
+	}
+	mt := m.Metrics()
+	if mt.HardenedJobs != 1 {
+		t.Errorf("hardened_jobs = %d, want 1", mt.HardenedJobs)
+	}
+	if mt.DetectorTriggers != uint64(s.DetectorTriggers) {
+		t.Errorf("detector_triggers = %d, want %d", mt.DetectorTriggers, s.DetectorTriggers)
 	}
 }
 

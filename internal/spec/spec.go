@@ -78,6 +78,11 @@ type Program struct {
 	Version  string // "none", "small", "large", ...
 	Linked   *prog.Linked
 	MemWords int
+	// MemLimit, when nonzero, bounds the register-addressed loads/stores
+	// below MemWords (vm.Machine.MemLimit). Hardened programs reserve
+	// [MemLimit, MemWords) as detector-private spill slots reachable only
+	// through the absolute-addressed detector ops.
+	MemLimit int
 	// Init populates input data in memory before execution starts.
 	Init func(m *vm.Machine)
 	// Sections lists the static sections; Sections[i].ID must equal i.
@@ -127,6 +132,7 @@ func (p *Program) Validate() error {
 // NewMachine builds an initialized machine positioned at the program entry.
 func (p *Program) NewMachine() *vm.Machine {
 	m := vm.New(p.Linked.Code, p.Linked.Entry, p.MemWords)
+	m.MemLimit = p.MemLimit
 	if p.Init != nil {
 		p.Init(m)
 	}

@@ -9,6 +9,7 @@
 package tables
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -46,6 +47,12 @@ type Options struct {
 	// outcomes are identical either way.
 	NoElide bool
 	NoBatch bool
+	// HardenTarget, when nonzero, closes the protection loop on every
+	// benchmark's original version: the knapsack selection for this target
+	// is applied as duplication-and-compare detectors, the hardened program
+	// is re-injected, and the measured residual SDC lands in the perf
+	// records (residual_sdc, detector_coverage, protection_overhead).
+	HardenTarget float64
 }
 
 // DefaultOptions mirrors the paper's evaluation setup.
@@ -69,6 +76,10 @@ type Run struct {
 	EvalsGood []core.TargetEval
 	// EvalsNoAdjust is Table 4's setting: ε = 0, adjustment off.
 	EvalsNoAdjust []core.TargetEval
+
+	// Harden is the measured protection loop for Options.HardenTarget,
+	// populated only on original versions (nil otherwise).
+	Harden *core.HardenEval
 }
 
 // Suite holds every run plus the analyzers (kept for re-evaluation, e.g.
@@ -165,6 +176,14 @@ func RunSuite(opts Options) (*Suite, error) {
 			}
 			if run.EvalsNoAdjust, err = noAdjust.Evaluate(r, 0, modified); err != nil {
 				return nil, fmt.Errorf("tables: %s/%s noadjust: %w", name, variant, err)
+			}
+			if opts.HardenTarget > 0 && variant == bench.None {
+				// Close the protection loop on the original version only: the
+				// hardened re-injection is a second full campaign, and the
+				// residual claim is about the program, not its modifications.
+				if run.Harden, err = a.Harden(context.Background(), r, 0, opts.HardenTarget); err != nil {
+					return nil, fmt.Errorf("tables: %s/%s harden: %w", name, variant, err)
+				}
 			}
 			s.Runs = append(s.Runs, run)
 			s.logf("%-9s %-6s sites=%-9d ff=%7.1fMi base=%7.1fMi speedup=%5.1fx reused=%d/%d",
@@ -382,6 +401,15 @@ type PerfRecord struct {
 	BaseFaultyInst        uint64  `json:"base_faulty_instrs"`
 	BaseWallNs            int64   `json:"base_wall_ns"`
 	Speedup               float64 `json:"speedup"`
+
+	// The measured protection loop (Options.HardenTarget; original
+	// versions only). ResidualSDC is the hardened program's own SDC-Bad
+	// site count, PredictedResidual the bound computed before re-injection.
+	HardenTarget       float64 `json:"harden_target,omitempty"`
+	ResidualSDC        int     `json:"residual_sdc,omitempty"`
+	PredictedResidual  int     `json:"predicted_residual,omitempty"`
+	DetectorCoverage   float64 `json:"detector_coverage,omitempty"`
+	ProtectionOverhead float64 `json:"protection_overhead,omitempty"`
 }
 
 // PerfRecords digests every run of the suite for machine-readable output.
@@ -414,6 +442,13 @@ func (s *Suite) PerfRecords() []PerfRecord {
 		}
 		if b := r.FFInject.Batches; b > 0 {
 			rec.FFBatchReplicasAvg = float64(r.FFInject.BatchExperiments) / float64(b)
+		}
+		if h := run.Harden; h != nil {
+			rec.HardenTarget = h.Target
+			rec.ResidualSDC = h.ResidualSDC
+			rec.PredictedResidual = h.PredictedResidual
+			rec.DetectorCoverage = h.DetectorCoverage
+			rec.ProtectionOverhead = h.ProtectionOverhead
 		}
 		recs = append(recs, rec)
 	}

@@ -1,6 +1,8 @@
 package tables
 
 import (
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -104,6 +106,77 @@ func TestSHA2KeepsStrictEpsilon(t *testing.T) {
 	for i := range run.EvalsStrict {
 		if run.EvalsStrict[i].Achieved != run.EvalsGood[i].Achieved {
 			t.Errorf("sha2 eval %d differs between strict and good", i)
+		}
+	}
+}
+
+// TestPerfRecordJSONRoundTrip: the machine-readable digest must preserve
+// every field through encode/decode — in particular the protection-loop
+// additions (harden_target, residual_sdc, detector_coverage,
+// protection_overhead), which downstream perf dashboards key on.
+func TestPerfRecordJSONRoundTrip(t *testing.T) {
+	want := PerfRecord{
+		Bench:                 "lud",
+		Variant:               "small",
+		SiteCount:             4096,
+		DynInstrs:             123456,
+		Reused:                6,
+		Injected:              2,
+		FFExperiments:         2048,
+		FFSimInstrs:           999999,
+		FFCleanInstrs:         1111,
+		FFFaultyInstrs:        2222,
+		FFWallNs:              1500,
+		FFElidedExperiments:   96,
+		FFElidedSimInstrs:     48000,
+		FFExecutedExperiments: 1952,
+		FFBatchedExperiments:  1800,
+		FFBatchReplicasAvg:    112.5,
+		BaseExperims:          4096,
+		BaseSimInstrs:         5000000,
+		BaseCleanInstr:        4000,
+		BaseFaultyInst:        5000,
+		BaseWallNs:            9000,
+		Speedup:               3.2,
+		HardenTarget:          0.95,
+		ResidualSDC:           120,
+		PredictedResidual:     150,
+		DetectorCoverage:      0.93,
+		ProtectionOverhead:    0.42,
+	}
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got PerfRecord
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip changed the record:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+// TestPerfRecordOmitEmpty: a run without the protection loop keeps the
+// hardening keys out of the wire format entirely (consumers feature-detect
+// by key presence), while the always-on cost fields stay.
+func TestPerfRecordOmitEmpty(t *testing.T) {
+	data, err := json.Marshal(PerfRecord{Bench: "fft"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, absent := range []string{
+		"harden_target", "residual_sdc", "predicted_residual",
+		"detector_coverage", "protection_overhead",
+	} {
+		if strings.Contains(text, `"`+absent+`"`) {
+			t.Errorf("zero-value record serializes %q: %s", absent, text)
+		}
+	}
+	for _, present := range []string{"bench", "ff_experiments", "speedup"} {
+		if !strings.Contains(text, `"`+present+`"`) {
+			t.Errorf("record missing always-on key %q: %s", present, text)
 		}
 	}
 }

@@ -162,7 +162,9 @@ func (b *Batch) Step() bool {
 	}
 	in := b.code[b.pc]
 	switch in.Op {
-	case isa.SECEND, isa.HALT:
+	case isa.SECEND, isa.HALT, isa.TRAP:
+		// TRAP stops the batch like HALT so the scalar finisher observes
+		// the detector crash on a real Machine.
 		return false
 	case isa.CALL:
 		if len(b.stack) >= maxCallDepth {
@@ -387,7 +389,7 @@ func (b *Batch) Step() bool {
 
 	case isa.LD, isa.FLD:
 		keep := b.active[:0]
-		memLen := uint64(len(b.base.Mem))
+		memLen := b.base.memLimit()
 		for _, k := range b.active {
 			addr := b.r[in.Ra][k] + uint64(in.Imm)
 			if addr >= memLen {
@@ -404,7 +406,7 @@ func (b *Batch) Step() bool {
 		b.active = keep
 	case isa.ST, isa.FST:
 		keep := b.active[:0]
-		memLen := uint64(len(b.base.Mem))
+		memLen := b.base.memLimit()
 		for _, k := range b.active {
 			addr := b.r[in.Rb][k] + uint64(in.Imm)
 			if addr >= memLen {
@@ -412,6 +414,41 @@ func (b *Batch) Step() bool {
 				continue
 			}
 			if in.Op == isa.ST {
+				b.store(k, addr, b.r[in.Ra][k])
+			} else {
+				b.store(k, addr, b.f[in.Ra][k])
+			}
+			keep = append(keep, k)
+		}
+		b.active = keep
+
+	case isa.LDA, isa.FLDA:
+		keep := b.active[:0]
+		memLen := uint64(len(b.base.Mem))
+		addr := uint64(in.Imm)
+		for _, k := range b.active {
+			if addr >= memLen {
+				b.detach(k, b.pc, Crashed, CrashMemOOB)
+				continue
+			}
+			if in.Op == isa.LDA {
+				b.r[in.Rd][k] = b.load(k, addr)
+			} else {
+				b.f[in.Rd][k] = b.load(k, addr)
+			}
+			keep = append(keep, k)
+		}
+		b.active = keep
+	case isa.STA, isa.FSTA:
+		keep := b.active[:0]
+		memLen := uint64(len(b.base.Mem))
+		addr := uint64(in.Imm)
+		for _, k := range b.active {
+			if addr >= memLen {
+				b.detach(k, b.pc, Crashed, CrashMemOOB)
+				continue
+			}
+			if in.Op == isa.STA {
 				b.store(k, addr, b.r[in.Ra][k])
 			} else {
 				b.store(k, addr, b.f[in.Ra][k])

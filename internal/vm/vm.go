@@ -54,6 +54,10 @@ const (
 	CrashStackOverflow
 	CrashStackUnderflow
 	CrashBadInstr
+	// CrashTrap is a hardening detector firing: a TRAP instruction reached
+	// after a duplicate-and-compare mismatch (internal/harden). Appended at
+	// the end so earlier kinds keep their encoded values.
+	CrashTrap
 )
 
 func (k CrashKind) String() string {
@@ -72,6 +76,8 @@ func (k CrashKind) String() string {
 		return "return with empty call stack"
 	case CrashBadInstr:
 		return "undefined instruction"
+	case CrashTrap:
+		return "detector trap"
 	}
 	return fmt.Sprintf("crash(%d)", uint8(k))
 }
@@ -113,6 +119,14 @@ type Machine struct {
 
 	Dyn    uint64 // number of executed instructions
 	MaxDyn uint64 // timeout threshold; 0 disables the check
+
+	// MemLimit, when nonzero, bounds the register-addressed loads and
+	// stores (LD/ST/FLD/FST) below len(Mem); the absolute-addressed
+	// detector ops (LDA/STA/FLDA/FSTA) always address all of Mem. Hardened
+	// programs carve their spill slots out of the space above the limit so
+	// a fault-deflected address crashes exactly where the original program
+	// would have, instead of silently landing in a slot.
+	MemLimit int
 
 	Status Status
 	Crash  CrashKind
@@ -253,6 +267,15 @@ func (m *Machine) recordWrite(addr uint64) {
 		return
 	}
 	m.journal = append(m.journal, memWrite{addr: addr, prev: m.Mem[addr]})
+}
+
+// memLimit returns the exclusive address bound of the register-addressed
+// memory ops.
+func (m *Machine) memLimit() uint64 {
+	if m.MemLimit > 0 && m.MemLimit <= len(m.Mem) {
+		return uint64(m.MemLimit)
+	}
+	return uint64(len(m.Mem))
 }
 
 // Fl returns float register f as a float64.
@@ -413,13 +436,13 @@ func (m *Machine) Step() Event {
 
 	case isa.LD:
 		addr := m.R[in.Ra] + uint64(in.Imm)
-		if addr >= uint64(len(m.Mem)) {
+		if addr >= m.memLimit() {
 			return m.crash(CrashMemOOB)
 		}
 		m.R[in.Rd] = m.Mem[addr]
 	case isa.ST:
 		addr := m.R[in.Rb] + uint64(in.Imm)
-		if addr >= uint64(len(m.Mem)) {
+		if addr >= m.memLimit() {
 			return m.crash(CrashMemOOB)
 		}
 		if m.journaling {
@@ -428,13 +451,13 @@ func (m *Machine) Step() Event {
 		m.Mem[addr] = m.R[in.Ra]
 	case isa.FLD:
 		addr := m.R[in.Ra] + uint64(in.Imm)
-		if addr >= uint64(len(m.Mem)) {
+		if addr >= m.memLimit() {
 			return m.crash(CrashMemOOB)
 		}
 		m.F[in.Rd] = m.Mem[addr]
 	case isa.FST:
 		addr := m.R[in.Rb] + uint64(in.Imm)
-		if addr >= uint64(len(m.Mem)) {
+		if addr >= m.memLimit() {
 			return m.crash(CrashMemOOB)
 		}
 		if m.journaling {
@@ -497,6 +520,39 @@ func (m *Machine) Step() Event {
 		}
 		next = m.Stack[len(m.Stack)-1]
 		m.Stack = m.Stack[:len(m.Stack)-1]
+
+	case isa.TRAP:
+		return m.crash(CrashTrap)
+	case isa.LDA:
+		addr := uint64(in.Imm)
+		if addr >= uint64(len(m.Mem)) {
+			return m.crash(CrashMemOOB)
+		}
+		m.R[in.Rd] = m.Mem[addr]
+	case isa.STA:
+		addr := uint64(in.Imm)
+		if addr >= uint64(len(m.Mem)) {
+			return m.crash(CrashMemOOB)
+		}
+		if m.journaling {
+			m.recordWrite(addr)
+		}
+		m.Mem[addr] = m.R[in.Ra]
+	case isa.FLDA:
+		addr := uint64(in.Imm)
+		if addr >= uint64(len(m.Mem)) {
+			return m.crash(CrashMemOOB)
+		}
+		m.F[in.Rd] = m.Mem[addr]
+	case isa.FSTA:
+		addr := uint64(in.Imm)
+		if addr >= uint64(len(m.Mem)) {
+			return m.crash(CrashMemOOB)
+		}
+		if m.journaling {
+			m.recordWrite(addr)
+		}
+		m.Mem[addr] = m.F[in.Ra]
 
 	case isa.SECBEG:
 		ev = Event{Kind: EvSecBeg, Sec: int(in.Imm)}
